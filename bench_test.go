@@ -1,0 +1,202 @@
+package distscroll_test
+
+// One benchmark per paper artefact (DESIGN.md Section 4). Each BenchmarkF*/
+// BenchmarkE*/BenchmarkA* target re-runs the corresponding experiment —
+// including its internal shape assertions — and reports its headline
+// metrics; the A4 target measures the firmware hot loop itself.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/experiments"
+	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/mapping"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// the selected metrics.
+func benchExperiment(b *testing.B, id string, report ...string) {
+	b.Helper()
+	r, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Run(uint64(i) + 1)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = rep
+	}
+	for _, m := range report {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkFig1MenuScroll(b *testing.B) {
+	benchExperiment(b, "F1", "scroll_events_host", "final_cursor")
+}
+
+func BenchmarkFig2Architecture(b *testing.B) {
+	benchExperiment(b, "F2", "rf_delivered", "adc_samples")
+}
+
+func BenchmarkFig3Inventory(b *testing.B) {
+	benchExperiment(b, "F3", "total_draw_ma", "battery_life_hour")
+}
+
+func BenchmarkFig4SensorCurve(b *testing.B) {
+	benchExperiment(b, "F4", "fit_r2", "fit_a", "fit_b")
+}
+
+func BenchmarkFig5LogFit(b *testing.B) {
+	benchExperiment(b, "F5", "loglog_r2", "loglog_slope")
+}
+
+func BenchmarkE1IslandMapping(b *testing.B) {
+	benchExperiment(b, "E1", "flicker_no_hysteresis", "flicker_with_hysteresis")
+}
+
+func BenchmarkE2UserStudy(b *testing.B) {
+	benchExperiment(b, "E2", "error_rate_block1", "error_rate_block4", "mean_trial_s")
+}
+
+func BenchmarkE3FittsComparison(b *testing.B) {
+	benchExperiment(b, "E3",
+		"mt_distscroll_bare", "mt_stylus_bare",
+		"mt_distscroll_winter", "mt_stylus_winter")
+}
+
+func BenchmarkE4RangeSweep(b *testing.B) {
+	benchExperiment(b, "E4", "best_far_cm")
+}
+
+func BenchmarkE5Direction(b *testing.B) {
+	benchExperiment(b, "E5", "mean_s_towards=down", "mean_s_towards=up")
+}
+
+func BenchmarkE6LongMenus(b *testing.B) {
+	benchExperiment(b, "E6", "mean_s_flat-100", "mean_s_chunked-10", "mean_s_sdaz")
+}
+
+func BenchmarkE7HybridInput(b *testing.B) {
+	benchExperiment(b, "E7", "hybrid_d32", "distance-only_d32", "buttons-only_d32")
+}
+
+func BenchmarkE8ButtonLayouts(b *testing.B) {
+	benchExperiment(b, "E8", "prototype-3button_left", "slidable-2button_left")
+}
+
+func BenchmarkE9GloveStudy(b *testing.B) {
+	benchExperiment(b, "E9", "winter_vs_bare_ratio", "mean_s_bare", "mean_s_winter")
+}
+
+func BenchmarkA1Filtering(b *testing.B) {
+	benchExperiment(b, "A1", "changes_raw", "changes_median3+ema")
+}
+
+func BenchmarkA2IslandGaps(b *testing.B) {
+	benchExperiment(b, "A2", "err_gap0.0", "err_gap0.4")
+}
+
+func BenchmarkA3RFLink(b *testing.B) {
+	benchExperiment(b, "A3", "latency_ms_loss0.00", "latency_ms_loss0.20")
+}
+
+func BenchmarkA5PowerSave(b *testing.B) {
+	benchExperiment(b, "A5", "duty_power-save", "battery_h_power-save", "battery_h_always-on")
+}
+
+func BenchmarkA6InputMode(b *testing.B) {
+	benchExperiment(b, "A6", "flicker_absolute_n200", "flicker_relative_n200")
+}
+
+// BenchmarkA4FirmwareLoop measures one firmware cycle — ADC sample, filter,
+// island map, display write-skip check, button scan, telemetry — the loop
+// an 8-bit PIC at 10 MIPS must sustain at 25 Hz.
+func BenchmarkA4FirmwareLoop(b *testing.B) {
+	board, err := smartits.Assemble(smartits.DefaultConfig(), sim.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := menu.New(menu.FlatMenu(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw, err := firmware.New(firmware.DefaultConfig(), board, m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	board.SetDistance(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fw.Step(time.Duration(i) * 40 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA4SensorSample isolates the analog front end: one noisy sensor
+// sample through the 10-bit ADC.
+func BenchmarkA4SensorSample(b *testing.B) {
+	board, err := smartits.Assemble(smartits.DefaultConfig(), sim.NewRand(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	board.SetDistance(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := board.ADC.Read(smartits.ChanDistance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA4IslandMap isolates the mapper: one voltage-to-entry lookup
+// with hysteresis.
+func BenchmarkA4IslandMap(b *testing.B) {
+	sensor := gp2d120.Default(nil)
+	m, err := mapping.New(mapping.DefaultConfig(20), sensor.Ideal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := sensor.Ideal(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Map(v)
+	}
+}
+
+// BenchmarkA4RFCodec isolates the link codec: encode one telemetry message
+// into a frame and decode it back.
+func BenchmarkA4RFCodec(b *testing.B) {
+	msg := rf.Message{Kind: rf.MsgScroll, Seq: 7, AtMillis: 1234, Index: 3}
+	payload, err := msg.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := rf.NewDecoder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := rf.Encode(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := dec.Feed(frame); len(got) != 1 {
+			b.Fatal("frame lost")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command distscroll-bench regenerates every figure and experiment of the
+// DistScroll paper reproduction (see DESIGN.md Section 4) and prints the
+// resulting charts, tables and metrics.
+//
+// Usage:
+//
+//	distscroll-bench                 # run everything
+//	distscroll-bench -run F4,E3      # run selected experiments
+//	distscroll-bench -seed 42        # change the master seed
+//	distscroll-bench -o report.txt   # also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/hcilab/distscroll/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "distscroll-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("distscroll-bench", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		seed    = fs.Uint64("seed", 1, "master random seed")
+		outPath = fs.String("o", "", "also write the report to this file")
+		csvDir  = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote trials.csv and conditions.csv to %s\n", *csvDir)
+	}
+
+	var runners []experiments.Runner
+	if *runList == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			r, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: F1-F5, E1-E6, A1-A3)", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "DistScroll reproduction report (seed %d)\n", *seed)
+	fmt.Fprintf(&report, "%s\n\n", strings.Repeat("=", 60))
+	for _, r := range runners {
+		rep, err := r.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		report.WriteString(rep.String())
+		report.WriteString("\n")
+	}
+
+	if _, err := io.WriteString(stdout, report.String()); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report.String()), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "F3,F4", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "F3") || !strings.Contains(s, "F4") {
+		t.Fatalf("report:\n%s", s)
+	}
+	if !strings.Contains(s, "fit_r2") {
+		t.Fatalf("missing metrics:\n%s", s)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "Z9"}, &out); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "F3", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Hardware inventory") {
+		t.Fatalf("file report:\n%s", data)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-run", "F3", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	trials, err := os.ReadFile(filepath.Join(dir, "trials.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trials), "P01") || !strings.Contains(string(trials), "wrong_selection") {
+		t.Fatalf("trials.csv:\n%.200s", trials)
+	}
+	conds, err := os.ReadFile(filepath.Join(dir, "conditions.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"distscroll", "hybrid", "winter", "throughput_bps"} {
+		if !strings.Contains(string(conds), want) {
+			t.Fatalf("conditions.csv missing %q:\n%.300s", want, conds)
+		}
+	}
+}
+
+func TestRunCaseInsensitiveIDs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "f3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

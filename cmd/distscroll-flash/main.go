@@ -1,0 +1,120 @@
+// Command distscroll-flash simulates a firmware download into the
+// DistScroll through the Smart-Its serial/programmer connector (paper
+// Section 4.1: the connectors were elongated "to allow an opening of the
+// device for battery changes and code downloads").
+//
+// Usage:
+//
+//	distscroll-flash -version 1.2.0 -code firmware.bin
+//	distscroll-flash -version 1.2.0 -size 4096   # synthetic image
+//	distscroll-flash -hex image.hex -o dump.hex  # round-trip an Intel HEX file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hcilab/distscroll/internal/serial"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "distscroll-flash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("distscroll-flash", flag.ContinueOnError)
+	var (
+		version  = fs.String("version", "dev", "version string to embed")
+		codePath = fs.String("code", "", "raw firmware code file to flash")
+		size     = fs.Int("size", 2048, "synthetic image size when no -code is given")
+		hexPath  = fs.String("hex", "", "flash an existing Intel HEX image instead")
+		outPath  = fs.String("o", "", "also write the downloaded image as Intel HEX")
+		seed     = fs.Uint64("seed", 1, "board seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Build or load the image.
+	var img *serial.Image
+	switch {
+	case *hexPath != "":
+		f, err := os.Open(*hexPath)
+		if err != nil {
+			return fmt.Errorf("open hex: %w", err)
+		}
+		defer f.Close()
+		img, err = serial.DecodeHex(f)
+		if err != nil {
+			return err
+		}
+	case *codePath != "":
+		code, err := os.ReadFile(*codePath)
+		if err != nil {
+			return fmt.Errorf("read code: %w", err)
+		}
+		img, err = serial.BuildImage(code, *version)
+		if err != nil {
+			return err
+		}
+	default:
+		code := make([]byte, *size)
+		rng := sim.NewRand(*seed)
+		for i := range code {
+			code[i] = byte(rng.Intn(256))
+		}
+		var err error
+		img, err = serial.BuildImage(code, *version)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Assemble the board and download through the connector.
+	board, err := smartits.Assemble(smartits.DefaultConfig(), sim.NewRand(*seed))
+	if err != nil {
+		return err
+	}
+	prog, err := board.AttachProgrammer()
+	if err != nil {
+		return err
+	}
+	records, err := prog.Download(img)
+	if err != nil {
+		return err
+	}
+	if err := serial.Verify(board.Flash, img); err != nil {
+		return err
+	}
+	installed, err := board.FirmwareVersion()
+	if err != nil {
+		return err
+	}
+
+	tx, rx := board.SerialHost.Stats()
+	fmt.Fprintf(stdout, "downloaded %d bytes in %d records (%d tx / %d rx bytes on the wire, %.2f s at %d baud)\n",
+		img.Size(), records, tx, rx,
+		board.SerialHost.WireTime().Seconds(), board.SerialHost.Baud())
+	fmt.Fprintf(stdout, "verified OK; installed version: %q; max page wear: %d erase cycles\n",
+		installed, board.Flash.MaxEraseCycles())
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *outPath, err)
+		}
+		defer f.Close()
+		if err := img.EncodeHex(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "image written to %s\n", *outPath)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlashSyntheticImage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version", "9.9.9", "-size", "1024"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `installed version: "9.9.9"`) {
+		t.Fatalf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "verified OK") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestFlashCodeFile(t *testing.T) {
+	dir := t.TempDir()
+	codePath := filepath.Join(dir, "fw.bin")
+	if err := os.WriteFile(codePath, bytes.Repeat([]byte{0x42}, 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-code", codePath, "-version", "1.0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"1.0"`) {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestFlashHexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	hexPath := filepath.Join(dir, "image.hex")
+	var out bytes.Buffer
+	// First produce a hex file from a synthetic image.
+	if err := run([]string{"-version", "2.0", "-size", "256", "-o", hexPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Then flash from that hex file.
+	out.Reset()
+	if err := run([]string{"-hex", hexPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"2.0"`) {
+		t.Fatalf("hex flash output:\n%s", out.String())
+	}
+}
+
+func TestFlashErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-code", "/nonexistent/fw.bin"}, &out); err == nil {
+		t.Fatal("missing code file accepted")
+	}
+	if err := run([]string{"-hex", "/nonexistent/image.hex"}, &out); err == nil {
+		t.Fatal("missing hex file accepted")
+	}
+	long := strings.Repeat("v", 64)
+	if err := run([]string{"-version", long, "-size", "64"}, &out); err == nil {
+		t.Fatal("oversized version accepted")
+	}
+}

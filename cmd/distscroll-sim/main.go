@@ -1,0 +1,271 @@
+// Command distscroll-sim runs an interactive (scripted) simulated
+// DistScroll session and prints both device displays after every action —
+// the closest thing to holding the prototype of paper Figure 1.
+//
+// The script is a whitespace-separated action list, from a file or -script:
+//
+//	d<cm>    set the device-to-body distance, e.g. d12.5
+//	g<cm>    glide smoothly to a distance over 1 s, e.g. g6
+//	w<ms>    wait virtual time, e.g. w500
+//	select   press the select (thumb) button
+//	back     press the back button
+//	show     print both displays
+//
+// Example:
+//
+//	distscroll-sim -menu phone -script "g6 w2000 show select w500 show"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "distscroll-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("distscroll-sim", flag.ContinueOnError)
+	var (
+		menuName = fs.String("menu", "phone", "menu fixture: phone, lab, stock, or flat:<n>")
+		menuJSON = fs.String("menujson", "", "load the menu from a JSON file instead")
+		script   = fs.String("script", "g6 w2000 show select w500 show", "action script")
+		file     = fs.String("f", "", "read the script from a file instead")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		traceOn  = fs.Bool("trace", false, "print every host event")
+		record   = fs.String("record", "", "record the session trace to this JSON file")
+		replay   = fs.String("replay", "", "replay a recorded trace instead of running the script")
+		live     = fs.Duration("live", 0, "run live against the wall clock for this long (demo mode)")
+		speed    = fs.Float64("speed", 1, "virtual-to-wall time ratio in live mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var root *distscroll.Item
+	if *menuJSON != "" {
+		f, err := os.Open(*menuJSON)
+		if err != nil {
+			return fmt.Errorf("open menu json: %w", err)
+		}
+		root, err = distscroll.MenuFromJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		root, err = pickMenu(*menuName)
+		if err != nil {
+			return err
+		}
+	}
+	dev, err := distscroll.New(distscroll.WithMenu(root), distscroll.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+
+	if *traceOn {
+		log := func(e distscroll.Event) {
+			fmt.Fprintf(stdout, "[%8s] %-6s index=%d %s\n",
+				e.At.Truncate(time.Millisecond), e.Kind, e.Index, e.Entry)
+		}
+		dev.OnScroll(log)
+		dev.OnSelect(log)
+		dev.OnLevel(log)
+	}
+
+	var rec *trace.Recorder
+	if *record != "" {
+		rec, err = trace.Record(dev.Internal(), "distscroll-sim", *seed, 20*time.Millisecond)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case *live > 0:
+		if err := runLive(dev, *live, *speed, stdout); err != nil {
+			return err
+		}
+	case *replay != "":
+		if err := runReplay(dev, *replay, stdout); err != nil {
+			return err
+		}
+	default:
+		text := *script
+		if *file != "" {
+			data, err := os.ReadFile(*file)
+			if err != nil {
+				return fmt.Errorf("read script: %w", err)
+			}
+			text = string(data)
+		}
+		for _, action := range strings.Fields(text) {
+			if err := apply(dev, action, stdout); err != nil {
+				return fmt.Errorf("action %q: %w", action, err)
+			}
+		}
+	}
+
+	// Drain any in-flight radio traffic.
+	if err := dev.Run(200 * time.Millisecond); err != nil {
+		return err
+	}
+	if rec != nil {
+		tr := rec.Stop()
+		f, err := os.Create(*record)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		if err := tr.Save(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace: %d samples, %d events -> %s\n",
+			len(tr.Samples), len(tr.Events), *record)
+	}
+	return nil
+}
+
+// runLive demonstrates wall-clock operation: a sinusoidal hand motion is
+// scheduled on the device's virtual clock, and a realtime runner drives it
+// against real time, printing host events as they arrive.
+func runLive(dev *distscroll.Device, dur time.Duration, speed float64, stdout io.Writer) error {
+	inner := dev.Internal()
+	// The oscillation runs on the virtual clock, so it executes on the
+	// runner's goroutine — no cross-goroutine device access.
+	inner.Scheduler.Every(20*time.Millisecond, func(at time.Duration) {
+		inner.SetDistance(17 + 11*math.Sin(at.Seconds()*0.9))
+	})
+	runner, err := core.NewRealtimeRunner(inner, speed, 256)
+	if err != nil {
+		return err
+	}
+	if err := runner.Start(); err != nil {
+		return err
+	}
+	deadline := time.After(dur)
+	events := 0
+loop:
+	for {
+		select {
+		case e, ok := <-runner.Events():
+			if !ok {
+				break loop
+			}
+			events++
+			if e.Kind == rf.MsgScroll || e.Kind == rf.MsgSelect {
+				fmt.Fprintf(stdout, "[live %8s] %-6s index=%d\n",
+					e.HostTime.Truncate(time.Millisecond), e.Kind, e.Index)
+			}
+		case <-deadline:
+			break loop
+		}
+	}
+	if err := runner.Stop(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "live session: %s virtual in %s wall (%.0fx), %d host events, %d dropped\n",
+		dev.Now().Truncate(time.Millisecond), dur, speed, events, runner.Dropped())
+	return nil
+}
+
+// runReplay loads a recorded trace and plays its distance signal into the
+// device, then prints the displays.
+func runReplay(dev *distscroll.Device, path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	end, err := trace.Replay(tr, dev.Internal())
+	if err != nil {
+		return err
+	}
+	if err := dev.Run(end - dev.Now() + 200*time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replayed %q: %d samples over %s\n", tr.Name, len(tr.Samples), tr.Duration())
+	return apply(dev, "show", stdout)
+}
+
+func pickMenu(name string) (*distscroll.Item, error) {
+	switch {
+	case name == "phone":
+		return distscroll.PhoneMenu(), nil
+	case name == "lab":
+		return distscroll.LabProtocolMenu(), nil
+	case name == "stock":
+		return distscroll.StocktakingMenu(), nil
+	case strings.HasPrefix(name, "flat:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "flat:"))
+		if err != nil {
+			return nil, fmt.Errorf("flat menu size: %w", err)
+		}
+		return distscroll.NumberedList(n), nil
+	default:
+		return nil, fmt.Errorf("unknown menu %q (phone, lab, stock, flat:<n>)", name)
+	}
+}
+
+func apply(dev *distscroll.Device, action string, stdout io.Writer) error {
+	switch {
+	case strings.HasPrefix(action, "d"):
+		cm, err := strconv.ParseFloat(action[1:], 64)
+		if err != nil {
+			return err
+		}
+		dev.SetDistance(cm)
+		return dev.Run(100 * time.Millisecond)
+	case strings.HasPrefix(action, "g"):
+		cm, err := strconv.ParseFloat(action[1:], 64)
+		if err != nil {
+			return err
+		}
+		dev.GlideTo(cm, time.Second)
+		return dev.Run(1200 * time.Millisecond)
+	case strings.HasPrefix(action, "w"):
+		ms, err := strconv.Atoi(action[1:])
+		if err != nil {
+			return err
+		}
+		return dev.Run(time.Duration(ms) * time.Millisecond)
+	case action == "select":
+		dev.PressSelect()
+		return dev.Run(300 * time.Millisecond)
+	case action == "back":
+		dev.PressBack()
+		return dev.Run(300 * time.Millisecond)
+	case action == "show":
+		fmt.Fprintf(stdout, "t=%-10s distance=%.1fcm  path: %s\n",
+			dev.Now().Truncate(time.Millisecond), dev.Distance(), dev.Path())
+		fmt.Fprintln(stdout, "top display:")
+		fmt.Fprintln(stdout, dev.TopDisplay())
+		fmt.Fprintln(stdout, "bottom display:")
+		fmt.Fprintln(stdout, dev.BottomDisplay())
+		return nil
+	default:
+		return fmt.Errorf("unknown action")
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultScript(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "top display:") || !strings.Contains(s, "DistScroll dbg") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestRunAllMenus(t *testing.T) {
+	for _, m := range []string{"phone", "lab", "stock", "flat:15"} {
+		var out bytes.Buffer
+		if err := run([]string{"-menu", m, "-script", "d10 w500 show"}, &out); err != nil {
+			t.Fatalf("menu %s: %v", m, err)
+		}
+		if !strings.Contains(out.String(), "top display:") {
+			t.Fatalf("menu %s output:\n%s", m, out.String())
+		}
+	}
+}
+
+func TestRunTraceMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "-script", "g6 w1500 show"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scroll") {
+		t.Fatalf("trace output missing events:\n%s", out.String())
+	}
+}
+
+func TestRunScriptFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "script.txt")
+	if err := os.WriteFile(path, []byte("d8 w300 show select w300 show"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-f", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "top display:") != 2 {
+		t.Fatalf("expected two snapshots:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-menu", "bogus"}, &out); err == nil {
+		t.Fatal("bogus menu accepted")
+	}
+	if err := run([]string{"-script", "frobnicate"}, &out); err == nil {
+		t.Fatal("bogus action accepted")
+	}
+	if err := run([]string{"-script", "dxyz"}, &out); err == nil {
+		t.Fatal("bad distance accepted")
+	}
+	if err := run([]string{"-menu", "flat:x"}, &out); err == nil {
+		t.Fatal("bad flat size accepted")
+	}
+	if err := run([]string{"-f", "/nonexistent/script"}, &out); err == nil {
+		t.Fatal("missing script file accepted")
+	}
+}
+
+func TestMenuFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "menu.json")
+	src := `{"title":"Jukebox","children":[{"title":"Rock"},{"title":"Jazz"},{"title":"Folk"}]}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-menujson", path, "-script", "d4 w1000 show"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Jazz") {
+		t.Fatalf("custom menu not shown:\n%s", out.String())
+	}
+	// Broken JSON fails cleanly.
+	if err := os.WriteFile(path, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-menujson", path}, &out); err == nil {
+		t.Fatal("broken menu json accepted")
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.json")
+	var out bytes.Buffer
+	err := run([]string{"-record", path, "-script", "g6 w1000 select w500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Fatalf("no trace summary:\n%s", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-replay", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replayed") || !strings.Contains(out.String(), "top display:") {
+		t.Fatalf("replay output:\n%s", out.String())
+	}
+}
+
+func TestLiveMode(t *testing.T) {
+	var out bytes.Buffer
+	// 120 ms wall at 50x = ~6 s of virtual interaction.
+	if err := run([]string{"-live", "120ms", "-speed", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "live session:") {
+		t.Fatalf("no live summary:\n%s", s)
+	}
+	if !strings.Contains(s, "scroll") {
+		t.Fatalf("no live scroll events:\n%s", s)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-replay", "/nonexistent/trace.json"}, &out); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestBackAndSelectActions(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-menu", "phone", "-script", "d4 w1000 select w500 show back w500 show"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d4 puts the cursor on the last entry (towards = down); selecting
+	// enters or selects it, back returns.
+	if strings.Count(out.String(), "path: Phone") < 1 {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,280 @@
+package distscroll_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+)
+
+func newTestDevice(t *testing.T, opts ...distscroll.Option) *distscroll.Device {
+	t.Helper()
+	opts = append([]distscroll.Option{distscroll.WithSeed(42)}, opts...)
+	dev, err := distscroll.New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(dev.Close)
+	return dev
+}
+
+func TestNewRequiresMenu(t *testing.T) {
+	if _, err := distscroll.New(distscroll.WithSeed(1)); err == nil {
+		t.Fatal("New without a menu should fail")
+	}
+}
+
+func TestScrollByDistanceMovesCursor(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(10))
+
+	// Hold the device at the distance of entry 7 and let the firmware run.
+	d, err := dev.DistanceForEntry(7)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := dev.Cursor(); got != 7 {
+		t.Fatalf("cursor = %d, want 7", got)
+	}
+	if got := dev.CurrentEntry(); got != "Entry 08" {
+		t.Fatalf("entry = %q, want Entry 08", got)
+	}
+}
+
+func TestGlideEmitsScrollEvents(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(12))
+
+	var events []distscroll.Event
+	dev.OnScroll(func(e distscroll.Event) { events = append(events, e) })
+
+	dev.SetDistance(28)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dev.GlideTo(6, 1500*time.Millisecond)
+	if err := dev.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(events) < 5 {
+		t.Fatalf("expected several scroll events over a full-range glide, got %d", len(events))
+	}
+	// Moving towards the body scrolls down by default: indices increase.
+	if events[0].Index >= events[len(events)-1].Index {
+		t.Fatalf("expected increasing indices, got first=%d last=%d",
+			events[0].Index, events[len(events)-1].Index)
+	}
+}
+
+func TestSelectEntersSubmenuAndBackReturns(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithMenu(distscroll.PhoneMenu()))
+
+	var levels []int
+	dev.OnLevel(func(e distscroll.Event) { levels = append(levels, e.Index) })
+
+	// Scroll to "Messages" (entry 0) and select it.
+	d, err := dev.DistanceForEntry(0)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if dev.Cursor() != 0 {
+		t.Fatalf("cursor = %d, want 0", dev.Cursor())
+	}
+	dev.PressSelect()
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if dev.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1 after entering Messages", dev.Depth())
+	}
+	if got := dev.Entries()[0]; got != "Write message" {
+		t.Fatalf("first submenu entry = %q", got)
+	}
+	if len(levels) == 0 || levels[len(levels)-1] != 1 {
+		t.Fatalf("expected a level event with depth 1, got %v", levels)
+	}
+
+	dev.PressBack()
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if dev.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0 after back", dev.Depth())
+	}
+}
+
+func TestSelectLeafEmitsSelectEvent(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(5))
+
+	var selected []string
+	dev.OnSelect(func(e distscroll.Event) { selected = append(selected, e.Entry) })
+
+	d, err := dev.DistanceForEntry(2)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dev.PressSelect()
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(selected) != 1 || selected[0] != "Entry 03" {
+		t.Fatalf("selected = %v, want [Entry 03]", selected)
+	}
+}
+
+func TestDisplaysShowMenuAndDebugState(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithMenu(distscroll.PhoneMenu()))
+	d, err := dev.DistanceForEntry(0)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	top := dev.TopDisplay()
+	if !strings.Contains(top, "Messages") {
+		t.Errorf("top display missing menu entries:\n%s", top)
+	}
+	if !strings.Contains(top, ">") {
+		t.Errorf("top display missing cursor marker:\n%s", top)
+	}
+	bottom := dev.BottomDisplay()
+	if !strings.Contains(bottom, "V=") || !strings.Contains(bottom, "bat=") {
+		t.Errorf("bottom display missing debug state:\n%s", bottom)
+	}
+}
+
+func TestDirectionOptionInverts(t *testing.T) {
+	dev := newTestDevice(t,
+		distscroll.WithEntries(10),
+		distscroll.WithDirection(distscroll.TowardsIsUp),
+	)
+	// With TowardsIsUp, the nearest distance maps to entry 0.
+	d0, err := dev.DistanceForEntry(0)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	d9, err := dev.DistanceForEntry(9)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	if d0 >= d9 {
+		t.Fatalf("TowardsIsUp: entry 0 should be nearer than entry 9 (%.1f vs %.1f)", d0, d9)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, uint64) {
+		dev := newTestDevice(t, distscroll.WithEntries(15))
+		dev.SetDistance(25)
+		if err := dev.Run(time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		dev.GlideTo(8, time.Second)
+		if err := dev.Run(2 * time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		sent, _, _ := dev.LinkStats()
+		return dev.Cursor(), sent
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("non-deterministic: cursor %d/%d, sent %d/%d", c1, c2, s1, s2)
+	}
+}
+
+func TestMenuJSONRoundTripThroughPublicAPI(t *testing.T) {
+	orig := distscroll.PhoneMenu()
+	var buf strings.Builder
+	if err := distscroll.MenuToJSON(&buf, orig); err != nil {
+		t.Fatalf("MenuToJSON: %v", err)
+	}
+	back, err := distscroll.MenuFromJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("MenuFromJSON: %v", err)
+	}
+	dev := newTestDevice(t, distscroll.WithMenu(back))
+	entries := dev.Entries()
+	if len(entries) != 6 || entries[0] != "Messages" {
+		t.Fatalf("entries after round trip: %v", entries)
+	}
+	if err := distscroll.MenuToJSON(&buf, nil); err == nil {
+		t.Fatal("nil menu accepted")
+	}
+}
+
+func TestDualSensorOption(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(10), distscroll.WithDualSensor())
+	d, err := dev.DistanceForEntry(6)
+	if err != nil {
+		t.Fatalf("DistanceForEntry: %v", err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if dev.Cursor() != 6 {
+		t.Fatalf("cursor = %d, want 6", dev.Cursor())
+	}
+}
+
+func TestContextSensingOption(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(5), distscroll.WithContextSensing(true))
+	// Right-hand reading grip.
+	dev.SetOrientation(0.6, -0.25)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := dev.Context(); !strings.Contains(got, "held/right") {
+		t.Fatalf("context = %q", got)
+	}
+	// Switch to a left-handed grip: the context follows.
+	dev.SetOrientation(0.6, 0.3)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := dev.Context(); !strings.Contains(got, "left") {
+		t.Fatalf("context after regrip = %q", got)
+	}
+}
+
+func TestRadioLinkDeliversUnderLoss(t *testing.T) {
+	dev := newTestDevice(t,
+		distscroll.WithEntries(20),
+		distscroll.WithRadioLink(0.1, 10*time.Millisecond),
+	)
+	dev.SetDistance(28)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dev.GlideTo(5, 2*time.Second)
+	if err := dev.Run(4 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sent, delivered, lost := dev.LinkStats()
+	if sent == 0 {
+		t.Fatal("no frames sent")
+	}
+	if delivered == 0 {
+		t.Fatal("no frames delivered despite 90% success rate")
+	}
+	if lost == 0 {
+		t.Fatal("expected some loss at 10% loss probability")
+	}
+	if delivered+lost > sent {
+		t.Fatalf("accounting: delivered %d + lost %d > sent %d", delivered, lost, sent)
+	}
+}

@@ -1,0 +1,148 @@
+package distscroll_test
+
+import (
+	"fmt"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+)
+
+// Example shows the minimal end-to-end flow: build a device, hold it at a
+// distance, and read the cursor.
+func Example() {
+	dev, err := distscroll.New(
+		distscroll.WithEntries(10),
+		distscroll.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer dev.Close()
+
+	// Entry 7's island centre is a physical distance; hold the device
+	// there and let the 25 Hz firmware loop settle.
+	d, err := dev.DistanceForEntry(7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(dev.CurrentEntry())
+	// Output: Entry 08
+}
+
+// ExampleDevice_OnScroll registers a host-side handler for scroll events
+// decoded from the device's RF telemetry.
+func ExampleDevice_OnScroll() {
+	dev, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithSeed(1),
+		distscroll.WithRadioLink(0, 2*time.Millisecond), // lossless for the doc test
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer dev.Close()
+
+	last := -1
+	dev.OnScroll(func(e distscroll.Event) { last = e.Index })
+
+	d, err := dev.DistanceForEntry(2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("last scroll event index:", last)
+	// Output: last scroll event index: 2
+}
+
+// ExampleDevice_PressSelect selects a leaf entry and observes the select
+// event with the entry title resolved.
+func ExampleDevice_PressSelect() {
+	dev, err := distscroll.New(
+		distscroll.WithMenu(distscroll.NewItem("Root",
+			distscroll.NewLeaf("Tea", nil),
+			distscroll.NewLeaf("Coffee", nil),
+		)),
+		distscroll.WithSeed(1),
+		distscroll.WithRadioLink(0, 2*time.Millisecond),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer dev.Close()
+
+	dev.OnSelect(func(e distscroll.Event) { fmt.Println("selected:", e.Entry) })
+
+	d, err := dev.DistanceForEntry(1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev.PressSelect()
+	if err := dev.Run(time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Output: selected: Coffee
+}
+
+// ExampleNewItem builds a custom hierarchical structure with a selection
+// action on a leaf.
+func ExampleNewItem() {
+	brewed := false
+	menu := distscroll.NewItem("Machine",
+		distscroll.NewItem("Drinks",
+			distscroll.NewLeaf("Espresso", func() { brewed = true }),
+			distscroll.NewLeaf("Lungo", nil),
+		),
+		distscroll.NewLeaf("Clean", nil),
+	)
+	dev, err := distscroll.New(distscroll.WithMenu(menu), distscroll.WithSeed(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer dev.Close()
+
+	// Enter Drinks (entry 0), then select Espresso (entry 0).
+	for i := 0; i < 2; i++ {
+		d, err := dev.DistanceForEntry(0)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		dev.SetDistance(d)
+		if err := dev.Run(time.Second); err != nil {
+			fmt.Println(err)
+			return
+		}
+		dev.PressSelect()
+		if err := dev.Run(time.Second); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Println("path:", dev.Path())
+	fmt.Println("brewed:", brewed)
+	// Output:
+	// path: Machine > Drinks > Espresso
+	// brewed: true
+}

@@ -1,0 +1,209 @@
+// Game: the paper's third application domain — "games on mobile devices.
+// We think of any sort of character (e.g. aircraft) staying on a fixed
+// position somewhere on the left side of the display. The altitude of the
+// character is controlled by moving the DistScroll." (Section 5.2)
+//
+// This example maps the continuous distance signal (not the island mapping)
+// onto the aircraft's altitude, scrolls obstacles towards it, and uses the
+// thumb button to fire. It renders the game onto the device's own 96x40
+// framebuffer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+	"github.com/hcilab/distscroll/internal/display"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+const (
+	fieldW   = 48 // playfield columns (rendered 2px per cell)
+	fieldH   = 18 // playfield rows
+	planeCol = 4
+)
+
+type game struct {
+	planeRow  int
+	obstacles map[[2]int]bool // col,row
+	bullets   map[[2]int]bool
+	score     int
+	hits      int
+	ticks     int
+	rng       *sim.Rand
+}
+
+func newGame(rng *sim.Rand) *game {
+	return &game{
+		planeRow:  fieldH / 2,
+		obstacles: make(map[[2]int]bool),
+		bullets:   make(map[[2]int]bool),
+		rng:       rng,
+	}
+}
+
+// altitudeFromDistance maps the 4-30 cm hold range linearly onto the rows:
+// pulling the device close dives, pushing it away climbs.
+func altitudeFromDistance(cm float64) int {
+	if cm < 4 {
+		cm = 4
+	}
+	if cm > 30 {
+		cm = 30
+	}
+	row := int((cm - 4) / 26 * float64(fieldH-1))
+	return fieldH - 1 - row
+}
+
+func (g *game) tick(distanceCm float64, firing bool) {
+	g.ticks++
+	g.planeRow = altitudeFromDistance(distanceCm)
+
+	// Spawn obstacles on the right edge.
+	if g.rng.Bool(0.35) {
+		g.obstacles[[2]int{fieldW - 1, g.rng.Intn(fieldH)}] = true
+	}
+	// Fire.
+	if firing {
+		g.bullets[[2]int{planeCol + 1, g.planeRow}] = true
+	}
+
+	// Advance bullets right, obstacles left.
+	nb := make(map[[2]int]bool, len(g.bullets))
+	for b := range g.bullets {
+		if b[0]+2 < fieldW {
+			nb[[2]int{b[0] + 2, b[1]}] = true
+		}
+	}
+	g.bullets = nb
+	no := make(map[[2]int]bool, len(g.obstacles))
+	for o := range g.obstacles {
+		col := o[0] - 1
+		switch {
+		case col <= planeCol && o[1] == g.planeRow:
+			g.hits++ // crashed into the plane
+		case col >= 0:
+			no[[2]int{col, o[1]}] = true
+		}
+	}
+	g.obstacles = no
+
+	// Bullet collisions.
+	for b := range g.bullets {
+		for dx := 0; dx <= 2; dx++ {
+			o := [2]int{b[0] + dx, b[1]}
+			if g.obstacles[o] {
+				delete(g.obstacles, o)
+				delete(g.bullets, b)
+				g.score++
+			}
+		}
+	}
+}
+
+// render draws the playfield into the device's top display framebuffer —
+// the game runs on the device, as the paper imagines.
+func (g *game) render(d *display.Display) {
+	d.Clear()
+	set := func(col, row int, on bool) {
+		x := col * 2
+		y := row * 2
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				_ = d.SetPixel(x+dx, y+dy, on)
+			}
+		}
+	}
+	set(planeCol, g.planeRow, true)
+	set(planeCol-1, g.planeRow, true)
+	for o := range g.obstacles {
+		set(o[0], o[1], true)
+	}
+	for b := range g.bullets {
+		set(b[0], b[1], true)
+	}
+}
+
+func (g *game) ascii() string {
+	grid := make([][]byte, fieldH)
+	for r := range grid {
+		grid[r] = make([]byte, fieldW)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for o := range g.obstacles {
+		grid[o[1]][o[0]] = 'O'
+	}
+	for b := range g.bullets {
+		grid[b[1]][b[0]] = '-'
+	}
+	grid[g.planeRow][planeCol] = '>'
+	out := "+" + repeat('-', fieldW) + "+\n"
+	for _, row := range grid {
+		out += "|" + string(row) + "|\n"
+	}
+	out += "+" + repeat('-', fieldW) + "+"
+	return out
+}
+
+func repeat(b byte, n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b
+	}
+	return string(s)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dev, err := distscroll.New(
+		// The game does not use the menu; a small list keeps the
+		// firmware happy while we read the raw distance.
+		distscroll.WithEntries(2),
+		distscroll.WithSeed(99),
+	)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+
+	rng := sim.NewRand(99)
+	g := newGame(rng)
+
+	// A pilot hand flies evasive manoeuvres: a sequence of altitude
+	// targets executed as minimum-jerk reaches.
+	pilot := hand.New(hand.DefaultProfile(), hand.BareHand(), 17, rng.Split())
+	targets := []float64{8, 24, 12, 28, 6, 17, 22, 9}
+
+	frameEvery := 50 * time.Millisecond
+	frames := 0
+	for _, tgt := range targets {
+		done, _ := pilot.MoveTo(tgt, 3, dev.Now())
+		for dev.Now() < done+200*time.Millisecond {
+			dev.SetDistance(pilot.Position(dev.Now()))
+			if err := dev.Run(frameEvery); err != nil {
+				return err
+			}
+			g.tick(dev.Distance(), frames%7 == 0) // fire every 7th frame
+			g.render(dev.Internal().Board.Top)
+			frames++
+		}
+	}
+
+	fmt.Printf("flew %d frames over %s of virtual time\n", frames, dev.Now().Truncate(time.Millisecond))
+	fmt.Printf("score: %d obstacles shot, %d collisions\n\n", g.score, g.hits)
+	fmt.Println("final playfield (altitude = device distance):")
+	fmt.Println(g.ascii())
+	fmt.Printf("\ndevice framebuffer: %d pixels lit on the 96x40 panel\n",
+		dev.Internal().Board.Top.LitPixels())
+	return nil
+}

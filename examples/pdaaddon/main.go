@@ -1,0 +1,123 @@
+// PDA add-on: the paper's future-work item made concrete — "a minimized
+// version of the DistScroll as add-on for a PDA" (Section 7), clipped onto
+// the PDA's connector (Section 5.2). The add-on is just the sensor, the
+// island mapper and one button; the PDA owns the screen and the
+// application list, and the two negotiate the island count over the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/pda"
+	"github.com/hcilab/distscroll/internal/serial"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pdaEnd, addonEnd := serial.Pair(38_400)
+	rng := sim.NewRand(42)
+
+	addon, err := pda.NewAddon(pda.DefaultAddonConfig(), addonEnd, rng.Split())
+	if err != nil {
+		return err
+	}
+	apps := []string{
+		"Calendar", "Contacts", "Notes", "Tasks",
+		"Expenses", "Calculator", "Mail", "Settings",
+	}
+	host, err := pda.NewPDA(apps, pdaEnd)
+	if err != nil {
+		return err
+	}
+	var launched []string
+	host.OnActivate = func(_ int, item string) {
+		launched = append(launched, item)
+	}
+
+	// One-handed operation with the free hand carrying a briefcase: the
+	// arm model drives the add-on's distance.
+	arm := hand.New(hand.DefaultProfile(), hand.BareHand(), 20, rng.Split())
+
+	now := time.Duration(0)
+	step := func(cycles int) error {
+		for i := 0; i < cycles; i++ {
+			now += 40 * time.Millisecond
+			addon.SetDistance(arm.Position(now))
+			if err := addon.Step(now); err != nil {
+				return err
+			}
+			if err := host.Service(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Let the config record land and the selection settle.
+	if err := step(5); err != nil {
+		return err
+	}
+
+	// Reach for "Mail" (entry 6): compute its distance and move there.
+	target, err := addon.DistanceForEntry(6)
+	if err != nil {
+		return err
+	}
+	done, _ := arm.MoveTo(target, 2, now)
+	if err := step(int((done-now)/(40*time.Millisecond)) + 10); err != nil {
+		return err
+	}
+
+	fmt.Println("PDA screen after scrolling to Mail:")
+	fmt.Println(host.Screen())
+
+	// Thumb press on the add-on's single button launches it.
+	addon.PressButton(true, now)
+	if err := step(2); err != nil {
+		return err
+	}
+	addon.PressButton(false, now)
+	if err := step(2); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nlaunched: %v\n", launched)
+
+	// The user opens Mail: the PDA swaps to the inbox list; the add-on
+	// rebuilds its islands for the new entry count automatically.
+	inbox := []string{
+		"Re: meeting notes", "Lunch?", "Build failed", "ICDCS CfP",
+		"Expense report", "Weekend plans",
+	}
+	if err := host.SetList(inbox); err != nil {
+		return err
+	}
+	if err := step(5); err != nil {
+		return err
+	}
+	target, err = addon.DistanceForEntry(3)
+	if err != nil {
+		return err
+	}
+	done, _ = arm.MoveTo(target, 2, now)
+	if err := step(int((done-now)/(40*time.Millisecond)) + 10); err != nil {
+		return err
+	}
+
+	fmt.Println("\nPDA screen in the inbox:")
+	fmt.Println(host.Screen())
+
+	tx, rx := pdaEnd.Stats()
+	fmt.Printf("\nconnector traffic: PDA sent %d bytes, received %d; add-on cycles: %d\n",
+		tx, rx, addon.Cycles())
+	return nil
+}

@@ -1,0 +1,81 @@
+// Quickstart: assemble a simulated DistScroll, scroll a phone menu by
+// varying the device-to-body distance, and select an entry — the minimal
+// end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Assemble the full device: GP2D120 sensor, ADC, Smart-Its board,
+	// two displays, buttons, firmware and RF link — all simulated on a
+	// deterministic virtual clock.
+	dev, err := distscroll.New(
+		distscroll.WithMenu(distscroll.PhoneMenu()),
+		distscroll.WithSeed(2005),
+	)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+
+	dev.OnScroll(func(e distscroll.Event) {
+		fmt.Printf("  scrolled to %-16q (index %d)\n", e.Entry, e.Index)
+	})
+	dev.OnSelect(func(e distscroll.Event) {
+		fmt.Printf("  SELECTED %q\n", e.Entry)
+	})
+	dev.OnLevel(func(e distscroll.Event) {
+		fmt.Printf("  level changed: depth %d\n", e.Index)
+	})
+
+	fmt.Println("holding the device at arm's length (28 cm)...")
+	dev.SetDistance(28)
+	if err := dev.Run(time.Second); err != nil {
+		return err
+	}
+	fmt.Println("\ntop display:")
+	fmt.Println(dev.TopDisplay())
+
+	fmt.Println("\nmoving the device towards the body (scrolls down)...")
+	dev.GlideTo(6, 1500*time.Millisecond)
+	if err := dev.Run(2 * time.Second); err != nil {
+		return err
+	}
+	fmt.Println("\ntop display:")
+	fmt.Println(dev.TopDisplay())
+
+	// Steer precisely onto "Settings" using the island geometry.
+	target := 3 // Settings
+	d, err := dev.DistanceForEntry(target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsteering to entry %d at %.1f cm and pressing select...\n", target, d)
+	dev.GlideTo(d, 800*time.Millisecond)
+	if err := dev.Run(1200 * time.Millisecond); err != nil {
+		return err
+	}
+	dev.PressSelect()
+	if err := dev.Run(time.Second); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nnow inside %q — entries: %v\n", dev.Path(), dev.Entries())
+	fmt.Println(dev.TopDisplay())
+
+	sent, delivered, lost := dev.LinkStats()
+	fmt.Printf("\nradio: %d frames sent, %d delivered, %d lost\n", sent, delivered, lost)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/hcilab/distscroll
+
+go 1.22

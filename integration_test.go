@@ -1,0 +1,240 @@
+package distscroll_test
+
+// Integration tests exercising several subsystems together, end to end,
+// through the public API (reaching into Internal() where the scenario
+// needs the experiment-grade hooks).
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+	"github.com/hcilab/distscroll/internal/participant"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/trace"
+)
+
+// TestHierarchicalStudySession runs a simulated participant through a
+// three-level navigation task on the phone menu, across the complete
+// stack: motor model -> sensor -> ADC -> firmware -> menu -> RF -> host.
+func TestHierarchicalStudySession(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithMenu(distscroll.PhoneMenu()))
+
+	var selected []string
+	dev.OnSelect(func(e distscroll.Event) { selected = append(selected, e.Entry) })
+
+	p, err := participant.New(participant.DefaultConfig(), dev.Internal(), sim.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Detach()
+
+	// Settings (3) -> Tones (0) -> Ringing tone (0).
+	results, err := p.NavigateTo([]int{3, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results: %d", len(results))
+	}
+	if dev.Path() != "Phone > Settings > Tones > Ringing tone" {
+		t.Fatalf("path: %s", dev.Path())
+	}
+	if len(selected) != 1 || selected[0] != "Ringing tone" {
+		t.Fatalf("host-side selections: %v", selected)
+	}
+	// The device's own display tracked the whole journey.
+	if !strings.Contains(dev.TopDisplay(), "Ringing tone") {
+		t.Fatalf("display:\n%s", dev.TopDisplay())
+	}
+}
+
+// TestFlashThenOperate downloads a firmware image through the programmer
+// connector of a live device's board, then keeps interacting — the
+// maintenance workflow of the paper's Section 4.1.
+func TestFlashThenOperate(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(8))
+	board := dev.Internal().Board
+
+	if err := board.DownloadFirmware([]byte("updated control loop"), "2.1.0"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := board.FirmwareVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "2.1.0" {
+		t.Fatalf("version %q", v)
+	}
+
+	// The device still interacts normally after the download.
+	d, err := dev.DistanceForEntry(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Cursor() != 5 {
+		t.Fatalf("cursor = %d", dev.Cursor())
+	}
+}
+
+// TestTraceReplayAcrossFirmwareBuilds records a session on the default
+// firmware and replays the identical distance signal into a raw-filter
+// build — the debugging workflow traces exist for. The raw build must see
+// at least as many scroll events (no smoothing).
+func TestTraceReplayAcrossFirmwareBuilds(t *testing.T) {
+	recDev := newTestDevice(t, distscroll.WithEntries(10))
+	rec, err := trace.Record(recDev.Internal(), "itest", 42, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recDev.SetDistance(28)
+	if err := recDev.Run(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	recDev.GlideTo(6, time.Second)
+	if err := recDev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Stop()
+	smoothScrolls := tr.CountKind("scroll")
+	if smoothScrolls == 0 {
+		t.Fatal("no scrolls recorded")
+	}
+
+	rawDev := newTestDevice(t, distscroll.WithEntries(10), distscroll.WithFilter("raw"))
+	end, err := trace.Replay(tr, rawDev.Internal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rawDev.Run(end - rawDev.Now() + 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rawScrolls := int(rawDev.Internal().Firmware.Stats().ScrollEvents)
+	if rawScrolls < smoothScrolls {
+		t.Fatalf("raw build saw %d scrolls, smoothed recording had %d", rawScrolls, smoothScrolls)
+	}
+}
+
+// TestLongSessionStability runs ten minutes of virtual oscillation and
+// checks every layer's accounting stays consistent.
+func TestLongSessionStability(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(15))
+	inner := dev.Internal()
+
+	for i := 0; i < 60; i++ {
+		target := 6.0
+		if i%2 == 1 {
+			target = 28.0
+		}
+		dev.GlideTo(target, 4*time.Second)
+		if err := dev.Run(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dev.Now(); got < 10*time.Minute {
+		t.Fatalf("virtual time %v", got)
+	}
+	fwStats := inner.Firmware.Stats()
+	if fwStats.Cycles < 14000 { // 25 Hz * 600 s = 15000, minus startup
+		t.Fatalf("cycles = %d", fwStats.Cycles)
+	}
+	sent, delivered, lost := dev.LinkStats()
+	if delivered+lost > sent {
+		t.Fatalf("link accounting: %d+%d > %d", delivered, lost, sent)
+	}
+	host := inner.Host.Stats()
+	if host.Decoded != delivered {
+		t.Fatalf("host decoded %d != delivered %d", host.Decoded, delivered)
+	}
+	if inner.Firmware.DisplayErrors() != 0 {
+		t.Fatalf("display errors: %d", inner.Firmware.DisplayErrors())
+	}
+}
+
+// TestRandomWalkNeverBreaksInvariants drives the device with arbitrary
+// distance sequences and checks the cursor and signal classification stay
+// valid — a property test over the whole device.
+func TestRandomWalkNeverBreaksInvariants(t *testing.T) {
+	rng := sim.NewRand(99)
+	f := func(_ uint8) bool {
+		dev, err := distscroll.New(
+			distscroll.WithEntries(2+rng.Intn(30)),
+			distscroll.WithSeed(rng.Uint64()),
+		)
+		if err != nil {
+			return false
+		}
+		defer dev.Close()
+		n := len(dev.Entries())
+		for i := 0; i < 30; i++ {
+			dev.SetDistance(rng.Uniform(0, 60))
+			if err := dev.Run(120 * time.Millisecond); err != nil {
+				return false
+			}
+			if c := dev.Cursor(); c < 0 || c >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContextAdaptationDuringInteraction combines context sensing with
+// live scrolling: a user swaps hands mid-session and keeps selecting.
+func TestContextAdaptationDuringInteraction(t *testing.T) {
+	dev := newTestDevice(t,
+		distscroll.WithEntries(8),
+		distscroll.WithContextSensing(true),
+		// Lossless link: this test asserts on individual event delivery.
+		distscroll.WithRadioLink(0, 2*time.Millisecond),
+	)
+	var selections int
+	dev.OnSelect(func(distscroll.Event) { selections++ })
+
+	selectEntry := func(idx int) {
+		t.Helper()
+		d, err := dev.DistanceForEntry(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.SetDistance(d)
+		if err := dev.Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		dev.PressSelect()
+		if err := dev.Run(500 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dev.SetOrientation(0.6, -0.25) // right hand
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	selectEntry(2)
+
+	dev.SetOrientation(0.6, 0.3) // swap to the left hand
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dev.Context(), "left") {
+		t.Fatalf("context = %q", dev.Context())
+	}
+	selectEntry(5)
+
+	if selections != 2 {
+		t.Fatalf("selections = %d (button adaptation broke selection?)", selections)
+	}
+	if flips := dev.Internal().Firmware.HandednessFlips(); flips < 1 {
+		t.Fatalf("handedness flips = %d", flips)
+	}
+}

@@ -1,0 +1,105 @@
+package adxl311
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestFlatOrientationReadsZeroG(t *testing.T) {
+	a := New(nil)
+	if g := a.GX(); g != 0 {
+		t.Fatalf("GX flat = %v", g)
+	}
+	if v := a.VoltageX(); math.Abs(v-ZeroGVolts) > 1e-12 {
+		t.Fatalf("VoltageX flat = %v, want %v", v, ZeroGVolts)
+	}
+}
+
+func TestNinetyDegreePitchReadsOneG(t *testing.T) {
+	a := New(nil)
+	a.SetOrientation(Orientation{Pitch: math.Pi / 2})
+	if g := a.GX(); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("GX at 90° = %v, want 1", g)
+	}
+	want := ZeroGVolts + SensitivityVPerG
+	if v := a.VoltageX(); math.Abs(v-want) > 1e-12 {
+		t.Fatalf("VoltageX at 90° = %v, want %v", v, want)
+	}
+}
+
+func TestTiltRoundTrip(t *testing.T) {
+	a := New(nil)
+	f := func(p8, r8 int8) bool {
+		// Angles in ±80° stay within the arcsine's usable band.
+		pitch := float64(p8) / 127 * (80 * math.Pi / 180)
+		roll := float64(r8) / 127 * (80 * math.Pi / 180)
+		a.SetOrientation(Orientation{Pitch: pitch, Roll: roll})
+		got := TiltFromVoltages(a.VoltageX(), a.VoltageY())
+		return math.Abs(got.Pitch-pitch) < 1e-9 && math.Abs(got.Roll-roll) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicAccelerationAdds(t *testing.T) {
+	a := New(nil)
+	a.SetDynamic(0.5, -0.25)
+	if g := a.GX(); math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("GX with dynamic = %v", g)
+	}
+	if g := a.GY(); math.Abs(g+0.25) > 1e-12 {
+		t.Fatalf("GY with dynamic = %v", g)
+	}
+}
+
+func TestVoltageClamped(t *testing.T) {
+	a := New(nil)
+	a.SetDynamic(100, -100)
+	if v := a.VoltageX(); v > SupplyVolts {
+		t.Fatalf("VoltageX unclamped: %v", v)
+	}
+	if v := a.VoltageY(); v < 0 {
+		t.Fatalf("VoltageY unclamped: %v", v)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	a := New(sim.NewRand(1))
+	const n = 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := a.VoltageX()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-ZeroGVolts) > 0.001 {
+		t.Fatalf("noisy mean = %v", mean)
+	}
+	if math.Abs(sd-NoiseSD) > 0.0005 {
+		t.Fatalf("noise sd = %v, want %v", sd, NoiseSD)
+	}
+}
+
+func TestTiltFromVoltagesClamps(t *testing.T) {
+	// Voltages implying |g|>1 must clamp instead of producing NaN.
+	o := TiltFromVoltages(SupplyVolts, 0)
+	if math.IsNaN(o.Pitch) || math.IsNaN(o.Roll) {
+		t.Fatalf("NaN from extreme voltages: %+v", o)
+	}
+	if math.Abs(o.Pitch-math.Pi/2) > 1e-9 {
+		t.Fatalf("pitch = %v, want clamped to +90°", o.Pitch)
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	s := Orientation{Pitch: math.Pi / 4}.String()
+	if s == "" {
+		t.Fatal("empty orientation string")
+	}
+}

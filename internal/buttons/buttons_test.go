@@ -1,0 +1,135 @@
+package buttons
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPressAfterDebounce(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	p.Set(TopRight, true, 0)
+	// Too early: no event.
+	if evs := p.Scan(5 * time.Millisecond); len(evs) != 0 {
+		t.Fatalf("premature events: %v", evs)
+	}
+	evs := p.Scan(25 * time.Millisecond)
+	if len(evs) != 1 || evs[0].Kind != Press || evs[0].Button != TopRight {
+		t.Fatalf("events: %v", evs)
+	}
+	if !p.Pressed(TopRight) {
+		t.Fatal("debounced state not pressed")
+	}
+}
+
+func TestBounceSuppressed(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	// Contact bounce: rapid edges within the debounce window.
+	p.Set(TopRight, true, 0)
+	p.Set(TopRight, false, 2*time.Millisecond)
+	p.Set(TopRight, true, 4*time.Millisecond)
+	p.Set(TopRight, false, 6*time.Millisecond)
+	if evs := p.Scan(10 * time.Millisecond); len(evs) != 0 {
+		t.Fatalf("bounce produced events: %v", evs)
+	}
+	// The line settled released: still no event (state never stably changed).
+	if evs := p.Scan(50 * time.Millisecond); len(evs) != 0 {
+		t.Fatalf("settled-low produced events: %v", evs)
+	}
+}
+
+func TestReleaseEvent(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	p.Set(LeftUpper, true, 0)
+	p.Scan(25 * time.Millisecond)
+	p.Set(LeftUpper, false, 30*time.Millisecond)
+	evs := p.Scan(60 * time.Millisecond)
+	if len(evs) != 1 || evs[0].Kind != Release {
+		t.Fatalf("events: %v", evs)
+	}
+}
+
+func TestUnknownButtonIgnored(t *testing.T) {
+	p := NewPad(SingleLargeButtonLayout())
+	p.Set(LeftLower, true, 0) // not in this layout
+	if evs := p.Scan(time.Second); len(evs) != 0 {
+		t.Fatalf("unknown button produced events: %v", evs)
+	}
+	if p.Has(LeftLower) {
+		t.Fatal("layout should not have LeftLower")
+	}
+}
+
+func TestDrainQueue(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	p.Tap(TopRight, 0)
+	evs := p.Drain()
+	if len(evs) != 2 { // press + release
+		t.Fatalf("drained %d events, want 2", len(evs))
+	}
+	if len(p.Drain()) != 0 {
+		t.Fatal("drain did not clear the queue")
+	}
+}
+
+func TestTapHelperTimes(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	end := p.Tap(TopRight, time.Second)
+	if end <= time.Second {
+		t.Fatalf("tap end %v not after start", end)
+	}
+	if p.Pressed(TopRight) {
+		t.Fatal("button still pressed after tap")
+	}
+}
+
+func TestSetDebounce(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	p.SetDebounce(100 * time.Millisecond)
+	p.Set(TopRight, true, 0)
+	if evs := p.Scan(50 * time.Millisecond); len(evs) != 0 {
+		t.Fatal("custom debounce ignored")
+	}
+	if evs := p.Scan(100 * time.Millisecond); len(evs) != 1 {
+		t.Fatal("press not reported after custom debounce")
+	}
+	p.SetDebounce(-time.Second) // ignored
+	if evs := p.Scan(200 * time.Millisecond); len(evs) != 0 {
+		t.Fatalf("negative debounce changed behaviour: %v", evs)
+	}
+}
+
+func TestLayouts(t *testing.T) {
+	proto := PrototypeLayout()
+	if len(proto.Buttons) != 3 || proto.Hand != RightHanded {
+		t.Fatalf("prototype layout: %+v", proto)
+	}
+	slide := SlidableTwoButtonLayout()
+	if len(slide.Buttons) != 2 || !slide.Slidable || slide.Hand != Ambidextrous {
+		t.Fatalf("slidable layout: %+v", slide)
+	}
+	single := SingleLargeButtonLayout()
+	if len(single.Buttons) != 1 {
+		t.Fatalf("single layout: %+v", single)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if TopRight.String() != "top-right" {
+		t.Fatalf("TopRight = %q", TopRight.String())
+	}
+	if ID(99).String() == "" {
+		t.Fatal("unknown id should still format")
+	}
+}
+
+func TestEventTimestamps(t *testing.T) {
+	p := NewPad(PrototypeLayout())
+	p.Set(TopRight, true, time.Second)
+	evs := p.Scan(time.Second + 25*time.Millisecond)
+	if len(evs) != 1 {
+		t.Fatalf("events: %v", evs)
+	}
+	if evs[0].At != time.Second+25*time.Millisecond {
+		t.Fatalf("event time %v", evs[0].At)
+	}
+}

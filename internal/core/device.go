@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/buttons"
+	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/mapping"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+// Config assembles a complete system.
+type Config struct {
+	Seed     uint64
+	Board    smartits.Config
+	Firmware firmware.Config
+	Link     rf.LinkConfig
+	// Radio disables the RF link when false (bench-only devices).
+	Radio bool
+	// KeepEventLog retains every host event for inspection.
+	KeepEventLog bool
+}
+
+// DefaultConfig is the prototype system.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Board:        smartits.DefaultConfig(),
+		Firmware:     firmware.DefaultConfig(),
+		Link:         rf.DefaultLinkConfig(),
+		Radio:        true,
+		KeepEventLog: true,
+	}
+}
+
+// Device is the assembled DistScroll: board, firmware, radio and host
+// driver sharing one virtual clock.
+type Device struct {
+	cfg Config
+
+	Clock     *sim.Clock
+	Scheduler *sim.Scheduler
+	Rand      *sim.Rand
+	Board     *smartits.Board
+	Firmware  *firmware.Firmware
+	Link      *rf.Link
+	Host      *Host
+	Menu      *menu.Menu
+
+	tickCancel func()
+	stepErr    error
+}
+
+// NewDevice assembles a device navigating the given menu tree root.
+func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
+	rng := sim.NewRand(cfg.Seed)
+	clock := sim.NewClock(0)
+	sched := sim.NewScheduler(clock)
+
+	board, err := smartits.Assemble(cfg.Board, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := menu.New(root)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	d := &Device{
+		cfg:       cfg,
+		Clock:     clock,
+		Scheduler: sched,
+		Rand:      rng,
+		Board:     board,
+		Menu:      m,
+		Host:      NewHost(cfg.KeepEventLog),
+	}
+
+	var tx firmware.Sender
+	if cfg.Radio {
+		link, err := rf.NewLink(cfg.Link, sched, rng.Split(), d.Host.Handle)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		d.Link = link
+		tx = link
+	}
+
+	fw, err := firmware.New(cfg.Firmware, board, m, tx)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	d.Firmware = fw
+
+	// Drive the firmware loop on the scheduler. The period is asked from
+	// the firmware after every cycle so power-save can slow the cadence.
+	active := true
+	var tick func(at time.Duration)
+	tick = func(at time.Duration) {
+		if !active || d.stepErr != nil {
+			return
+		}
+		if err := fw.Step(at); err != nil {
+			d.stepErr = err
+			sched.Stop()
+			return
+		}
+		sched.At(at+fw.TickPeriod(), tick)
+	}
+	sched.After(fw.TickPeriod(), tick)
+	d.tickCancel = func() { active = false }
+	return d, nil
+}
+
+// Run advances the simulation by d of virtual time, executing firmware
+// cycles and radio deliveries in order. It returns any firmware error.
+func (d *Device) Run(dur time.Duration) error {
+	horizon := d.Clock.Now() + dur
+	if err := d.Scheduler.Run(horizon); err != nil && d.stepErr == nil {
+		return err
+	}
+	return d.stepErr
+}
+
+// Stop cancels the firmware tick; after Stop, Run drains only pending
+// radio deliveries.
+func (d *Device) Stop() {
+	if d.tickCancel != nil {
+		d.tickCancel()
+		d.tickCancel = nil
+	}
+}
+
+// Err returns the first firmware error, if any.
+func (d *Device) Err() error { return d.stepErr }
+
+// SetDistance positions the device at the given body distance in cm —
+// the environment hook the hand model drives.
+func (d *Device) SetDistance(cm float64) { d.Board.SetDistance(cm) }
+
+// Distance returns the current physical distance.
+func (d *Device) Distance() float64 { return d.Board.Distance() }
+
+// PressSelect taps the select (thumb) button, advancing virtual time past
+// the debounce so the press registers on the next firmware cycle. The
+// assignment is read live from the firmware, which may have mirrored the
+// roles for a left-handed grip.
+func (d *Device) PressSelect() {
+	d.tap(d.Firmware.SelectButton(), buttons.TopRight)
+}
+
+// PressBack taps the back button.
+func (d *Device) PressBack() {
+	d.tap(d.Firmware.BackButton(), buttons.LeftUpper)
+}
+
+func (d *Device) tap(id, fallback buttons.ID) {
+	if id == 0 {
+		id = fallback
+	}
+	now := d.Clock.Now()
+	d.Board.Pad.Set(id, true, now)
+	release := now + buttons.DefaultDebounce + 40*time.Millisecond
+	d.Scheduler.At(release, func(at time.Duration) {
+		d.Board.Pad.Set(id, false, at)
+	})
+}
+
+// Cursor returns the current menu cursor index.
+func (d *Device) Cursor() int { return d.Menu.Cursor() }
+
+// Mapper returns the active island mapper.
+func (d *Device) Mapper() *mapping.Mapper { return d.Firmware.Mapper() }
+
+// DistanceForEntry returns the physical distance that selects the given
+// entry of the current level.
+func (d *Device) DistanceForEntry(index int) (float64, error) {
+	return d.Firmware.Mapper().DistanceFor(index)
+}
+
+// TopDisplay returns the rendered top display.
+func (d *Device) TopDisplay() string { return d.Board.Top.Render() }
+
+// BottomDisplay returns the rendered bottom (debug) display.
+func (d *Device) BottomDisplay() string { return d.Board.Bottom.Render() }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+func TestRealtimeRunnerDeliversEvents(t *testing.T) {
+	d := newDev(t, menu.FlatMenu(10))
+	// 200x real time: ~2 s of virtual interaction in ~10 ms wall time.
+	r, err := NewRealtimeRunner(d, 200, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.DistanceForEntry(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setting the distance before Start is safe (no goroutine yet).
+	d.SetDistance(dist)
+
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(5 * time.Second)
+	sawScroll := false
+	for !sawScroll {
+		select {
+		case e, ok := <-r.Events():
+			if !ok {
+				t.Fatal("event channel closed early")
+			}
+			if e.Kind == rf.MsgScroll && e.Index == 7 {
+				sawScroll = true
+			}
+		case <-deadline:
+			t.Fatal("no scroll event within deadline")
+		}
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// Channel closes after Stop.
+	for range r.Events() {
+		// drain
+	}
+	if d.Clock.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestRealtimeRunnerLifecycle(t *testing.T) {
+	d := newDev(t, menu.FlatMenu(5))
+	r, err := NewRealtimeRunner(d, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("stop before start: %v", err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("double start: %v", err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("double stop: %v", err)
+	}
+}
+
+func TestRealtimeRunnerDropsWhenConsumerLags(t *testing.T) {
+	d := newDev(t, menu.FlatMenu(20))
+	r, err := NewRealtimeRunner(d, 500, 1) // tiny buffer, nobody reading
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Sweep the device to generate a burst of telemetry, mutating it only
+	// through the runner's command queue.
+	if !r.Do(func(dev *Device) { dev.SetDistance(6) }) {
+		t.Fatal("Do rejected while running")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if !r.Do(func(dev *Device) { dev.SetDistance(28) }) {
+		t.Fatal("Do rejected while running")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Do(func(*Device) {}) {
+		t.Fatal("Do accepted after stop")
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("expected drops with an unread 1-slot buffer")
+	}
+}
+
+func TestRealtimeRunnerValidation(t *testing.T) {
+	if _, err := NewRealtimeRunner(nil, 1, 1); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}

@@ -1,0 +1,242 @@
+// Package display models the Barton BT96040 chip-on-glass LCD used twice in
+// the DistScroll prototype (paper Section 4.4): 96×40 pixels, five lines of
+// text in text mode, driven over the I2C bus, with contrast adjusted by a
+// potentiometer.
+package display
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Panel geometry.
+const (
+	// WidthPx and HeightPx are the pixel dimensions of the panel.
+	WidthPx  = 96
+	HeightPx = 40
+	// TextLines is the number of text rows in text mode (paper: "5 lines
+	// in text mode").
+	TextLines = 5
+	// TextCols is the number of characters per row with the 6×8 font.
+	TextCols = WidthPx / 6
+	// GlyphW and GlyphH are the font cell dimensions.
+	GlyphW = 6
+	GlyphH = 8
+)
+
+// I2C command opcodes understood by the controller.
+const (
+	CmdClear    byte = 0x01 // clear the framebuffer
+	CmdSetLine  byte = 0x02 // CmdSetLine, row, text... : write a text row
+	CmdContrast byte = 0x03 // CmdContrast, level      : set contrast 0..63
+	CmdInvert   byte = 0x04 // CmdInvert, 0|1          : invert the panel
+	CmdSetPixel byte = 0x05 // CmdSetPixel, x, y, 0|1  : set one pixel
+	CmdStatus   byte = 0x06 // select status for the next read
+)
+
+// Command errors.
+var (
+	// ErrBadCommand is returned for an unknown opcode.
+	ErrBadCommand = errors.New("display: unknown command")
+	// ErrShortCommand is returned when a command is missing operands.
+	ErrShortCommand = errors.New("display: short command")
+	// ErrBounds is returned for out-of-range coordinates.
+	ErrBounds = errors.New("display: out of bounds")
+)
+
+// Display is one BT96040 panel. It implements i2c.Slave.
+type Display struct {
+	pixels   [HeightPx][WidthPx]bool
+	lines    [TextLines]string
+	contrast byte
+	inverted bool
+	frames   uint64 // completed update transactions
+	readSel  byte
+}
+
+// New returns a cleared panel at mid contrast.
+func New() *Display {
+	return &Display{contrast: 32}
+}
+
+// WriteBytes implements the I2C slave write protocol.
+func (d *Display) WriteBytes(data []byte) error {
+	if len(data) == 0 {
+		return ErrShortCommand
+	}
+	op, rest := data[0], data[1:]
+	switch op {
+	case CmdClear:
+		d.Clear()
+	case CmdSetLine:
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: set-line needs a row", ErrShortCommand)
+		}
+		return d.SetLine(int(rest[0]), string(rest[1:]))
+	case CmdContrast:
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: contrast needs a level", ErrShortCommand)
+		}
+		d.SetContrast(rest[0])
+	case CmdInvert:
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: invert needs a flag", ErrShortCommand)
+		}
+		d.inverted = rest[0] != 0
+	case CmdSetPixel:
+		if len(rest) < 3 {
+			return fmt.Errorf("%w: set-pixel needs x,y,v", ErrShortCommand)
+		}
+		return d.SetPixel(int(rest[0]), int(rest[1]), rest[2] != 0)
+	case CmdStatus:
+		d.readSel = CmdStatus
+	default:
+		return fmt.Errorf("%w: %#x", ErrBadCommand, op)
+	}
+	d.frames++
+	return nil
+}
+
+// ReadBytes implements the I2C slave read protocol. After a CmdStatus write
+// it returns [contrast, inverted, lines, cols].
+func (d *Display) ReadBytes(n int) ([]byte, error) {
+	if d.readSel != CmdStatus {
+		return nil, fmt.Errorf("display: no read register selected")
+	}
+	status := []byte{d.contrast, boolByte(d.inverted), TextLines, TextCols}
+	if n > len(status) {
+		n = len(status)
+	}
+	return status[:n], nil
+}
+
+// Clear blanks the framebuffer and all text lines.
+func (d *Display) Clear() {
+	d.pixels = [HeightPx][WidthPx]bool{}
+	d.lines = [TextLines]string{}
+}
+
+// SetLine writes a text row (truncated to the panel width) and rasterises
+// it into the framebuffer with a 6×8 block font.
+func (d *Display) SetLine(row int, text string) error {
+	if row < 0 || row >= TextLines {
+		return fmt.Errorf("%w: row %d", ErrBounds, row)
+	}
+	if len(text) > TextCols {
+		text = text[:TextCols]
+	}
+	d.lines[row] = text
+	d.rasterizeLine(row)
+	return nil
+}
+
+// Line returns the text of a row, or "" when out of range.
+func (d *Display) Line(row int) string {
+	if row < 0 || row >= TextLines {
+		return ""
+	}
+	return d.lines[row]
+}
+
+// Lines returns a copy of all text rows.
+func (d *Display) Lines() []string {
+	out := make([]string, TextLines)
+	copy(out, d.lines[:])
+	return out
+}
+
+// SetContrast sets the contrast level (clamped to 0..63). On the hardware
+// this is the potentiometer next to the add-on board connector.
+func (d *Display) SetContrast(level byte) {
+	if level > 63 {
+		level = 63
+	}
+	d.contrast = level
+}
+
+// Contrast returns the contrast level.
+func (d *Display) Contrast() byte { return d.contrast }
+
+// Inverted reports whether the panel is inverted.
+func (d *Display) Inverted() bool { return d.inverted }
+
+// Frames reports the number of completed update transactions; tests use it
+// to assert that the firmware only redraws on change.
+func (d *Display) Frames() uint64 { return d.frames }
+
+// SetPixel sets one framebuffer pixel.
+func (d *Display) SetPixel(x, y int, on bool) error {
+	if x < 0 || x >= WidthPx || y < 0 || y >= HeightPx {
+		return fmt.Errorf("%w: (%d,%d)", ErrBounds, x, y)
+	}
+	d.pixels[y][x] = on
+	return nil
+}
+
+// Pixel reads one framebuffer pixel; out-of-range reads are off.
+func (d *Display) Pixel(x, y int) bool {
+	if x < 0 || x >= WidthPx || y < 0 || y >= HeightPx {
+		return false
+	}
+	return d.pixels[y][x]
+}
+
+// LitPixels counts lit pixels; a cheap proxy for render coverage in tests.
+func (d *Display) LitPixels() int {
+	n := 0
+	for y := 0; y < HeightPx; y++ {
+		for x := 0; x < WidthPx; x++ {
+			if d.pixels[y][x] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Render returns a human-readable view of the panel text, framed, as the
+// cmd/distscroll-sim tool prints it.
+func (d *Display) Render() string {
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", TextCols) + "+\n")
+	for _, line := range d.lines {
+		fmt.Fprintf(&b, "|%-*s|\n", TextCols, line)
+	}
+	b.WriteString("+" + strings.Repeat("-", TextCols) + "+")
+	return b.String()
+}
+
+// rasterizeLine draws the row's text into the framebuffer. The font is a
+// simplified block font: any non-space character lights the glyph cell
+// interior, which is enough for coverage-style assertions.
+func (d *Display) rasterizeLine(row int) {
+	top := row * GlyphH
+	// Clear the band first.
+	for y := top; y < top+GlyphH && y < HeightPx; y++ {
+		for x := 0; x < WidthPx; x++ {
+			d.pixels[y][x] = false
+		}
+	}
+	for col, ch := range d.lines[row] {
+		if ch == ' ' || col >= TextCols {
+			continue
+		}
+		left := col * GlyphW
+		for dy := 1; dy < GlyphH-1; dy++ {
+			for dx := 1; dx < GlyphW-1; dx++ {
+				y, x := top+dy, left+dx
+				if y < HeightPx && x < WidthPx {
+					d.pixels[y][x] = true
+				}
+			}
+		}
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package display
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSetLineAndRender(t *testing.T) {
+	d := New()
+	if err := d.SetLine(0, "> Messages"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetLine(1, "  Contacts"); err != nil {
+		t.Fatal(err)
+	}
+	out := d.Render()
+	if !strings.Contains(out, "> Messages") || !strings.Contains(out, "  Contacts") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if d.Line(0) != "> Messages" {
+		t.Fatalf("Line(0) = %q", d.Line(0))
+	}
+}
+
+func TestSetLineTruncatesToPanelWidth(t *testing.T) {
+	d := New()
+	long := strings.Repeat("x", TextCols+10)
+	if err := d.SetLine(2, long); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Line(2)); got != TextCols {
+		t.Fatalf("line length = %d, want %d", got, TextCols)
+	}
+}
+
+func TestSetLineBounds(t *testing.T) {
+	d := New()
+	if err := d.SetLine(-1, "x"); !errors.Is(err, ErrBounds) {
+		t.Fatalf("row -1: %v", err)
+	}
+	if err := d.SetLine(TextLines, "x"); !errors.Is(err, ErrBounds) {
+		t.Fatalf("row %d: %v", TextLines, err)
+	}
+	if d.Line(99) != "" {
+		t.Fatal("out-of-range Line should be empty")
+	}
+}
+
+func TestRasterisationLightsPixels(t *testing.T) {
+	d := New()
+	if d.LitPixels() != 0 {
+		t.Fatal("fresh panel should be dark")
+	}
+	if err := d.SetLine(0, "AB"); err != nil {
+		t.Fatal(err)
+	}
+	lit := d.LitPixels()
+	if lit == 0 {
+		t.Fatal("text did not light pixels")
+	}
+	// Spaces light nothing extra.
+	if err := d.SetLine(1, "   "); err != nil {
+		t.Fatal(err)
+	}
+	if d.LitPixels() != lit {
+		t.Fatal("spaces lit pixels")
+	}
+	// Overwriting with blank clears the band.
+	if err := d.SetLine(0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.LitPixels() != 0 {
+		t.Fatal("clearing a line left pixels lit")
+	}
+}
+
+func TestClear(t *testing.T) {
+	d := New()
+	if err := d.SetLine(0, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	d.Clear()
+	if d.LitPixels() != 0 || d.Line(0) != "" {
+		t.Fatal("Clear left state behind")
+	}
+}
+
+func TestI2CProtocol(t *testing.T) {
+	d := New()
+	// Set a line through the wire protocol.
+	cmd := append([]byte{CmdSetLine, 1}, "Inbox"...)
+	if err := d.WriteBytes(cmd); err != nil {
+		t.Fatal(err)
+	}
+	if d.Line(1) != "Inbox" {
+		t.Fatalf("Line(1) = %q", d.Line(1))
+	}
+	// Contrast.
+	if err := d.WriteBytes([]byte{CmdContrast, 50}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Contrast() != 50 {
+		t.Fatalf("contrast = %d", d.Contrast())
+	}
+	// Invert.
+	if err := d.WriteBytes([]byte{CmdInvert, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Inverted() {
+		t.Fatal("invert failed")
+	}
+	// Pixel.
+	if err := d.WriteBytes([]byte{CmdSetPixel, 10, 10, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Pixel(10, 10) {
+		t.Fatal("pixel not set")
+	}
+	// Clear.
+	if err := d.WriteBytes([]byte{CmdClear}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Line(1) != "" {
+		t.Fatal("clear over wire failed")
+	}
+}
+
+func TestI2CProtocolErrors(t *testing.T) {
+	d := New()
+	if err := d.WriteBytes(nil); !errors.Is(err, ErrShortCommand) {
+		t.Fatalf("empty write: %v", err)
+	}
+	if err := d.WriteBytes([]byte{0xEE}); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("bad opcode: %v", err)
+	}
+	if err := d.WriteBytes([]byte{CmdSetLine}); !errors.Is(err, ErrShortCommand) {
+		t.Fatalf("short set-line: %v", err)
+	}
+	if err := d.WriteBytes([]byte{CmdSetPixel, 200, 0, 1}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("pixel out of bounds: %v", err)
+	}
+	if _, err := d.ReadBytes(1); err == nil {
+		t.Fatal("read without register select should fail")
+	}
+}
+
+func TestStatusRead(t *testing.T) {
+	d := New()
+	d.SetContrast(40)
+	if err := d.WriteBytes([]byte{CmdStatus}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 40 || got[2] != TextLines || got[3] != TextCols {
+		t.Fatalf("status = %v", got)
+	}
+}
+
+func TestContrastClamp(t *testing.T) {
+	d := New()
+	d.SetContrast(200)
+	if d.Contrast() != 63 {
+		t.Fatalf("contrast = %d, want clamped 63", d.Contrast())
+	}
+}
+
+func TestFramesCounter(t *testing.T) {
+	d := New()
+	before := d.Frames()
+	if err := d.WriteBytes([]byte{CmdClear}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Frames() != before+1 {
+		t.Fatal("frame counter did not advance")
+	}
+}
+
+func TestPixelBounds(t *testing.T) {
+	d := New()
+	if err := d.SetPixel(WidthPx, 0, true); !errors.Is(err, ErrBounds) {
+		t.Fatalf("x out of bounds: %v", err)
+	}
+	if d.Pixel(-1, -1) {
+		t.Fatal("out-of-range pixel read true")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	d := New()
+	out := d.Render()
+	lines := strings.Split(out, "\n")
+	if len(lines) != TextLines+2 {
+		t.Fatalf("render has %d lines, want %d", len(lines), TextLines+2)
+	}
+	for _, l := range lines[1 : TextLines+1] {
+		if len(l) != TextCols+2 {
+			t.Fatalf("row width %d, want %d: %q", len(l), TextCols+2, l)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/mapping"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/participant"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/stats"
+	"github.com/hcilab/distscroll/internal/study"
+)
+
+// E1IslandMapping verifies and quantifies the island construction of paper
+// Section 4.2 across structure sizes, and measures how tremor at an island
+// boundary translates into selection flicker with and without hysteresis.
+func E1IslandMapping(seed uint64) (Report, error) {
+	var b strings.Builder
+	metrics := map[string]float64{}
+	sensor := gp2d120.Default(nil)
+
+	fmt.Fprintf(&b, "%-8s %12s %12s %14s %14s\n",
+		"entries", "widthCm", "minGap mV", "nearIsle mV", "farIsle mV")
+	for _, n := range []int{5, 10, 20, 40} {
+		m, err := mapping.New(mapping.DefaultConfig(n), sensor.Ideal)
+		if err != nil {
+			return Report{}, err
+		}
+		islands := m.Islands()
+		minGap := 1e9
+		for i := 1; i < len(islands); i++ {
+			if g := islands[i].Lo - islands[i-1].Hi; g < minGap {
+				minGap = g
+			}
+			if islands[i].Lo <= islands[i-1].Hi {
+				return Report{}, fmt.Errorf("e1: islands overlap at n=%d", n)
+			}
+		}
+		near := islands[len(islands)-1]
+		far := islands[0]
+		fmt.Fprintf(&b, "%-8d %12.2f %12.1f %14.1f %14.1f\n",
+			n, m.EntryWidthCm(), 1000*minGap,
+			1000*(near.Hi-near.Lo), 1000*(far.Hi-far.Lo))
+		metrics[fmt.Sprintf("min_gap_mv_n%d", n)] = 1000 * minGap
+	}
+
+	// Tremor flicker at a boundary, with vs. without hysteresis.
+	flicker := func(hyst float64) (float64, error) {
+		cfg := mapping.DefaultConfig(10)
+		cfg.Hysteresis = hyst
+		m, err := mapping.New(cfg, sensor.Ideal)
+		if err != nil {
+			return 0, err
+		}
+		tremor := hand.NewTremor(0.08, sim.NewRand(seed))
+		// Hold exactly on an island edge: the island covers (1-gap)/2 of
+		// the entry pitch on each side of its centre, so its boundary in
+		// distance space sits that far from the centre.
+		d, err := m.DistanceFor(5)
+		if err != nil {
+			return 0, err
+		}
+		edge := d + (1-cfg.GapFraction)/2*m.EntryWidthCm()
+		changes := 0
+		last := -2
+		const n = 2000
+		for i := 0; i < n; i++ {
+			at := time.Duration(i) * 40 * time.Millisecond
+			v := sensor.Ideal(edge + tremor.At(at))
+			idx, active := m.Map(v)
+			cur := -1
+			if active {
+				cur = idx
+			}
+			if last != -2 && cur != last {
+				changes++
+			}
+			last = cur
+		}
+		return float64(changes) / float64(n), nil
+	}
+	noHyst, err := flicker(0)
+	if err != nil {
+		return Report{}, err
+	}
+	withHyst, err := flicker(0.25)
+	if err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintf(&b, "\nboundary tremor flicker: %.3f changes/sample without hysteresis, %.3f with\n",
+		noHyst, withHyst)
+	metrics["flicker_no_hysteresis"] = noHyst
+	metrics["flicker_with_hysteresis"] = withHyst
+	if noHyst > 0 && withHyst >= noHyst {
+		return Report{}, fmt.Errorf("e1: hysteresis did not reduce flicker (%.3f -> %.3f)", noHyst, withHyst)
+	}
+
+	return Report{ID: "E1", Title: "Island mapping properties", Body: b.String(), Metrics: metrics}, nil
+}
+
+// E2UserStudy re-runs the initial user study of paper Section 6 with
+// simulated participants: "Even when no hints were given, the manner of
+// operation was promptly discovered. Shortly after knowing the relation
+// between menu entry selection and distance, all users were able to nearly
+// errorless use the device."
+func E2UserStudy(seed uint64) (Report, error) {
+	const (
+		participants  = 12
+		trialsPerUser = 20
+	)
+	var (
+		discoveries []float64
+		blockErr    [4]int // error counts per 5-trial block
+		blockN      [4]int
+		times       []float64
+	)
+	for pid := 0; pid < participants; pid++ {
+		pseed := seed + uint64(pid)*101
+		rng := sim.NewRand(pseed)
+		specs := study.GenerateTrials(10, []int{1, 2, 4, 8}, trialsPerUser/4, rng)
+		cfg := study.SessionConfig{
+			Seed:        pseed,
+			Participant: participant.DefaultConfig(),
+			Entries:     10,
+			Trials:      specs,
+		}
+		res, err := study.RunSession(cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		for i, r := range res.Results {
+			block := i * 4 / len(res.Results)
+			if block > 3 {
+				block = 3
+			}
+			blockN[block]++
+			if r.Errored() {
+				blockErr[block]++
+			}
+			if r.Discovery > 0 {
+				discoveries = append(discoveries, r.Discovery.Seconds())
+			}
+			times = append(times, (r.Time - r.Discovery).Seconds())
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d participants x %d selection trials on a 10-entry menu\n\n", participants, trialsPerUser)
+	fmt.Fprintf(&b, "discovery sweep (first contact): %s s\n", stats.Summarize(discoveries).String())
+	fmt.Fprintf(&b, "trial time: %s s\n\n", stats.Summarize(times).String())
+	fmt.Fprintf(&b, "error rate by trial block (learning curve):\n")
+	metrics := map[string]float64{
+		"participants":     participants,
+		"mean_trial_s":     stats.Mean(times),
+		"mean_discovery_s": stats.Mean(discoveries),
+	}
+	var rates [4]float64
+	for blk := 0; blk < 4; blk++ {
+		rates[blk] = float64(blockErr[blk]) / float64(blockN[blk])
+		fmt.Fprintf(&b, "  trials %2d-%2d: %5.1f%%\n", blk*5+1, blk*5+5, 100*rates[blk])
+		metrics[fmt.Sprintf("error_rate_block%d", blk+1)] = rates[blk]
+	}
+	if rates[3] > rates[0] {
+		return Report{}, fmt.Errorf("e2: no learning effect (block1 %.2f, block4 %.2f)", rates[0], rates[3])
+	}
+	fmt.Fprintf(&b, "\nfinding: errors fall from %.0f%% to %.0f%% — 'nearly errorless' after learning\n",
+		100*rates[0], 100*rates[3])
+
+	// Hierarchical block: the paper's study "simulated a fictive mobile
+	// phone menu" — run practised participants through random leaf tasks
+	// on the real tree, back to the root between tasks.
+	hier, err := e2HierarchicalBlock(seed)
+	if err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintf(&b, "\nhierarchical block (phone menu, 4 practised participants x 4 leaf tasks):\n")
+	fmt.Fprintf(&b, "  task time: %s s, wrong selections: %.0f\n",
+		stats.Summarize(hier.taskTimes).String(), hier.wrong)
+	metrics["hier_mean_task_s"] = stats.Mean(hier.taskTimes)
+	metrics["hier_wrong"] = hier.wrong
+	return Report{ID: "E2", Title: "Initial user study (simulated)", Body: b.String(), Metrics: metrics}, nil
+}
+
+type hierResult struct {
+	taskTimes []float64
+	wrong     float64
+}
+
+func coreDefaultConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+func coreNewDevice(cfg core.Config) (*core.Device, error) {
+	return core.NewDevice(cfg, menu.PhoneMenu())
+}
+
+func menuPhone() *menu.Node { return menu.PhoneMenu() }
+
+// e2HierarchicalBlock runs practised participants through leaf-selection
+// tasks on the fictive phone menu.
+func e2HierarchicalBlock(seed uint64) (hierResult, error) {
+	var out hierResult
+	for pid := 0; pid < 4; pid++ {
+		pseed := seed + 5000 + uint64(pid)*31
+		devCfg := coreDefaultConfig(pseed)
+		dev, err := coreNewDevice(devCfg)
+		if err != nil {
+			return out, fmt.Errorf("e2: hierarchical: %w", err)
+		}
+		pcfg := participant.DefaultConfig()
+		pcfg.DiscoverySweep = false
+		pcfg.LearningTau = 1 // practised
+		p, err := participant.New(pcfg, dev, sim.NewRand(pseed^0x55))
+		if err != nil {
+			dev.Stop()
+			return out, err
+		}
+		rng := sim.NewRand(pseed)
+		paths, err := study.GenerateLeafPaths(menuPhone(), 4, rng)
+		if err != nil {
+			p.Detach()
+			dev.Stop()
+			return out, err
+		}
+		for _, task := range paths {
+			start := dev.Clock.Now()
+			results, err := p.NavigateTo(task.Indices)
+			if err != nil {
+				p.Detach()
+				dev.Stop()
+				return out, fmt.Errorf("e2: task %q: %w", task.Title, err)
+			}
+			for _, r := range results {
+				if r.WrongSelection {
+					out.wrong++
+				}
+			}
+			out.taskTimes = append(out.taskTimes, (dev.Clock.Now() - start).Seconds())
+			if err := p.ReturnToRoot(); err != nil {
+				p.Detach()
+				dev.Stop()
+				return out, err
+			}
+		}
+		p.Detach()
+		dev.Stop()
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+// Package experiments regenerates every figure and evaluation artefact of
+// the paper (DESIGN.md Section 4): the sensor characterisation of Figures
+// 4 and 5, the architecture and inventory of Figures 2 and 3, the menu
+// walkthrough of Figure 1, the initial user study of Section 6, the open
+// questions of Section 7 (E3–E6) and the design ablations (A1–A4).
+//
+// Each experiment is a pure function of its seed and returns a Report with
+// a human-readable body and named metrics, so the bench harness and the
+// CLI produce identical artefacts.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Body is the rendered figure/table text.
+	Body string
+	// Metrics are the headline numbers, keyed for EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n%s\n", r.ID, r.Title, r.Body)
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-36s %12.4g\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// Runner is the registry entry for one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(seed uint64) (Report, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"F1", "Menu scrolling walkthrough (paper Fig. 1)", Fig1MenuScroll},
+		{"F2", "System architecture self-check (paper Fig. 2)", Fig2Architecture},
+		{"F3", "Hardware inventory and power budget (paper Fig. 3)", Fig3Inventory},
+		{"F4", "Sensor voltage vs. distance, measured + fit (paper Fig. 4)", Fig4SensorCurve},
+		{"F5", "Sensor characteristic on log axes (paper Fig. 5)", Fig5LogFit},
+		{"E1", "Island mapping properties (paper §4.2)", E1IslandMapping},
+		{"E2", "Initial user study, simulated (paper §6)", E2UserStudy},
+		{"E3", "Technique comparison under Fitts's law (paper §7 Q1)", E3FittsComparison},
+		{"E4", "Scroll-range sweep (paper §7 Q2)", E4RangeSweep},
+		{"E5", "Scroll-direction mapping (paper §7 Q4)", E5Direction},
+		{"E6", "Long menus: flat vs. chunked vs. SDAZ (paper §7 Q3/Q5)", E6LongMenus},
+		{"E7", "Hybrid input: distance + buttons (paper §7 Q3)", E7HybridInput},
+		{"E8", "Button layout study (paper §6)", E8ButtonLayouts},
+		{"E9", "Glove study on the full device stack (paper §5.2)", E9GloveStudy},
+		{"A1", "Ablation: firmware filtering", A1Filtering},
+		{"A2", "Ablation: island gap fraction", A2IslandGaps},
+		{"A3", "Ablation: RF link quality", A3RFLink},
+		{"A5", "Ablation: power-save duty cycling", A5PowerSave},
+		{"A6", "Ablation: absolute vs relative input mode", A6InputMode},
+	}
+}
+
+// Find returns the runner with the given ID (case-insensitive).
+func Find(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

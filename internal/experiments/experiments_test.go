@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment once; each
+// experiment carries its own internal shape assertions (learning effect,
+// fit quality, expected winners) and fails loudly when the reproduction
+// drifts from the paper.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep, err := r.Run(7)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if rep.ID != r.ID {
+				t.Fatalf("report id %q, want %q", rep.ID, r.ID)
+			}
+			if rep.Body == "" {
+				t.Fatal("empty body")
+			}
+			if len(rep.Metrics) == 0 {
+				t.Fatal("no metrics")
+			}
+			if !strings.Contains(rep.String(), r.ID) {
+				t.Fatal("String() missing id")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("f4"); !ok {
+		t.Fatal("case-insensitive find failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	run := func() map[string]float64 {
+		rep, err := Fig4SensorCurve(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Metrics
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("metric %s differs: %v vs %v", k, v, b[k])
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/adc"
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/plot"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/smartits"
+	"github.com/hcilab/distscroll/internal/stats"
+)
+
+// Fig1MenuScroll reproduces the paper's Figure 1 scenario: a user scrolls
+// through the menu entries of a fictive application by moving the device;
+// the top display shows the menu, the bottom display state information.
+func Fig1MenuScroll(seed uint64) (Report, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	dev, err := core.NewDevice(cfg, menu.PhoneMenu())
+	if err != nil {
+		return Report{}, err
+	}
+	defer dev.Stop()
+
+	h := hand.New(hand.DefaultProfile(), hand.BareHand(), 28, sim.NewRand(seed))
+	cancel := dev.Scheduler.Every(10*time.Millisecond, func(at time.Duration) {
+		dev.SetDistance(h.Position(at))
+	})
+	defer cancel()
+
+	var frames []string
+	snap := func(label string) {
+		frames = append(frames, fmt.Sprintf("--- %s (cursor=%d %q) ---\ntop:\n%s\nbottom:\n%s",
+			label, dev.Cursor(), dev.Menu.CurrentEntry().Title,
+			dev.Board.Top.Render(), dev.Board.Bottom.Render()))
+	}
+
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		return Report{}, err
+	}
+	snap("held far (28 cm)")
+
+	// Scroll towards the body across the full range, as the arrow in the
+	// paper's Figure 1 indicates.
+	done, _ := h.MoveTo(6, 2, dev.Clock.Now())
+	if err := dev.Run(done - dev.Clock.Now() + 500*time.Millisecond); err != nil {
+		return Report{}, err
+	}
+	snap("moved near (6 cm)")
+
+	scrolls := 0
+	for _, e := range dev.Host.Events() {
+		if e.Kind == rf.MsgScroll {
+			scrolls++
+		}
+	}
+	st := dev.Host.Stats()
+
+	return Report{
+		ID:    "F1",
+		Title: "Menu scrolling walkthrough",
+		Body:  strings.Join(frames, "\n"),
+		Metrics: map[string]float64{
+			"scroll_events_host": float64(scrolls),
+			"host_events_total":  float64(st.Events),
+			"final_cursor":       float64(dev.Cursor()),
+		},
+	}, nil
+}
+
+// Fig2Architecture verifies the system topology of the paper's Figure 2:
+// sensors into ADC channels, displays on the I2C bus, buttons on GPIO, and
+// the RF link into the host, end to end.
+func Fig2Architecture(seed uint64) (Report, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	dev, err := core.NewDevice(cfg, menu.FlatMenu(8))
+	if err != nil {
+		return Report{}, err
+	}
+	defer dev.Stop()
+
+	if err := dev.Board.SelfCheck(); err != nil {
+		return Report{}, fmt.Errorf("self-check: %w", err)
+	}
+	// Exercise the full path: distance -> sensor -> ADC -> firmware ->
+	// display + RF -> host.
+	dist, err := dev.DistanceForEntry(5)
+	if err != nil {
+		return Report{}, err
+	}
+	dev.SetDistance(dist)
+	if err := dev.Run(2 * time.Second); err != nil {
+		return Report{}, err
+	}
+	busStats := dev.Board.Bus.Stats()
+	hostStats := dev.Host.Stats()
+	linkStats := dev.Link.Stats()
+
+	var b strings.Builder
+	b.WriteString("topology (paper Fig. 2):\n")
+	b.WriteString("  GP2D120 ──> ADC ch0 ─┐\n")
+	b.WriteString("  ADXL311 ──> ADC ch1/2┤   PIC 18F452 (firmware loop)\n")
+	b.WriteString("  battery ──> ADC ch3 ─┘        │        │\n")
+	b.WriteString("  buttons ──> GPIO ─────────────┘        │ I2C\n")
+	b.WriteString("  RF module <── telemetry ───────────────┤\n")
+	b.WriteString("  host PC   <── frames                   └──> 2x BT96040\n")
+	fmt.Fprintf(&b, "adc samples: %d, i2c ops: %d writes / %d reads (%d bytes)\n",
+		dev.Board.ADC.Samples(), busStats.Writes, busStats.Reads, busStats.Bytes)
+	fmt.Fprintf(&b, "rf: sent %d, delivered %d; host decoded %d\n",
+		linkStats.Sent, linkStats.Delivered, hostStats.Decoded)
+
+	if hostStats.Decoded == 0 {
+		return Report{}, fmt.Errorf("architecture path broken: no host telemetry")
+	}
+	return Report{
+		ID:    "F2",
+		Title: "System architecture self-check",
+		Body:  b.String(),
+		Metrics: map[string]float64{
+			"adc_samples":  float64(dev.Board.ADC.Samples()),
+			"i2c_bytes":    float64(busStats.Bytes),
+			"rf_delivered": float64(linkStats.Delivered),
+			"host_decoded": float64(hostStats.Decoded),
+		},
+	}, nil
+}
+
+// Fig3Inventory reproduces the hardware overview of the paper's Figure 3 as
+// a bill of materials with a power budget.
+func Fig3Inventory(seed uint64) (Report, error) {
+	board, err := smartits.Assemble(smartits.DefaultConfig(), sim.NewRand(seed))
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		ID:    "F3",
+		Title: "Hardware inventory and power budget",
+		Body:  board.InventoryReport(),
+		Metrics: map[string]float64{
+			"components":        float64(len(board.Inventory())),
+			"total_draw_ma":     board.TotalCurrentMA(),
+			"battery_life_hour": board.BatteryLifeHours(),
+		},
+	}, nil
+}
+
+// sensorSweep samples the noisy sensor through the 10-bit ADC across the
+// distance range, mirroring how the paper measured "analog voltage at
+// Smart-Its input port".
+func sensorSweep(seed uint64) (ds, vs []float64, err error) {
+	rng := sim.NewRand(seed)
+	sensor, err := gp2d120.New(gp2d120.DefaultConfig(), gp2d120.DefaultSurface(), rng.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	conv, err := adc.New(adc.DefaultVref, 1, rng.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	var d float64
+	if err := conv.Connect(0, func() float64 { return sensor.Sample(d) }); err != nil {
+		return nil, nil, err
+	}
+	for d = 4; d <= 30.0001; d += 0.5 {
+		// Average a few ADC conversions per distance, as the firmware does.
+		sum := 0.0
+		const reps = 8
+		for r := 0; r < reps; r++ {
+			code, err := conv.Read(0)
+			if err != nil {
+				return nil, nil, err
+			}
+			sum += conv.Voltage(code)
+		}
+		ds = append(ds, d)
+		vs = append(vs, sum/reps)
+	}
+	return ds, vs, nil
+}
+
+// Fig4SensorCurve reproduces the paper's Figure 4: measured sensor values
+// (asterisks) with an idealised curve fitted through them. The fit is the
+// datasheet form V = a/(d+b) + c via Gauss-Newton.
+func Fig4SensorCurve(seed uint64) (Report, error) {
+	ds, vs, err := sensorSweep(seed)
+	if err != nil {
+		return Report{}, err
+	}
+	model := func(x float64, p []float64) float64 { return p[0]/(x+p[1]) + p[2] }
+	fit, err := stats.GaussNewton(model, ds, vs, []float64{5, 1, 0}, 200, 1e-10)
+	if err != nil {
+		return Report{}, err
+	}
+
+	p := plot.New("Fig 4: GP2D120 output voltage vs. distance (✱ measured, + idealised fit)", 64, 18)
+	p.XLabel, p.YLabel = "distance [cm]", "voltage [V]"
+	if err := p.Add(plot.Series{Name: "measured (ADC)", Marker: '*', X: ds, Y: vs}); err != nil {
+		return Report{}, err
+	}
+	if err := p.AddFunc("fit a/(d+b)+c", '+', 4, 30, 64, func(x float64) float64 {
+		return model(x, fit.Params)
+	}); err != nil {
+		return Report{}, err
+	}
+	body := p.Render() + "\n" + fmt.Sprintf("fit: V = %.3f/(d+%.3f) + %.3f, RMSE %.4f V, R² %.5f\n",
+		fit.Params[0], fit.Params[1], fit.Params[2], fit.RMSE, fit.R2)
+
+	if fit.R2 < 0.98 {
+		return Report{}, fmt.Errorf("fig4: fit R² %.4f below paper-quality threshold", fit.R2)
+	}
+	return Report{
+		ID:    "F4",
+		Title: "Sensor voltage vs. distance",
+		Body:  body,
+		Metrics: map[string]float64{
+			"fit_a":    fit.Params[0],
+			"fit_b":    fit.Params[1],
+			"fit_c":    fit.Params[2],
+			"fit_r2":   fit.R2,
+			"fit_rmse": fit.RMSE,
+			"points":   float64(len(ds)),
+		},
+	}, nil
+}
+
+// Fig5LogFit reproduces the paper's Figure 5: the same data on logarithmic
+// axes, where "the measured values (asterisks) nearly perfectly fit the
+// curve" — log(V−c) is linear in log(d+b).
+func Fig5LogFit(seed uint64) (Report, error) {
+	ds, vs, err := sensorSweep(seed)
+	if err != nil {
+		return Report{}, err
+	}
+	// Linearise with the datasheet offsets and regress.
+	b, c := gp2d120.DefaultB, gp2d120.DefaultC
+	var lx, ly []float64
+	for i := range ds {
+		if vs[i] <= c {
+			continue
+		}
+		lx = append(lx, math.Log10(ds[i]+b))
+		ly = append(ly, math.Log10(vs[i]-c))
+	}
+	fit, err := stats.LinearRegression(lx, ly)
+	if err != nil {
+		return Report{}, err
+	}
+
+	p := plot.New("Fig 5: sensor characteristic on log-log axes", 64, 18)
+	p.LogX, p.LogY = true, true
+	p.XLabel, p.YLabel = "distance+b [cm]", "voltage-c [V]"
+	shiftX := make([]float64, len(ds))
+	shiftY := make([]float64, len(ds))
+	for i := range ds {
+		shiftX[i] = ds[i] + b
+		shiftY[i] = vs[i] - c
+	}
+	if err := p.Add(plot.Series{Name: "measured", Marker: '*', X: shiftX, Y: shiftY}); err != nil {
+		return Report{}, err
+	}
+	body := p.Render() + "\n" + fmt.Sprintf(
+		"log-log regression: slope %.4f (ideal -1), R² %.5f\n", fit.Slope, fit.R2)
+
+	if fit.R2 < 0.995 {
+		return Report{}, fmt.Errorf("fig5: log fit R² %.5f not near-perfect", fit.R2)
+	}
+	if math.Abs(fit.Slope+1) > 0.1 {
+		return Report{}, fmt.Errorf("fig5: log-log slope %.3f far from -1", fit.Slope)
+	}
+	return Report{
+		ID:    "F5",
+		Title: "Sensor characteristic on log axes",
+		Body:  body,
+		Metrics: map[string]float64{
+			"loglog_slope": fit.Slope,
+			"loglog_r2":    fit.R2,
+		},
+	}, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// A6InputMode compares the paper's absolute island mapping against
+// speed-dependent relative scrolling on small and large structures. The
+// island mapping is direct and self-revealing but its islands shrink with
+// the structure; relative scrolling is structure-size-independent but
+// indirect. Measured: entries traversed by one full-range pull, and
+// tremor-hold stability.
+func A6InputMode(seed uint64) (Report, error) {
+	sizes := []int{10, 200}
+	modes := []firmware.InputMode{firmware.Absolute, firmware.Relative}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %16s %18s\n", "mode", "entries", "reach/pull", "hold flicker/s")
+	metrics := map[string]float64{}
+
+	for _, n := range sizes {
+		for _, mode := range modes {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Radio = false
+			cfg.Firmware.Mode = mode
+			dev, err := core.NewDevice(cfg, menu.FlatMenu(n))
+			if err != nil {
+				return Report{}, err
+			}
+
+			// Reach: one smooth 1-second pull across the full range.
+			dev.SetDistance(28)
+			if err := dev.Run(500 * time.Millisecond); err != nil {
+				dev.Stop()
+				return Report{}, err
+			}
+			startCursor := dev.Cursor()
+			traj := hand.NewMinJerk(28, 5, dev.Clock.Now(), time.Second)
+			cancel := dev.Scheduler.Every(10*time.Millisecond, func(at time.Duration) {
+				dev.SetDistance(traj.Position(at))
+			})
+			if err := dev.Run(1500 * time.Millisecond); err != nil {
+				cancel()
+				dev.Stop()
+				return Report{}, err
+			}
+			cancel()
+			reach := dev.Cursor() - startCursor
+			if reach < 0 {
+				reach = -reach
+			}
+
+			// Stability: hold with tremor for 20 s and count changes.
+			holdAt := dev.Distance()
+			tremor := hand.NewTremor(0.08, sim.NewRand(seed+uint64(n)))
+			before := dev.Firmware.Stats().ScrollEvents
+			cancel = dev.Scheduler.Every(10*time.Millisecond, func(at time.Duration) {
+				dev.SetDistance(holdAt + tremor.At(at))
+			})
+			if err := dev.Run(20 * time.Second); err != nil {
+				cancel()
+				dev.Stop()
+				return Report{}, err
+			}
+			cancel()
+			flicker := float64(dev.Firmware.Stats().ScrollEvents-before) / 20
+
+			fmt.Fprintf(&b, "%-10s %8d %16d %18.2f\n", mode, n, reach, flicker)
+			key := fmt.Sprintf("%s_n%d", mode, n)
+			metrics["reach_"+key] = float64(reach)
+			metrics["flicker_"+key] = flicker
+			dev.Stop()
+		}
+	}
+
+	// Shape: on 200 entries the absolute islands sit below tremor scale
+	// and churn while holding; relative mode stays quiet everywhere.
+	if metrics["flicker_relative_n200"] >= metrics["flicker_absolute_n200"] &&
+		metrics["flicker_absolute_n200"] > 0 {
+		return Report{}, fmt.Errorf("a6: relative mode should out-stabilise absolute at n=200")
+	}
+	b.WriteString("\nthe island mapping is ideal at menu scale (direct, self-revealing, stable)\n")
+	b.WriteString("but collapses on huge structures where islands shrink below tremor; relative\n")
+	b.WriteString("scrolling holds rock-steady at any size at the cost of indirectness —\n")
+	b.WriteString("supporting the paper's chunking proposal for long menus instead\n")
+	return Report{ID: "A6", Title: "Input-mode ablation: absolute vs relative", Body: b.String(), Metrics: metrics}, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// A5PowerSave quantifies the sensor duty-cycling firmware mode: the
+// GP2D120s draw 66 mA of the ≈100 mA budget, so idling the sampling loop
+// is the single biggest battery lever. The workload is a realistic session
+// mix: short interaction bursts separated by long holds.
+func A5PowerSave(seed uint64) (Report, error) {
+	type cell struct {
+		name      string
+		powerSave bool
+	}
+	cells := []cell{{"always-on", false}, {"power-save", true}}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: 6 x (3 s interaction burst + 27 s holding still), 3 min total\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %14s %14s\n",
+		"firmware", "cycles", "duty", "battery h", "scrolls")
+	metrics := map[string]float64{}
+
+	for _, c := range cells {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Firmware.PowerSave = c.powerSave
+		dev, err := core.NewDevice(cfg, menu.FlatMenu(12))
+		if err != nil {
+			return Report{}, err
+		}
+		h := hand.New(hand.DefaultProfile(), hand.BareHand(), 20, sim.NewRand(seed))
+		cancel := dev.Scheduler.Every(10*time.Millisecond, func(at time.Duration) {
+			dev.SetDistance(h.Position(at))
+		})
+		for burst := 0; burst < 6; burst++ {
+			// Burst: sweep to a new area over ~3 s.
+			target := 6.0
+			if burst%2 == 1 {
+				target = 26.0
+			}
+			done, _ := h.MoveTo(target, 2, dev.Clock.Now())
+			if err := dev.Run(done - dev.Clock.Now() + 2*time.Second); err != nil {
+				cancel()
+				dev.Stop()
+				return Report{}, err
+			}
+			// Hold still for 27 s (reading the selected entry).
+			if err := dev.Run(27 * time.Second); err != nil {
+				cancel()
+				dev.Stop()
+				return Report{}, err
+			}
+		}
+		fw := dev.Firmware
+		duty := fw.DutyFactor()
+		life := dev.Board.BatteryLifeHoursAtDuty(duty)
+		fmt.Fprintf(&b, "%-12s %10d %10.2f %14.1f %14d\n",
+			c.name, fw.Stats().Cycles, duty, life, fw.Stats().ScrollEvents)
+		metrics["cycles_"+c.name] = float64(fw.Stats().Cycles)
+		metrics["duty_"+c.name] = duty
+		metrics["battery_h_"+c.name] = life
+		metrics["scrolls_"+c.name] = float64(fw.Stats().ScrollEvents)
+		cancel()
+		dev.Stop()
+	}
+
+	if metrics["duty_power-save"] >= 0.6 {
+		return Report{}, fmt.Errorf("a5: power save duty %.2f, want well below always-on", metrics["duty_power-save"])
+	}
+	if metrics["battery_h_power-save"] <= metrics["battery_h_always-on"]*1.5 {
+		return Report{}, fmt.Errorf("a5: battery gain too small (%.1f vs %.1f h)",
+			metrics["battery_h_power-save"], metrics["battery_h_always-on"])
+	}
+	// The idle cadence skips intermediate islands during re-engagement
+	// (one multi-entry jump instead of several single steps), so the raw
+	// scroll-event count is naturally lower. The responsiveness claim is
+	// that every burst still lands: require a healthy number of scrolls,
+	// at least one per burst-and-return.
+	if metrics["scrolls_power-save"] < 12 {
+		return Report{}, fmt.Errorf("a5: power save lost interactions (%v scrolls over 6 bursts)",
+			metrics["scrolls_power-save"])
+	}
+	fmt.Fprintf(&b, "\nduty-cycling the hungry IR sensors while the user reads roughly %.1fx the\nbattery life without losing interactions — the wake path reacts within one\nidle period (200 ms)\n",
+		metrics["battery_h_power-save"]/metrics["battery_h_always-on"])
+	return Report{ID: "A5", Title: "Power-save ablation", Body: b.String(), Metrics: metrics}, nil
+}

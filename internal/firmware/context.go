@@ -1,0 +1,85 @@
+package firmware
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/buttons"
+	devctx "github.com/hcilab/distscroll/internal/context"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+// This file implements the paper's Section 4.3 extension in the firmware:
+// the ADXL311 is sampled alongside the distance sensor, a context detector
+// classifies posture and holding hand, and — on the slidable two-button
+// layout of Section 6 — the select/back roles follow the detected hand so
+// the thumb button is always under the thumb.
+
+// contextState carries the optional context-sensing machinery.
+type contextState struct {
+	detector *devctx.Detector
+	// swapped is true while the select/back roles are mirrored for a
+	// left-handed grip.
+	swapped bool
+	// flips counts handedness adaptations, for tests and telemetry.
+	flips uint64
+}
+
+// senseContext samples the accelerometer channels and updates the
+// detector; on a sustained hand change with adaptation enabled it swaps
+// the button roles.
+func (fw *Firmware) senseContext(now time.Duration) error {
+	if fw.ctx.detector == nil {
+		return nil
+	}
+	vxCode, err := fw.board.ADC.Read(smartits.ChanAccelX)
+	if err != nil {
+		return fmt.Errorf("firmware: accel x: %w", err)
+	}
+	vyCode, err := fw.board.ADC.Read(smartits.ChanAccelY)
+	if err != nil {
+		return fmt.Errorf("firmware: accel y: %w", err)
+	}
+	c := fw.ctx.detector.FeedVoltages(
+		fw.board.ADC.Voltage(vxCode),
+		fw.board.ADC.Voltage(vyCode),
+	)
+
+	if fw.cfg.AutoHandedness && fw.board.Pad.Layout().Slidable {
+		wantSwap := c.Hand == devctx.HandLeft
+		if wantSwap != fw.ctx.swapped {
+			fw.ctx.swapped = wantSwap
+			fw.ctx.flips++
+			fw.cfg.SelectButton, fw.cfg.BackButton = fw.cfg.BackButton, fw.cfg.SelectButton
+		}
+	}
+	_ = now
+	return nil
+}
+
+// Context returns the current device context (zero value when context
+// sensing is disabled).
+func (fw *Firmware) Context() devctx.Context {
+	if fw.ctx.detector == nil {
+		return devctx.Context{}
+	}
+	return fw.ctx.detector.Current()
+}
+
+// HandednessFlips reports how many times the button roles adapted.
+func (fw *Firmware) HandednessFlips() uint64 { return fw.ctx.flips }
+
+// SelectButton returns the current select-button assignment (it moves
+// under automatic handedness).
+func (fw *Firmware) SelectButton() buttons.ID { return fw.cfg.SelectButton }
+
+// BackButton returns the current back-button assignment.
+func (fw *Firmware) BackButton() buttons.ID { return fw.cfg.BackButton }
+
+// contextByte encodes the current context for telemetry.
+func (fw *Firmware) contextByte() byte {
+	if fw.ctx.detector == nil {
+		return 0
+	}
+	return fw.ctx.detector.Current().Encode()
+}

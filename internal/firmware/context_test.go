@@ -1,0 +1,145 @@
+package firmware
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/adxl311"
+	"github.com/hcilab/distscroll/internal/buttons"
+	devctx "github.com/hcilab/distscroll/internal/context"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+func newContextRig(t *testing.T, layout buttons.Layout, auto bool) *rig {
+	t.Helper()
+	boardCfg := smartits.DefaultConfig()
+	boardCfg.Sensor.NoiseSD = 0
+	boardCfg.Layout = layout
+	board, err := smartits.Assemble(boardCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := menu.New(menu.FlatMenu(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ContextSensing = true
+	cfg.AutoHandedness = auto
+	if len(layout.Buttons) >= 2 {
+		cfg.SelectButton = layout.Buttons[0]
+		cfg.BackButton = layout.Buttons[1]
+	}
+	rec := &recorder{}
+	fw, err := New(cfg, board, m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{board: board, fw: fw, menu: m, rec: rec}
+}
+
+func TestContextClassifiedFromOrientation(t *testing.T) {
+	r := newContextRig(t, buttons.SlidableTwoButtonLayout(), false)
+	// Right-hand reading grip: pitched up, rolled slightly left.
+	r.board.Accel.SetOrientation(adxl311.Orientation{Pitch: 0.6, Roll: -0.25})
+	r.steps(t, 10)
+	c := r.fw.Context()
+	if c.Posture != devctx.PostureHeld {
+		t.Fatalf("posture = %v", c.Posture)
+	}
+	if c.Hand != devctx.HandRight {
+		t.Fatalf("hand = %v", c.Hand)
+	}
+}
+
+func TestContextShownOnDebugDisplay(t *testing.T) {
+	r := newContextRig(t, buttons.SlidableTwoButtonLayout(), false)
+	r.board.Accel.SetOrientation(adxl311.Orientation{Pitch: 0.6, Roll: -0.25})
+	r.steps(t, 10)
+	out := r.board.Bottom.Render()
+	if !strings.Contains(out, "held/right") {
+		t.Fatalf("debug display missing context:\n%s", out)
+	}
+}
+
+func TestContextTelemetered(t *testing.T) {
+	r := newContextRig(t, buttons.SlidableTwoButtonLayout(), false)
+	r.board.Accel.SetOrientation(adxl311.Orientation{Pitch: 0.6, Roll: 0.3}) // left hand
+	r.steps(t, 20)
+	states := r.rec.kinds(rf.MsgState)
+	if len(states) == 0 {
+		t.Fatal("no state telemetry")
+	}
+	c := devctx.DecodeContext(states[len(states)-1].Context)
+	if c.Hand != devctx.HandLeft {
+		t.Fatalf("telemetered hand = %v", c.Hand)
+	}
+}
+
+func TestAutoHandednessSwapsButtons(t *testing.T) {
+	r := newContextRig(t, buttons.SlidableTwoButtonLayout(), true)
+	originalSelect := r.fw.SelectButton()
+
+	// Left-handed grip: roles mirror.
+	r.board.Accel.SetOrientation(adxl311.Orientation{Pitch: 0.6, Roll: 0.3})
+	r.steps(t, 10)
+	if r.fw.SelectButton() == originalSelect {
+		t.Fatal("select button did not move for a left-handed grip")
+	}
+	if r.fw.HandednessFlips() != 1 {
+		t.Fatalf("flips = %d", r.fw.HandednessFlips())
+	}
+
+	// The mirrored select button actually selects.
+	d, err := r.fw.Mapper().DistanceFor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.board.SetDistance(d)
+	r.steps(t, 10)
+	r.board.Pad.Set(r.fw.SelectButton(), true, r.now)
+	r.now += 30 * time.Millisecond
+	if err := r.fw.Step(r.now); err != nil {
+		t.Fatal(err)
+	}
+	if r.fw.Stats().SelectEvents != 1 {
+		t.Fatalf("select events = %d", r.fw.Stats().SelectEvents)
+	}
+
+	// Back to a right-handed grip: roles restore.
+	r.board.Pad.Set(r.fw.SelectButton(), false, r.now)
+	r.board.Accel.SetOrientation(adxl311.Orientation{Pitch: 0.6, Roll: -0.25})
+	r.steps(t, 10)
+	if r.fw.SelectButton() != originalSelect {
+		t.Fatal("select button did not restore for a right-handed grip")
+	}
+	if r.fw.HandednessFlips() != 2 {
+		t.Fatalf("flips = %d", r.fw.HandednessFlips())
+	}
+}
+
+func TestAutoHandednessRequiresSlidableLayout(t *testing.T) {
+	// The fixed prototype layout must never swap, whatever the grip.
+	r := newContextRig(t, buttons.PrototypeLayout(), true)
+	original := r.fw.SelectButton()
+	r.board.Accel.SetOrientation(adxl311.Orientation{Pitch: 0.6, Roll: 0.3})
+	r.steps(t, 10)
+	if r.fw.SelectButton() != original {
+		t.Fatal("fixed layout swapped buttons")
+	}
+	if r.fw.HandednessFlips() != 0 {
+		t.Fatalf("flips = %d", r.fw.HandednessFlips())
+	}
+}
+
+func TestContextDisabledByDefault(t *testing.T) {
+	r := newRig(t, menu.FlatMenu(5), DefaultConfig())
+	r.steps(t, 5)
+	c := r.fw.Context()
+	if c.Posture != devctx.PostureUnknown {
+		t.Fatalf("context sensing active by default: %+v", c)
+	}
+}

@@ -1,0 +1,120 @@
+package firmware
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+// measureNoise runs a firmware build with noisy sensors at a fixed
+// distance and returns the standard deviation of the raw (unfiltered)
+// channel readings the loop consumed, approximated by sampling the same
+// chain.
+func measureNoise(t *testing.T, dual bool, seed uint64) float64 {
+	t.Helper()
+	boardCfg := smartits.DefaultConfig() // noisy sensors, both fitted
+	board, err := smartits.Assemble(boardCfg, sim.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	board.SetDistance(15)
+	var vals []float64
+	for i := 0; i < 3000; i++ {
+		c1, err := board.ADC.Read(smartits.ChanDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := board.ADC.Voltage(c1)
+		if dual {
+			c2, err := board.ADC.Read(smartits.ChanDistance2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v = (v + board.ADC.Voltage(c2)) / 2
+		}
+		vals = append(vals, v)
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	sum := 0.0
+	for _, v := range vals {
+		sum += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(sum / float64(len(vals)-1))
+}
+
+func TestDualSensorHalvesNoisePower(t *testing.T) {
+	single := measureNoise(t, false, 1)
+	dual := measureNoise(t, true, 1)
+	ratio := dual / single
+	// Two independent sensors averaged: sd drops by ~1/√2 ≈ 0.71.
+	if ratio > 0.85 {
+		t.Fatalf("dual/single noise ratio %.3f, want ~0.71", ratio)
+	}
+	if ratio < 0.5 {
+		t.Fatalf("dual/single noise ratio %.3f implausibly low", ratio)
+	}
+}
+
+func TestDualSensorFirmwareScrolls(t *testing.T) {
+	boardCfg := smartits.DefaultConfig()
+	boardCfg.Sensor.NoiseSD = 0
+	board, err := smartits.Assemble(boardCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := menu.New(menu.FlatMenu(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DualSensor = true
+	fw, err := New(cfg, board, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fw.Mapper().DistanceFor(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board.SetDistance(d)
+	for i := 1; i <= 20; i++ {
+		if err := fw.Step(time.Duration(i) * 40 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Cursor() != 7 {
+		t.Fatalf("cursor = %d", m.Cursor())
+	}
+}
+
+func TestDualSensorGracefulWithoutSecondSensor(t *testing.T) {
+	boardCfg := smartits.DefaultConfig()
+	boardCfg.SecondSensor = false
+	board, err := smartits.Assemble(boardCfg, sim.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := menu.New(menu.FlatMenu(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DualSensor = true // requested but not fitted: falls back
+	fw, err := New(cfg, board, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := fw.Step(time.Duration(i) * 40 * time.Millisecond); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package firmware
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestNewFilterKinds(t *testing.T) {
+	for _, k := range []FilterKind{Raw, Median3, EMA, MedianEMA} {
+		f, err := NewFilter(k, 0.3)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if f == nil {
+			t.Fatalf("%v: nil filter", k)
+		}
+		if k.String() == "" {
+			t.Fatalf("%v: empty name", k)
+		}
+	}
+	if _, err := NewFilter(FilterKind(99), 0.3); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRawPassthrough(t *testing.T) {
+	f, err := NewFilter(Raw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.5, -3, 2.7} {
+		if got := f.Apply(v); got != v {
+			t.Fatalf("Apply(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestMedianKillsSingleOutlier(t *testing.T) {
+	f, err := NewFilter(Median3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Apply(1.0)
+	f.Apply(1.0)
+	// A single spurious spike (structured-surface outlier) must not pass.
+	if got := f.Apply(3.0); got != 1.0 {
+		t.Fatalf("median let outlier through: %v", got)
+	}
+	if got := f.Apply(1.02); got > 1.5 {
+		t.Fatalf("median output after spike: %v", got)
+	}
+}
+
+func TestMedianOutputIsOneOfInputs(t *testing.T) {
+	f, err := NewFilter(Median3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(1)
+	window := make([]float64, 0, 3)
+	prop := func(_ uint8) bool {
+		v := rng.Uniform(0, 3)
+		window = append(window, v)
+		if len(window) > 3 {
+			window = window[1:]
+		}
+		got := f.Apply(v)
+		for _, w := range window {
+			if got == w {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMAConverges(t *testing.T) {
+	f, err := NewFilter(EMA, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Apply(2.0); got != 2.0 {
+		t.Fatalf("first sample should initialise: %v", got)
+	}
+	var got float64
+	for i := 0; i < 50; i++ {
+		got = f.Apply(1.0)
+	}
+	if math.Abs(got-1.0) > 1e-6 {
+		t.Fatalf("EMA did not converge: %v", got)
+	}
+}
+
+func TestEMASmoothsNoise(t *testing.T) {
+	f, err := NewFilter(EMA, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(2)
+	var rawVar, filtVar float64
+	const n = 5000
+	mean := 1.5
+	for i := 0; i < n; i++ {
+		v := rng.Norm(mean, 0.05)
+		fv := f.Apply(v)
+		rawVar += (v - mean) * (v - mean)
+		filtVar += (fv - mean) * (fv - mean)
+	}
+	if filtVar >= rawVar/2 {
+		t.Fatalf("EMA variance reduction too weak: raw=%v filt=%v", rawVar/n, filtVar/n)
+	}
+}
+
+func TestChainFilterCombines(t *testing.T) {
+	f, err := NewFilter(MedianEMA, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Apply(1.0)
+	f.Apply(1.0)
+	got := f.Apply(3.0) // spike
+	if got > 1.1 {
+		t.Fatalf("chain passed spike: %v", got)
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	for _, k := range []FilterKind{Median3, EMA, MedianEMA} {
+		f, err := NewFilter(k, 0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Apply(2.0)
+		f.Apply(2.0)
+		f.Apply(2.0)
+		f.Reset()
+		// After reset the first sample re-initialises.
+		if got := f.Apply(0.5); math.Abs(got-0.5) > 1e-9 {
+			t.Fatalf("%v: after reset Apply(0.5) = %v", k, got)
+		}
+	}
+}
+
+func TestBadAlphaFallsBack(t *testing.T) {
+	f, err := NewFilter(EMA, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Apply(1)
+	got := f.Apply(2)
+	if got <= 1 || got >= 2 {
+		t.Fatalf("fallback alpha produced %v", got)
+	}
+}

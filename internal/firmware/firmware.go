@@ -1,0 +1,460 @@
+package firmware
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/buttons"
+	devctx "github.com/hcilab/distscroll/internal/context"
+	"github.com/hcilab/distscroll/internal/display"
+	"github.com/hcilab/distscroll/internal/mapping"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+// Config parameterises the firmware build.
+type Config struct {
+	// SamplePeriod is the sensor polling period (prototype: 25 Hz).
+	SamplePeriod time.Duration
+	// Filter selects the smoothing strategy; FilterAlpha its EMA gain.
+	Filter      FilterKind
+	FilterAlpha float64
+	// Mapping is the island mapping template; Entries is overwritten per
+	// menu level.
+	Mapping mapping.Config
+	// DebugPeriod is how often the bottom (debug) display refreshes.
+	DebugPeriod time.Duration
+	// HeartbeatPeriod is the keep-alive interval on the RF link.
+	HeartbeatPeriod time.Duration
+	// SelectButton confirms the current entry; BackButton ascends.
+	SelectButton buttons.ID
+	BackButton   buttons.ID
+	// LowBatteryVolts is the warning threshold; <= 0 uses the default.
+	LowBatteryVolts float64
+	// DualSensor averages both distance sensors (the prototype fits two;
+	// "only one is used in our experiments so far") for √2 lower noise.
+	DualSensor bool
+	// PowerSave drops to a slow sampling cadence after IdleAfter without
+	// interaction; IdleSamplePeriod is that cadence (defaults apply when
+	// zero). The GP2D120 is the largest power draw on the board.
+	PowerSave        bool
+	IdleAfter        time.Duration
+	IdleSamplePeriod time.Duration
+	// Mode selects absolute island mapping (the paper's technique) or
+	// speed-dependent relative scrolling.
+	Mode InputMode
+	// SDAZ tunes the relative mode's gain curve; zero value uses the
+	// defaults.
+	SDAZ menu.SDAZ
+	// ContextSensing enables the Section 4.3 extension: the ADXL311 is
+	// sampled and a posture/hand context is classified and telemetered.
+	ContextSensing bool
+	// AutoHandedness (with ContextSensing and a slidable layout) mirrors
+	// the select/back roles when a left-handed grip is detected.
+	AutoHandedness bool
+}
+
+// DefaultConfig is the prototype firmware build.
+func DefaultConfig() Config {
+	return Config{
+		SamplePeriod:    40 * time.Millisecond, // 25 Hz
+		Filter:          MedianEMA,
+		FilterAlpha:     0.35,
+		Mapping:         mapping.DefaultConfig(1),
+		DebugPeriod:     200 * time.Millisecond,
+		HeartbeatPeriod: time.Second,
+		SelectButton:    buttons.TopRight, // "most conveniently operated with the thumb"
+		BackButton:      buttons.LeftUpper,
+	}
+}
+
+// Sender transmits a telemetry payload; in the assembled device this is the
+// RF link, in unit tests a recording stub.
+type Sender interface {
+	Send(payload []byte) (time.Duration, error)
+}
+
+// Stats counts firmware activity.
+type Stats struct {
+	Cycles        uint64
+	ScrollEvents  uint64
+	SelectEvents  uint64
+	LevelChanges  uint64
+	IslandFlicker uint64 // cursor changes that immediately reverted
+	TxErrors      uint64
+	DisplayWrites uint64
+}
+
+// Firmware is the device control loop.
+type Firmware struct {
+	cfg    Config
+	board  *smartits.Board
+	menu   *menu.Menu
+	mapper *mapping.Mapper
+	filter Filter
+	tx     Sender
+
+	stats      Stats
+	ctx        contextState
+	health     health
+	power      powerState
+	rel        relativeState
+	seq        uint16
+	lastDebug  time.Duration
+	lastBeat   time.Duration
+	lastIndex  int
+	prevIndex  int
+	lastTopWin []string
+	started    bool
+}
+
+// New builds firmware bound to a board, a menu and a transmitter. tx may be
+// nil for a device without a radio.
+func New(cfg Config, board *smartits.Board, m *menu.Menu, tx Sender) (*Firmware, error) {
+	if board == nil {
+		return nil, errors.New("firmware: board is required")
+	}
+	if m == nil {
+		return nil, errors.New("firmware: menu is required")
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = DefaultConfig().SamplePeriod
+	}
+	if cfg.DebugPeriod <= 0 {
+		cfg.DebugPeriod = DefaultConfig().DebugPeriod
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = DefaultConfig().HeartbeatPeriod
+	}
+	if cfg.SelectButton == 0 {
+		cfg.SelectButton = buttons.TopRight
+	}
+	if cfg.BackButton == 0 {
+		cfg.BackButton = buttons.LeftUpper
+	}
+	f, err := NewFilter(cfg.Filter, cfg.FilterAlpha)
+	if err != nil {
+		if cfg.Filter != 0 {
+			return nil, err
+		}
+		f, _ = NewFilter(MedianEMA, cfg.FilterAlpha)
+	}
+	fw := &Firmware{
+		cfg:       cfg,
+		board:     board,
+		menu:      m,
+		filter:    f,
+		tx:        tx,
+		lastIndex: -1,
+		prevIndex: -1,
+	}
+	if cfg.ContextSensing {
+		fw.ctx.detector = devctx.NewDetector(devctx.DefaultConfig())
+	}
+	fw.rel.sdaz = cfg.SDAZ
+	if fw.rel.sdaz.GainHigh == 0 {
+		fw.rel.sdaz = menu.DefaultSDAZ()
+	}
+	if err := fw.rebuildMapper(); err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// Stats returns a snapshot of the firmware counters.
+func (fw *Firmware) Stats() Stats { return fw.stats }
+
+// Mapper returns the active island mapper (rebuilt on level changes).
+func (fw *Firmware) Mapper() *mapping.Mapper { return fw.mapper }
+
+// Menu returns the navigated menu.
+func (fw *Firmware) Menu() *menu.Menu { return fw.menu }
+
+// rebuildMapper constructs an island mapping sized to the current menu
+// level, exactly as the paper describes: "We first chose how many entities
+// lie in a given data structure and then distributed these entities as
+// described over the sensor range."
+func (fw *Firmware) rebuildMapper() error {
+	cfg := fw.cfg.Mapping
+	if cfg.NearCm == 0 && cfg.FarCm == 0 {
+		cfg = mapping.DefaultConfig(fw.menu.Len())
+	}
+	cfg.Entries = fw.menu.Len()
+	m, err := mapping.New(cfg, fw.board.Sensor.Ideal)
+	if err != nil {
+		return fmt.Errorf("firmware: rebuild mapper: %w", err)
+	}
+	fw.mapper = m
+	fw.filter.Reset()
+	fw.resetRelative()
+	fw.lastIndex = -1
+	fw.prevIndex = -1
+	return nil
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Step runs one firmware cycle at virtual time now. The cadence is owned by
+// the caller (the scheduler in the assembled device, a plain loop in
+// tests and benchmarks).
+func (fw *Firmware) Step(now time.Duration) error {
+	fw.stats.Cycles++
+
+	// 1. Sample the distance channel (averaging the second sensor in
+	// dual mode).
+	code, err := fw.board.ADC.Read(smartits.ChanDistance)
+	if err != nil {
+		return fmt.Errorf("firmware: sample: %w", err)
+	}
+	raw := fw.board.ADC.Voltage(code)
+	if fw.cfg.DualSensor && fw.board.Sensor2 != nil {
+		code2, err := fw.board.ADC.Read(smartits.ChanDistance2)
+		if err != nil {
+			return fmt.Errorf("firmware: sample 2: %w", err)
+		}
+		raw = (raw + fw.board.ADC.Voltage(code2)) / 2
+	}
+	v := fw.filter.Apply(raw)
+
+	// 1b. Classify the signal: beyond the range the sensor makes "no
+	// measurement" and the cursor holds; near-zero means a dark or
+	// disconnected sensor (hardware fault indicator).
+	signal := fw.classifySignal(v)
+
+	// 2. Map to an entry. Absolute mode uses the island mapping (between
+	// islands nothing changes); relative mode steps the cursor by the
+	// speed-scaled distance change.
+	index, active := -1, false
+	if signal == SignalOK {
+		switch fw.cfg.Mode {
+		case Relative:
+			if dist, err := fw.board.Sensor.Distance(v); err == nil {
+				if step := fw.relativeStep(dist, now); step != 0 {
+					index = clampIndex(fw.menu.Cursor()+step, fw.menu.Len())
+					active = true
+				}
+			}
+		default:
+			index, active = fw.mapper.Map(v)
+		}
+	} else {
+		fw.resetRelative()
+	}
+	if active && index != fw.menu.Cursor() {
+		if index == fw.prevIndex {
+			fw.stats.IslandFlicker++
+		}
+		fw.prevIndex = fw.menu.Cursor()
+		fw.menu.MoveTo(index)
+		fw.stats.ScrollEvents++
+		fw.noteActivity(now)
+		fw.send(rf.Message{Kind: rf.MsgScroll, Index: int16(index)}, now)
+	}
+	fw.lastIndex = index
+
+	// 2b. Context sensing (Section 4.3 extension): classify posture and
+	// hand, adapting the button roles on a slidable layout.
+	if err := fw.senseContext(now); err != nil {
+		return err
+	}
+
+	// 3. Redraw the top display when the window changed.
+	if err := fw.drawTop(); err != nil {
+		return err
+	}
+
+	// 4. Buttons.
+	for _, ev := range fw.board.Pad.Scan(now) {
+		if ev.Kind != buttons.Press {
+			continue
+		}
+		fw.noteActivity(now)
+		switch ev.Button {
+		case fw.cfg.SelectButton:
+			if err := fw.handleSelect(now, ev.Button); err != nil {
+				return err
+			}
+		case fw.cfg.BackButton:
+			if err := fw.handleBack(now); err != nil {
+				return err
+			}
+		}
+	}
+
+	// 5. Debug display and heartbeat on their own cadences.
+	if now-fw.lastDebug >= fw.cfg.DebugPeriod || !fw.started {
+		fw.lastDebug = now
+		if err := fw.drawDebug(v, index); err != nil {
+			return err
+		}
+	}
+	if now-fw.lastBeat >= fw.cfg.HeartbeatPeriod {
+		fw.lastBeat = now
+		fw.send(rf.Message{Kind: rf.MsgHeartbeat}, now)
+	}
+	fw.updatePower(now)
+	fw.started = true
+	return nil
+}
+
+func (fw *Firmware) handleSelect(now time.Duration, b buttons.ID) error {
+	entry := fw.menu.CurrentEntry()
+	err := fw.menu.Enter()
+	switch {
+	case err == nil:
+		// Descended into a submenu: the level size changed, so the island
+		// mapping is rebuilt for the new entry count.
+		fw.stats.LevelChanges++
+		fw.send(rf.Message{Kind: rf.MsgLevel, Index: int16(fw.menu.Depth())}, now)
+		if err := fw.rebuildMapper(); err != nil {
+			return err
+		}
+		fw.lastTopWin = nil
+		return fw.drawTop()
+	case errors.Is(err, menu.ErrLeaf):
+		fw.stats.SelectEvents++
+		fw.send(rf.Message{
+			Kind:   rf.MsgSelect,
+			Index:  int16(fw.menu.Cursor()),
+			Button: byte(b),
+		}, now)
+		_ = entry
+		return nil
+	default:
+		return fmt.Errorf("firmware: select: %w", err)
+	}
+}
+
+func (fw *Firmware) handleBack(now time.Duration) error {
+	err := fw.menu.Back()
+	if errors.Is(err, menu.ErrAtRoot) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("firmware: back: %w", err)
+	}
+	fw.stats.LevelChanges++
+	fw.send(rf.Message{Kind: rf.MsgLevel, Index: int16(fw.menu.Depth())}, now)
+	if err := fw.rebuildMapper(); err != nil {
+		return err
+	}
+	fw.lastTopWin = nil
+	return fw.drawTop()
+}
+
+// drawTop writes the menu window to the top display, skipping I2C traffic
+// when nothing changed (the 100 kHz bus is the slowest path in the loop).
+// A bus error degrades the UI (stale display) instead of halting the
+// firmware; the write is retried on the next cycle.
+func (fw *Firmware) drawTop() error {
+	win := fw.menu.Window(display.TextLines)
+	if equalLines(win, fw.lastTopWin) {
+		return nil
+	}
+	fw.stats.DisplayWrites++
+	if err := fw.board.Bus.Write(smartits.AddrTopDisplay, []byte{display.CmdClear}); err != nil {
+		fw.health.displayErrs++
+		fw.lastTopWin = nil
+		return nil
+	}
+	for i, line := range win {
+		cmd := append([]byte{display.CmdSetLine, byte(i)}, line...)
+		if err := fw.board.Bus.Write(smartits.AddrTopDisplay, cmd); err != nil {
+			fw.health.displayErrs++
+			fw.lastTopWin = nil
+			return nil
+		}
+	}
+	fw.lastTopWin = win
+	return nil
+}
+
+// drawDebug writes "additional state information" to the bottom display
+// (paper Figure 1), as the study used it: filtered voltage, island index,
+// menu depth/cursor and battery level.
+func (fw *Firmware) drawDebug(v float64, island int) error {
+	battCode, err := fw.board.ADC.Read(smartits.ChanBattery)
+	if err != nil {
+		return fmt.Errorf("firmware: battery: %w", err)
+	}
+	batt := fw.board.ADC.Voltage(battCode) * 2 // undo divider
+	fw.updateBattery(batt)
+	statusLine := "bat=" + strconv.FormatFloat(batt, 'f', 1, 64) + "V"
+	switch {
+	case fw.health.signal == SignalFault:
+		statusLine = SignalFault.String()
+	case fw.health.lowBattery:
+		statusLine = "LOW BAT " + strconv.FormatFloat(batt, 'f', 1, 64) + "V"
+	case fw.ctx.detector != nil:
+		statusLine = fw.Context().String()
+	}
+	isleLine := "isle=" + strconv.Itoa(island)
+	if fw.health.signal == SignalOutOfRange {
+		// "no measurement can be made" — keep it within the 16-column
+		// panel width.
+		isleLine = "isle=no-meas"
+	}
+	lines := []string{
+		"DistScroll dbg",
+		"V=" + strconv.FormatFloat(v, 'f', 3, 64),
+		isleLine,
+		"lvl=" + strconv.Itoa(fw.menu.Depth()) + " cur=" + strconv.Itoa(fw.menu.Cursor()),
+		statusLine,
+	}
+	fw.stats.DisplayWrites++
+	for i, line := range lines {
+		cmd := append([]byte{display.CmdSetLine, byte(i)}, line...)
+		if err := fw.board.Bus.Write(smartits.AddrBottomDisplay, cmd); err != nil {
+			fw.health.displayErrs++
+			break
+		}
+	}
+	fw.send(rf.Message{
+		Kind:      rf.MsgState,
+		VoltageMV: uint16(v * 1000),
+		Island:    int16(island),
+		Index:     int16(fw.menu.Cursor()),
+		Context:   fw.contextByte(),
+	}, 0)
+	return nil
+}
+
+func (fw *Firmware) send(m rf.Message, now time.Duration) {
+	if fw.tx == nil {
+		return
+	}
+	m.Seq = fw.seq
+	fw.seq++
+	m.AtMillis = uint32(now / time.Millisecond)
+	payload, err := m.MarshalBinary()
+	if err != nil {
+		fw.stats.TxErrors++
+		return
+	}
+	if _, err := fw.tx.Send(payload); err != nil {
+		fw.stats.TxErrors++
+	}
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package firmware
+
+// This file adds the field-robustness behaviours a deployed device needs
+// (and a lab prototype reveals the moment a ribbon cable works loose):
+//
+//   - display bus errors degrade the UI instead of halting the firmware;
+//   - a low battery raises a persistent warning on the debug display;
+//   - the sensor signal is classified: beyond ~30 cm the GP2D120 makes
+//     "no measurement" (paper Section 4.2) and the cursor simply holds;
+//     a near-zero voltage means the sensor is dark or disconnected and is
+//     flagged as a hardware fault.
+
+// Sensor-signal classification thresholds in volts.
+const (
+	// faultVolts: below this the sensor is disconnected or unpowered
+	// (even an empty room returns the ~0.25 V floor).
+	faultVolts = 0.10
+	// outOfRangeVolts: below this no object is inside the usable range.
+	outOfRangeVolts = 0.32
+)
+
+// DefaultLowBatteryVolts is the 9 V block level at which the regulator
+// starts to sag.
+const DefaultLowBatteryVolts = 6.5
+
+// SignalState classifies the sensor input.
+type SignalState int
+
+// Signal states.
+const (
+	// SignalOK: an object is inside the measurable range.
+	SignalOK SignalState = iota
+	// SignalOutOfRange: nothing within ~30 cm; the cursor holds.
+	SignalOutOfRange
+	// SignalFault: the sensor reads (near) zero — disconnected.
+	SignalFault
+)
+
+// String returns the state name.
+func (s SignalState) String() string {
+	switch s {
+	case SignalOutOfRange:
+		return "out-of-range"
+	case SignalFault:
+		return "SENSOR FAULT"
+	default:
+		return "ok"
+	}
+}
+
+// health carries the robustness state.
+type health struct {
+	signal      SignalState
+	signalRuns  int // consecutive cycles in the candidate state
+	candidate   SignalState
+	lowBattery  bool
+	battVolts   float64
+	displayErrs uint64
+	sensorFault uint64
+}
+
+// classifySignal debounces the sensor-signal state over three cycles so a
+// single noisy sample cannot flap the indicator.
+func (fw *Firmware) classifySignal(v float64) SignalState {
+	var next SignalState
+	switch {
+	case v < faultVolts:
+		next = SignalFault
+	case v < outOfRangeVolts:
+		next = SignalOutOfRange
+	default:
+		next = SignalOK
+	}
+	if next == fw.health.candidate {
+		fw.health.signalRuns++
+	} else {
+		fw.health.candidate = next
+		fw.health.signalRuns = 1
+	}
+	if fw.health.signalRuns >= 3 && fw.health.signal != fw.health.candidate {
+		fw.health.signal = fw.health.candidate
+		if fw.health.signal == SignalFault {
+			fw.health.sensorFault++
+		}
+	}
+	return fw.health.signal
+}
+
+// Signal returns the debounced sensor-signal state.
+func (fw *Firmware) Signal() SignalState { return fw.health.signal }
+
+// LowBattery reports whether the battery warning is active.
+func (fw *Firmware) LowBattery() bool { return fw.health.lowBattery }
+
+// BatteryVolts returns the last battery measurement.
+func (fw *Firmware) BatteryVolts() float64 { return fw.health.battVolts }
+
+// DisplayErrors reports how many display transactions failed (the
+// firmware keeps running; the UI is merely stale).
+func (fw *Firmware) DisplayErrors() uint64 { return fw.health.displayErrs }
+
+// SensorFaults reports how many times the sensor entered the fault state.
+func (fw *Firmware) SensorFaults() uint64 { return fw.health.sensorFault }
+
+// updateBattery refreshes the low-battery latch from a measured voltage.
+func (fw *Firmware) updateBattery(volts float64) {
+	fw.health.battVolts = volts
+	threshold := fw.cfg.LowBatteryVolts
+	if threshold <= 0 {
+		threshold = DefaultLowBatteryVolts
+	}
+	// Latch with 0.2 V of release hysteresis so the warning does not
+	// flicker as the battery recovers under varying load.
+	if volts < threshold {
+		fw.health.lowBattery = true
+	} else if volts > threshold+0.2 {
+		fw.health.lowBattery = false
+	}
+}

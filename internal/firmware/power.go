@@ -1,0 +1,112 @@
+package firmware
+
+import "time"
+
+// Power management: the GP2D120 draws 33 mA — a third of the whole
+// device's budget — so a deployed DistScroll cannot sample at 25 Hz
+// around the clock. With PowerSave enabled the firmware drops to a slow
+// idle cadence after a period without interaction and snaps back to the
+// active rate on any scroll or button activity.
+
+// Power-save defaults.
+const (
+	// DefaultIdleAfter is the inactivity span before entering idle.
+	DefaultIdleAfter = 2 * time.Second
+	// DefaultIdlePeriod is the idle sampling cadence (5 Hz).
+	DefaultIdlePeriod = 200 * time.Millisecond
+)
+
+// powerState tracks the idle machinery.
+type powerState struct {
+	lastActivity time.Duration
+	idle         bool
+	idleCycles   uint64
+	transitions  uint64
+}
+
+// TickPeriod returns the period until the next firmware cycle — the
+// device scheduler asks after every Step. Without PowerSave it is the
+// configured sample period.
+func (fw *Firmware) TickPeriod() time.Duration {
+	period := fw.cfg.SamplePeriod
+	if period <= 0 {
+		period = DefaultConfig().SamplePeriod
+	}
+	if !fw.cfg.PowerSave || !fw.power.idle {
+		return period
+	}
+	idle := fw.cfg.IdleSamplePeriod
+	if idle <= 0 {
+		idle = DefaultIdlePeriod
+	}
+	if idle < period {
+		idle = period
+	}
+	return idle
+}
+
+// Idle reports whether the firmware is in the slow idle cadence.
+func (fw *Firmware) Idle() bool { return fw.power.idle }
+
+// IdleCycles reports how many cycles ran at the idle cadence.
+func (fw *Firmware) IdleCycles() uint64 { return fw.power.idleCycles }
+
+// IdleTransitions reports how many times the firmware entered or left
+// idle.
+func (fw *Firmware) IdleTransitions() uint64 { return fw.power.transitions }
+
+// noteActivity marks user interaction, leaving idle immediately.
+func (fw *Firmware) noteActivity(now time.Duration) {
+	fw.power.lastActivity = now
+	if fw.power.idle {
+		fw.power.idle = false
+		fw.power.transitions++
+	}
+}
+
+// updatePower advances the idle state machine at the end of a cycle.
+func (fw *Firmware) updatePower(now time.Duration) {
+	if !fw.cfg.PowerSave {
+		return
+	}
+	if fw.power.idle {
+		fw.power.idleCycles++
+		return
+	}
+	idleAfter := fw.cfg.IdleAfter
+	if idleAfter <= 0 {
+		idleAfter = DefaultIdleAfter
+	}
+	if now-fw.power.lastActivity >= idleAfter {
+		fw.power.idle = true
+		fw.power.transitions++
+	}
+}
+
+// DutyFactor estimates the sensing duty relative to always-active
+// operation, from the cycle counters — the power-budget input.
+func (fw *Firmware) DutyFactor() float64 {
+	total := fw.stats.Cycles
+	if total == 0 {
+		return 1
+	}
+	active := float64(total - fw.power.idleCycles)
+	idlePeriod := fw.cfg.IdleSamplePeriod
+	if idlePeriod <= 0 {
+		idlePeriod = DefaultIdlePeriod
+	}
+	period := fw.cfg.SamplePeriod
+	if period <= 0 {
+		period = DefaultConfig().SamplePeriod
+	}
+	// Idle cycles cover idlePeriod/period as much wall time per sample.
+	wallActive := active * float64(period)
+	wallIdle := float64(fw.power.idleCycles) * float64(idlePeriod)
+	if wallActive+wallIdle == 0 {
+		return 1
+	}
+	// Sensing happens once per cycle regardless of cadence; duty is
+	// samples per wall time, normalised to the active rate.
+	samplesPerNs := float64(total) / (wallActive + wallIdle)
+	return samplesPerNs * float64(period)
+}

@@ -1,0 +1,129 @@
+package firmware
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+func newPowerRig(t *testing.T) *rig {
+	t.Helper()
+	boardCfg := smartits.DefaultConfig()
+	boardCfg.Sensor.NoiseSD = 0
+	board, err := smartits.Assemble(boardCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := menu.New(menu.FlatMenu(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PowerSave = true
+	fw, err := New(cfg, board, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{board: board, fw: fw, menu: m, rec: &recorder{}}
+}
+
+// stepsAt runs n firmware cycles honouring the firmware's own tick hint.
+func (r *rig) stepsAt(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r.now += r.fw.TickPeriod()
+		if err := r.fw.Step(r.now); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+}
+
+func TestIdleEntersAfterInactivity(t *testing.T) {
+	r := newPowerRig(t)
+	if r.fw.Idle() {
+		t.Fatal("idle before anything ran")
+	}
+	// Hold still for > 2 s: the firmware idles.
+	r.stepsAt(t, 60) // 60 * 40 ms = 2.4 s
+	if !r.fw.Idle() {
+		t.Fatal("did not enter idle")
+	}
+	if r.fw.TickPeriod() != DefaultIdlePeriod {
+		t.Fatalf("idle period %v", r.fw.TickPeriod())
+	}
+	r.stepsAt(t, 10)
+	if r.fw.IdleCycles() == 0 {
+		t.Fatal("idle cycles not counted")
+	}
+}
+
+func TestActivityWakesImmediately(t *testing.T) {
+	r := newPowerRig(t)
+	r.stepsAt(t, 60)
+	if !r.fw.Idle() {
+		t.Fatal("setup: not idle")
+	}
+	// Move the device: the next cycle detects the scroll and wakes.
+	d, err := r.fw.Mapper().DistanceFor(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.board.SetDistance(d)
+	r.stepsAt(t, 5)
+	if r.fw.Idle() {
+		t.Fatal("still idle after movement")
+	}
+	if r.fw.TickPeriod() != DefaultConfig().SamplePeriod {
+		t.Fatalf("period after wake %v", r.fw.TickPeriod())
+	}
+	if r.fw.IdleTransitions() < 2 {
+		t.Fatalf("transitions = %d", r.fw.IdleTransitions())
+	}
+	if r.menu.Cursor() != 7 {
+		t.Fatalf("cursor = %d (wake missed the scroll)", r.menu.Cursor())
+	}
+}
+
+func TestButtonWakes(t *testing.T) {
+	r := newPowerRig(t)
+	r.stepsAt(t, 60)
+	if !r.fw.Idle() {
+		t.Fatal("setup: not idle")
+	}
+	r.board.Pad.Set(r.fw.SelectButton(), true, r.now)
+	r.now += 30 * time.Millisecond
+	if err := r.fw.Step(r.now); err != nil {
+		t.Fatal(err)
+	}
+	if r.fw.Idle() {
+		t.Fatal("button did not wake the firmware")
+	}
+}
+
+func TestDutyFactorDropsWhenIdle(t *testing.T) {
+	r := newPowerRig(t)
+	r.stepsAt(t, 300) // mostly idle after the first 2 s
+	duty := r.fw.DutyFactor()
+	if duty >= 0.7 {
+		t.Fatalf("duty factor %.2f, want well below 1 after a long idle", duty)
+	}
+	if duty <= 0 {
+		t.Fatalf("duty factor %.2f invalid", duty)
+	}
+}
+
+func TestPowerSaveOffKeepsFullRate(t *testing.T) {
+	r := newRig(t, menu.FlatMenu(5), DefaultConfig())
+	r.steps(t, 100)
+	if r.fw.Idle() {
+		t.Fatal("idle without PowerSave")
+	}
+	if r.fw.TickPeriod() != DefaultConfig().SamplePeriod {
+		t.Fatalf("period %v", r.fw.TickPeriod())
+	}
+	if got := r.fw.DutyFactor(); got != 1 {
+		t.Fatalf("duty %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package firmware
+
+import (
+	"time"
+
+	"github.com/hcilab/distscroll/internal/menu"
+)
+
+// InputMode selects how distance drives the cursor.
+type InputMode int
+
+// Input modes.
+const (
+	// Absolute is the paper's island mapping: each entry owns a fixed
+	// voltage island over the 4–30 cm range.
+	Absolute InputMode = iota
+	// Relative is speed-dependent relative scrolling: *changes* in
+	// distance step the cursor, with the gain rising at higher movement
+	// speed (Igarashi & Hinckley's automatic zooming, which the paper
+	// cites for long menus). The structure size no longer matters — only
+	// movement does.
+	Relative
+)
+
+// String returns the mode name.
+func (m InputMode) String() string {
+	if m == Relative {
+		return "relative"
+	}
+	return "absolute"
+}
+
+// relativeState carries the rate-control machinery.
+type relativeState struct {
+	sdaz     menu.SDAZ
+	lastDist float64
+	lastAt   time.Duration
+	primed   bool
+	// accum holds fractional entry movement between cycles.
+	accum float64
+}
+
+// relativeStep converts the distance change since the last cycle into an
+// entry delta using the speed-dependent gain. v must already be a valid
+// in-range voltage; dist is the implied distance in cm.
+func (fw *Firmware) relativeStep(dist float64, now time.Duration) int {
+	rs := &fw.rel
+	if !rs.primed {
+		rs.lastDist = dist
+		rs.lastAt = now
+		rs.primed = true
+		return 0
+	}
+	dt := (now - rs.lastAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	delta := dist - rs.lastDist
+	speed := delta / dt
+	rs.lastDist = dist
+	rs.lastAt = now
+
+	// Dead zone: tremor-scale movement does not scroll.
+	if delta > -0.05 && delta < 0.05 {
+		return 0
+	}
+	rs.accum += delta * fw.rel.sdaz.Gain(speed)
+	step := int(rs.accum)
+	rs.accum -= float64(step)
+	// Towards the body = down, as in the absolute default.
+	return -step
+}
+
+// resetRelative clears the rate-control state (level changes, signal
+// loss).
+func (fw *Firmware) resetRelative() {
+	fw.rel.primed = false
+	fw.rel.accum = 0
+}

@@ -1,0 +1,135 @@
+package firmware
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/smartits"
+)
+
+func newRelativeRig(t *testing.T, entries int) *rig {
+	t.Helper()
+	boardCfg := smartits.DefaultConfig()
+	boardCfg.Sensor.NoiseSD = 0
+	board, err := smartits.Assemble(boardCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := menu.New(menu.FlatMenu(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = Relative
+	fw, err := New(cfg, board, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{board: board, fw: fw, menu: m, rec: &recorder{}}
+}
+
+// glide moves the board smoothly from its current distance to target over
+// n firmware cycles.
+func (r *rig) glide(t *testing.T, target float64, n int) {
+	t.Helper()
+	start := r.board.Distance()
+	for i := 1; i <= n; i++ {
+		r.board.SetDistance(start + (target-start)*float64(i)/float64(n))
+		r.now += 40 * time.Millisecond
+		if err := r.fw.Step(r.now); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+}
+
+func TestRelativeModeScrollsWithMovement(t *testing.T) {
+	r := newRelativeRig(t, 100)
+	r.board.SetDistance(20)
+	r.steps(t, 5) // prime
+	before := r.menu.Cursor()
+	// Pull the device 8 cm towards the body: cursor moves down (higher
+	// indices), with the distance travelled deciding how far.
+	r.glide(t, 12, 20)
+	after := r.menu.Cursor()
+	if after <= before {
+		t.Fatalf("cursor did not advance: %d -> %d", before, after)
+	}
+}
+
+func TestRelativeModeDirection(t *testing.T) {
+	r := newRelativeRig(t, 100)
+	r.board.SetDistance(15)
+	r.steps(t, 5)
+	r.glide(t, 10, 15) // towards the body
+	down := r.menu.Cursor()
+	r.glide(t, 20, 15) // away
+	up := r.menu.Cursor()
+	if !(down > 0 && up < down) {
+		t.Fatalf("direction mapping broken: down=%d up=%d", down, up)
+	}
+}
+
+func TestRelativeModeFastMovementCoversMoreEntries(t *testing.T) {
+	slow := newRelativeRig(t, 200)
+	slow.board.SetDistance(24)
+	slow.steps(t, 5)
+	slow.glide(t, 16, 60) // 8 cm over 2.4 s: slow
+
+	fast := newRelativeRig(t, 200)
+	fast.board.SetDistance(24)
+	fast.steps(t, 5)
+	fast.glide(t, 16, 8) // 8 cm over 0.32 s: fast
+
+	if fast.menu.Cursor() <= slow.menu.Cursor() {
+		t.Fatalf("speed-dependent gain missing: fast=%d slow=%d",
+			fast.menu.Cursor(), slow.menu.Cursor())
+	}
+}
+
+func TestRelativeModeHoldIsStable(t *testing.T) {
+	r := newRelativeRig(t, 50)
+	r.board.SetDistance(15)
+	r.steps(t, 5)
+	r.glide(t, 12, 10)
+	cur := r.menu.Cursor()
+	// Holding still (dead zone) must not creep.
+	r.steps(t, 50)
+	if r.menu.Cursor() != cur {
+		t.Fatalf("cursor crept while holding: %d -> %d", cur, r.menu.Cursor())
+	}
+}
+
+func TestRelativeModeClampsAtEnds(t *testing.T) {
+	r := newRelativeRig(t, 10)
+	r.board.SetDistance(28)
+	r.steps(t, 5)
+	// A huge pull cannot run off the end.
+	r.glide(t, 5, 10)
+	r.glide(t, 28, 2) // violent push back: also clamped
+	if c := r.menu.Cursor(); c < 0 || c >= 10 {
+		t.Fatalf("cursor out of bounds: %d", c)
+	}
+}
+
+func TestRelativeModeUnlimitedByIslandCount(t *testing.T) {
+	// 500 entries would be hopeless for absolute islands (0.05 cm pitch)
+	// but relative mode reaches deep entries with repeated strokes.
+	r := newRelativeRig(t, 500)
+	r.board.SetDistance(28)
+	r.steps(t, 5)
+	for stroke := 0; stroke < 6; stroke++ {
+		r.glide(t, 6, 8) // fast pull
+		// Clutch: move back slowly (low gain) to re-grip.
+		r.glide(t, 28, 120)
+	}
+	if r.menu.Cursor() < 50 {
+		t.Fatalf("six strokes only reached entry %d", r.menu.Cursor())
+	}
+}
+
+func TestInputModeString(t *testing.T) {
+	if Absolute.String() != "absolute" || Relative.String() != "relative" {
+		t.Fatal("mode names")
+	}
+}

@@ -1,0 +1,86 @@
+// Package fitts provides the Fitts's-law analysis used by the technique
+// comparison (paper Section 7: "Is distance-based scrolling faster, equal
+// or slower than other scrolling techniques. So far, we only know that
+// Fitt's Law holds for scrolling", citing Hinckley et al., CHI 2002).
+package fitts
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/stats"
+)
+
+// ID returns the Shannon-formulation index of difficulty, in bits, for an
+// amplitude d and target width w (same units).
+func ID(d, w float64) float64 {
+	if w <= 0 {
+		w = 1e-9
+	}
+	return math.Log2(math.Abs(d)/w + 1)
+}
+
+// Observation is one movement observation.
+type Observation struct {
+	D  float64 // amplitude
+	W  float64 // target width
+	MT time.Duration
+	// Err marks the trial as an error trial (excluded from the fit, as is
+	// conventional, but counted for the error rate).
+	Err bool
+}
+
+// Analysis is the outcome of a Fitts regression over observations.
+type Analysis struct {
+	Fit        stats.LinearFit // MT(s) = a + b·ID
+	Throughput float64         // mean-of-means ID/MT, bits/s
+	ErrorRate  float64
+	N          int
+}
+
+// String formats the analysis for reports.
+func (a Analysis) String() string {
+	return fmt.Sprintf("MT=%.3f+%.3f·ID s (R²=%.3f), TP=%.2f bit/s, err=%.1f%%, n=%d",
+		a.Fit.Intercept, a.Fit.Slope, a.Fit.R2, a.Throughput, 100*a.ErrorRate, a.N)
+}
+
+// Analyze regresses movement time against index of difficulty and computes
+// throughput and error rate. Error trials count toward ErrorRate only.
+func Analyze(obs []Observation) (Analysis, error) {
+	var ids, mts []float64
+	var tpSum float64
+	errs := 0
+	for _, o := range obs {
+		if o.Err {
+			errs++
+			continue
+		}
+		id := ID(o.D, o.W)
+		sec := o.MT.Seconds()
+		if sec <= 0 {
+			continue
+		}
+		ids = append(ids, id)
+		mts = append(mts, sec)
+		tpSum += id / sec
+	}
+	if len(ids) < 2 {
+		return Analysis{}, fmt.Errorf("fitts: need at least 2 non-error observations, have %d", len(ids))
+	}
+	fit, err := stats.LinearRegression(ids, mts)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("fitts: %w", err)
+	}
+	return Analysis{
+		Fit:        fit,
+		Throughput: tpSum / float64(len(ids)),
+		ErrorRate:  float64(errs) / float64(len(obs)),
+		N:          len(obs),
+	}, nil
+}
+
+// PredictMT evaluates a fitted model at an index of difficulty.
+func (a Analysis) PredictMT(id float64) time.Duration {
+	return time.Duration(a.Fit.Predict(id) * float64(time.Second))
+}

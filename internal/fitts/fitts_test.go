@@ -1,0 +1,108 @@
+package fitts
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestIDValues(t *testing.T) {
+	if got := ID(1, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ID(1,1) = %v, want 1", got)
+	}
+	if got := ID(3, 1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ID(3,1) = %v, want 2", got)
+	}
+	if got := ID(-3, 1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ID(-3,1) = %v (amplitude sign must not matter)", got)
+	}
+	if got := ID(1, 0); math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Logf("ID with zero width = %v (finite by clamping)", got)
+	} else if got < 20 {
+		t.Fatalf("ID(1,0) = %v, want very large", got)
+	}
+}
+
+func TestAnalyzeRecoversModel(t *testing.T) {
+	// Synthetic observations from MT = 0.2 + 0.15*ID.
+	rng := sim.NewRand(1)
+	var obs []Observation
+	for _, d := range []float64{1, 2, 4, 8, 16} {
+		for rep := 0; rep < 30; rep++ {
+			id := ID(d, 1)
+			mt := 0.2 + 0.15*id + rng.Norm(0, 0.01)
+			obs = append(obs, Observation{D: d, W: 1, MT: time.Duration(mt * float64(time.Second))})
+		}
+	}
+	an, err := Analyze(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Fit.Intercept-0.2) > 0.02 {
+		t.Fatalf("intercept %v", an.Fit.Intercept)
+	}
+	if math.Abs(an.Fit.Slope-0.15) > 0.02 {
+		t.Fatalf("slope %v", an.Fit.Slope)
+	}
+	if an.Fit.R2 < 0.95 {
+		t.Fatalf("R2 %v", an.Fit.R2)
+	}
+	if an.Throughput <= 0 {
+		t.Fatalf("throughput %v", an.Throughput)
+	}
+	if an.ErrorRate != 0 {
+		t.Fatalf("error rate %v", an.ErrorRate)
+	}
+	// Prediction at ID=2: 0.5 s.
+	if got := an.PredictMT(2); got < 450*time.Millisecond || got > 550*time.Millisecond {
+		t.Fatalf("PredictMT(2) = %v", got)
+	}
+}
+
+func TestAnalyzeErrorTrialsExcludedFromFit(t *testing.T) {
+	obs := []Observation{
+		{D: 1, W: 1, MT: 300 * time.Millisecond},
+		{D: 3, W: 1, MT: 500 * time.Millisecond},
+		{D: 7, W: 1, MT: 700 * time.Millisecond},
+		{D: 7, W: 1, MT: 9 * time.Second, Err: true}, // would wreck the fit
+	}
+	an, err := Analyze(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.ErrorRate-0.25) > 1e-9 {
+		t.Fatalf("error rate %v", an.ErrorRate)
+	}
+	if an.Fit.Slope > 0.3 {
+		t.Fatalf("error trial leaked into fit: slope %v", an.Fit.Slope)
+	}
+	if an.N != 4 {
+		t.Fatalf("N = %d", an.N)
+	}
+}
+
+func TestAnalyzeNeedsData(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty analyze accepted")
+	}
+	only := []Observation{{D: 1, W: 1, MT: time.Second}}
+	if _, err := Analyze(only); err == nil {
+		t.Fatal("single observation accepted")
+	}
+	allErr := []Observation{
+		{D: 1, W: 1, MT: time.Second, Err: true},
+		{D: 2, W: 1, MT: time.Second, Err: true},
+	}
+	if _, err := Analyze(allErr); err == nil {
+		t.Fatal("all-error set accepted")
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	an := Analysis{Throughput: 3.2}
+	if an.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,33 @@
+package gp2d120
+
+import (
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestDefaultSensor(t *testing.T) {
+	s := Default(sim.NewRand(1))
+	if s == nil {
+		t.Fatal("nil sensor")
+	}
+	if got := s.Config(); got.A != DefaultA || got.B != DefaultB || got.C != DefaultC {
+		t.Fatalf("config %+v", got)
+	}
+	if got := s.Surface(); got.Reflectivity != 1.0 {
+		t.Fatalf("surface %+v", got)
+	}
+}
+
+func TestSetSurfaceTakesEffect(t *testing.T) {
+	s := Default(nil)
+	before := s.Sample(15)
+	s.SetSurface(Surface{Reflectivity: 1.08})
+	after := s.Sample(15)
+	if before == after {
+		t.Fatal("surface change had no effect")
+	}
+	if got := s.Surface().Reflectivity; got != 1.08 {
+		t.Fatalf("reflectivity %v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package gp2d120
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func noiseless(t *testing.T) *Sensor {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NoiseSD = 0
+	s, err := New(cfg, DefaultSurface(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIdealMatchesDatasheetAnchors(t *testing.T) {
+	s := noiseless(t)
+	// The GP2D120 reads roughly 2.9 V at 4 cm and 0.45 V at 30 cm.
+	v4 := s.Ideal(4)
+	v30 := s.Ideal(30)
+	if v4 < 2.5 || v4 > 3.2 {
+		t.Fatalf("V(4cm) = %.3f, want ~2.9", v4)
+	}
+	if v30 < 0.3 || v30 > 0.6 {
+		t.Fatalf("V(30cm) = %.3f, want ~0.45", v30)
+	}
+}
+
+func TestIdealStrictlyDecreasingOverUsableRange(t *testing.T) {
+	s := noiseless(t)
+	f := func(raw uint16) bool {
+		// Two distances in [4,30], ordered.
+		d1 := MinUsableCm + float64(raw%1000)/1000*(MaxUsableCm-MinUsableCm)
+		d2 := d1 + 0.25
+		if d2 > MaxUsableCm {
+			return true
+		}
+		return s.Ideal(d1) > s.Ideal(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldbackBelowPeak(t *testing.T) {
+	s := noiseless(t)
+	// Below the peak the values decline again as the device gets closer —
+	// the paper's <4 cm ambiguity.
+	if !(s.Ideal(1) < s.Ideal(2) && s.Ideal(2) < s.Ideal(PeakDistanceCm)) {
+		t.Fatalf("fold-back not increasing towards peak: V(1)=%.3f V(2)=%.3f V(3)=%.3f",
+			s.Ideal(1), s.Ideal(2), s.Ideal(PeakDistanceCm))
+	}
+	if s.Ideal(0) != 0 {
+		t.Fatalf("V(0) = %.3f, want 0", s.Ideal(0))
+	}
+}
+
+func TestFoldbackFasterThanFarBranch(t *testing.T) {
+	s := noiseless(t)
+	// "the much faster declining sensor values between 0 and 4 cms" —
+	// advanced users exploit this. Compare |dV/dd| on both branches.
+	nearSlope := (s.Ideal(PeakDistanceCm) - s.Ideal(1)) / (PeakDistanceCm - 1)
+	farSlope := (s.Ideal(10) - s.Ideal(12)) / 2
+	if nearSlope <= farSlope {
+		t.Fatalf("fold-back slope %.3f should exceed mid-range slope %.3f", nearSlope, farSlope)
+	}
+}
+
+func TestAmbiguity(t *testing.T) {
+	s := noiseless(t)
+	// A fold-back voltage equals some far-branch voltage: the sensor alone
+	// cannot distinguish them.
+	vNearSide := s.Ideal(1.0)
+	if vNearSide <= 0 {
+		t.Fatal("fold-back voltage should be positive")
+	}
+	d, err := s.Distance(vNearSide)
+	if err != nil {
+		t.Fatalf("inverting fold-back voltage: %v", err)
+	}
+	if d < MinUsableCm {
+		t.Fatalf("inversion returned %f, should land on the far branch", d)
+	}
+}
+
+func TestCutoffFloor(t *testing.T) {
+	s := noiseless(t)
+	if v := s.Ideal(50); v != FloorVolts {
+		t.Fatalf("V(50cm) = %.3f, want floor %.3f", v, FloorVolts)
+	}
+}
+
+func TestDistanceInversionRoundTrip(t *testing.T) {
+	s := noiseless(t)
+	f := func(raw uint16) bool {
+		d := MinUsableCm + float64(raw%1000)/1000*(MaxUsableCm-MinUsableCm)
+		v := s.Ideal(d)
+		got, err := s.Distance(v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceOutOfRange(t *testing.T) {
+	s := noiseless(t)
+	if _, err := s.Distance(3.3); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("too-high voltage: err = %v", err)
+	}
+	if _, err := s.Distance(0.01); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("too-low voltage: err = %v", err)
+	}
+}
+
+func TestSampleNoiseMagnitude(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(cfg, DefaultSurface(), sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	ideal := s.Ideal(15)
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Sample(15)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-ideal) > 0.005 {
+		t.Fatalf("sample mean %.4f vs ideal %.4f", mean, ideal)
+	}
+	if math.Abs(sd-cfg.NoiseSD) > 0.003 {
+		t.Fatalf("sample sd %.4f vs configured %.4f", sd, cfg.NoiseSD)
+	}
+}
+
+func TestReflectivityNearlyDoesNotMatter(t *testing.T) {
+	// The paper: "the color (the reflectivity) of the object in front of
+	// the sensor does nearly not matter."
+	cfg := DefaultConfig()
+	cfg.NoiseSD = 0
+	dark, err := New(cfg, Surface{Reflectivity: 0.92}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bright, err := New(cfg, Surface{Reflectivity: 1.08}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, vb := dark.Sample(15), bright.Sample(15)
+	rel := math.Abs(vd-vb) / vb
+	if rel > 0.05 {
+		t.Fatalf("reflectivity swing changed reading by %.1f%%, want <5%%", 100*rel)
+	}
+	if vd == vb {
+		t.Fatal("reflectivity should have a small but nonzero effect")
+	}
+}
+
+func TestStructuredSurfaceOutliers(t *testing.T) {
+	// "Potentially problematic could be reflective surfaces with clear
+	// boundaries" — outliers must appear at roughly the configured rate.
+	cfg := DefaultConfig()
+	s, err := New(cfg, Surface{Reflectivity: 1, Structured: true, OutlierProb: 0.2}, sim.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := s.Ideal(15)
+	outliers := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if math.Abs(s.Sample(15)-ideal) > 0.2 {
+			outliers++
+		}
+	}
+	rate := float64(outliers) / n
+	if rate < 0.1 || rate > 0.3 {
+		t.Fatalf("outlier rate = %.3f, want ~0.2", rate)
+	}
+}
+
+func TestSampleClamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AmbientOffset = 10 // absurd ambient light
+	s, err := New(cfg, DefaultSurface(), sim.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v := s.Sample(15); v < 0 || v > 3.3 {
+			t.Fatalf("sample %v outside output swing", v)
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	s := noiseless(t)
+	cases := []struct {
+		d    float64
+		want bool
+	}{{3.9, false}, {4, true}, {17, true}, {30, true}, {30.1, false}}
+	for _, c := range cases {
+		if got := s.InRange(c.d); got != c.want {
+			t.Errorf("InRange(%g) = %t, want %t", c.d, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.A = -1
+	if _, err := New(bad, DefaultSurface(), nil); err == nil {
+		t.Fatal("want error for invalid characteristic")
+	}
+	if _, err := New(DefaultConfig(), Surface{Reflectivity: 0}, nil); err == nil {
+		t.Fatal("want error for zero reflectivity")
+	}
+}

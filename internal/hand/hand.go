@@ -1,0 +1,210 @@
+package hand
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Glove describes the handwear condition. The paper's first application
+// domain is "using mobile devices when wearing gloves of any kind for
+// security or protection reasons"; gloves reduce tactile sensation and
+// precision but barely affect gross arm movement.
+type Glove struct {
+	Name string
+	// ThicknessMM is the material thickness.
+	ThicknessMM float64
+	// PrecisionPenalty multiplies endpoint noise (1 = bare hand).
+	PrecisionPenalty float64
+	// SpeedPenalty multiplies movement time (1 = bare hand).
+	SpeedPenalty float64
+	// TouchPenalty multiplies the effective width of touch/stylus targets
+	// downward (1 = bare hand, 0.4 = thick winter glove) — this is what
+	// breaks stylus interfaces, not arm motion.
+	TouchPenalty float64
+}
+
+// Standard glove conditions used in the experiments.
+func BareHand() Glove {
+	return Glove{Name: "bare", PrecisionPenalty: 1, SpeedPenalty: 1, TouchPenalty: 1}
+}
+
+// LatexGlove is the thin laboratory glove of the glovelab scenario.
+func LatexGlove() Glove {
+	return Glove{Name: "latex", ThicknessMM: 0.2, PrecisionPenalty: 1.1, SpeedPenalty: 1.02, TouchPenalty: 0.85}
+}
+
+// WinterGlove is the thick arctic/alpine glove of the snowmobile scenario.
+func WinterGlove() Glove {
+	// PrecisionPenalty is modest: the sensor reads the torso, so a thick
+	// glove mainly softens the grip, not the arm's aim.
+	return Glove{Name: "winter", ThicknessMM: 4, PrecisionPenalty: 1.4, SpeedPenalty: 1.12, TouchPenalty: 0.35}
+}
+
+// ChemGlove is the heavy chemical-protection glove.
+func ChemGlove() Glove {
+	return Glove{Name: "chem", ThicknessMM: 2, PrecisionPenalty: 1.35, SpeedPenalty: 1.06, TouchPenalty: 0.5}
+}
+
+// Profile is a motor-skill profile for Fitts's-law movement times
+// MT = A + B·log2(D/W + 1).
+type Profile struct {
+	// FittsA is the non-movement constant in seconds.
+	FittsA float64
+	// FittsB is the slope in seconds per bit.
+	FittsB float64
+	// EndpointSD is the bare-hand endpoint standard deviation in cm.
+	EndpointSD float64
+	// TremorRMS is the bare-hand tremor amplitude in cm.
+	TremorRMS float64
+}
+
+// DefaultProfile is an average adult.
+func DefaultProfile() Profile {
+	return Profile{FittsA: 0.15, FittsB: 0.18, EndpointSD: 0.45, TremorRMS: 0.06}
+}
+
+// Hand is an arm holding the device at some distance from the body. It
+// produces the distance signal the board's sensor sees.
+type Hand struct {
+	profile Profile
+	glove   Glove
+	tremor  *Tremor
+	rng     *sim.Rand
+
+	pos  float64 // commanded position (cm)
+	traj *MinJerk
+	// endpointScale modulates endpoint noise; the participant's learning
+	// model lowers it as trials accumulate.
+	endpointScale float64
+}
+
+// New returns a hand at the given starting distance.
+func New(profile Profile, glove Glove, startCm float64, rng *sim.Rand) *Hand {
+	var tremorRng *sim.Rand
+	if rng != nil {
+		tremorRng = rng.Split()
+	}
+	if glove.PrecisionPenalty <= 0 {
+		glove.PrecisionPenalty = 1
+	}
+	if glove.SpeedPenalty <= 0 {
+		glove.SpeedPenalty = 1
+	}
+	if glove.TouchPenalty <= 0 {
+		glove.TouchPenalty = 1
+	}
+	return &Hand{
+		profile:       profile,
+		glove:         glove,
+		tremor:        NewTremor(profile.TremorRMS, tremorRng),
+		rng:           rng,
+		pos:           startCm,
+		endpointScale: 1,
+	}
+}
+
+// Glove returns the handwear condition.
+func (h *Hand) Glove() Glove { return h.glove }
+
+// Profile returns the motor profile.
+func (h *Hand) Profile() Profile { return h.profile }
+
+// MovementTime returns the Fitts's-law movement time for an amplitude D
+// and target width W (both cm), including the glove speed penalty.
+func (h *Hand) MovementTime(d, w float64) time.Duration {
+	if w <= 0 {
+		w = 0.1
+	}
+	d = math.Abs(d)
+	id := math.Log2(d/w + 1)
+	sec := (h.profile.FittsA + h.profile.FittsB*id) * h.glove.SpeedPenalty
+	if sec < 0.05 {
+		sec = 0.05
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// MoveTo starts a minimum-jerk movement from the current position to a
+// noisy endpoint around target, beginning at 'now'. The realised endpoint
+// includes glove-scaled endpoint noise; the return value is the planned
+// completion time and the realised endpoint.
+func (h *Hand) MoveTo(target float64, w float64, now time.Duration) (done time.Duration, endpoint float64) {
+	endpoint = target
+	if h.rng != nil {
+		endpoint += h.rng.Norm(0, h.endpointScale*h.profile.EndpointSD*h.glove.PrecisionPenalty)
+	}
+	d := math.Abs(endpoint - h.pos)
+	mt := h.MovementTime(d, w)
+	t := NewMinJerk(h.pos, endpoint, now, mt)
+	h.traj = &t
+	return t.End(), endpoint
+}
+
+// SetEndpointScale modulates endpoint noise (learning model hook). Values
+// below a small floor are clamped.
+func (h *Hand) SetEndpointScale(f float64) {
+	if f < 0.05 {
+		f = 0.05
+	}
+	h.endpointScale = f
+}
+
+// Nudge starts a short corrective movement to the target with reduced
+// endpoint noise (secondary submovements are more accurate).
+func (h *Hand) Nudge(target float64, w float64, now time.Duration) (done time.Duration, endpoint float64) {
+	endpoint = target
+	if h.rng != nil {
+		endpoint += h.rng.Norm(0, 0.4*h.endpointScale*h.profile.EndpointSD*h.glove.PrecisionPenalty)
+	}
+	d := math.Abs(endpoint - h.pos)
+	mt := h.MovementTime(d, w)
+	// Corrections are ballistic and short; cap the constant part.
+	if mt > 400*time.Millisecond {
+		mt = 400 * time.Millisecond
+	}
+	t := NewMinJerk(h.pos, endpoint, now, mt)
+	h.traj = &t
+	return t.End(), endpoint
+}
+
+// Position returns the hand position (device distance, cm) at the given
+// time, advancing the commanded position when a trajectory is active, and
+// always adding tremor.
+func (h *Hand) Position(at time.Duration) float64 {
+	if h.traj != nil {
+		h.pos = h.traj.Position(at)
+		if h.traj.Done(at) {
+			h.traj = nil
+		}
+	}
+	p := h.pos + h.tremor.At(at)
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Moving reports whether a voluntary movement is in progress.
+func (h *Hand) Moving() bool { return h.traj != nil }
+
+// Velocity returns the voluntary movement speed in cm/s at the given time.
+func (h *Hand) Velocity(at time.Duration) float64 {
+	if h.traj == nil {
+		return 0
+	}
+	return h.traj.Velocity(at)
+}
+
+// Teleport force-sets the commanded position (scenario setup only).
+func (h *Hand) Teleport(cm float64) {
+	h.traj = nil
+	h.pos = cm
+}
+
+// String formats the hand state.
+func (h *Hand) String() string {
+	return fmt.Sprintf("hand(%s) at %.1f cm", h.glove.Name, h.pos)
+}

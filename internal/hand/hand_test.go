@@ -1,0 +1,257 @@
+package hand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestMinJerkBoundaryConditions(t *testing.T) {
+	tr := NewMinJerk(5, 20, time.Second, 2*time.Second)
+	if got := tr.Position(0); got != 5 {
+		t.Fatalf("before start: %v", got)
+	}
+	if got := tr.Position(time.Second); got != 5 {
+		t.Fatalf("at start: %v", got)
+	}
+	if got := tr.Position(3 * time.Second); got != 20 {
+		t.Fatalf("at end: %v", got)
+	}
+	if got := tr.Position(time.Hour); got != 20 {
+		t.Fatalf("after end: %v", got)
+	}
+	if v := tr.Velocity(time.Second); v != 0 {
+		t.Fatalf("start velocity %v", v)
+	}
+	if v := tr.Velocity(3 * time.Second); v != 0 {
+		t.Fatalf("end velocity %v", v)
+	}
+	if v := tr.Velocity(2 * time.Second); v <= 0 {
+		t.Fatalf("midpoint velocity %v", v)
+	}
+}
+
+func TestMinJerkMonotoneAndBounded(t *testing.T) {
+	f := func(fromRaw, toRaw int16, durMs uint16) bool {
+		from := float64(fromRaw) / 100
+		to := float64(toRaw) / 100
+		dur := time.Duration(int(durMs)%3000+100) * time.Millisecond
+		tr := NewMinJerk(from, to, 0, dur)
+		lo, hi := math.Min(from, to), math.Max(from, to)
+		last := from
+		for i := 0; i <= 100; i++ {
+			at := time.Duration(float64(dur) * float64(i) / 100)
+			p := tr.Position(at)
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+			if to >= from && p < last-1e-9 {
+				return false
+			}
+			if to < from && p > last+1e-9 {
+				return false
+			}
+			last = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinJerkPeakVelocity(t *testing.T) {
+	tr := NewMinJerk(0, 10, 0, time.Second)
+	// Analytic peak is 1.875 * D / T.
+	if got := tr.PeakVelocity(); math.Abs(got-18.75) > 1e-9 {
+		t.Fatalf("peak velocity %v", got)
+	}
+	mid := tr.Velocity(500 * time.Millisecond)
+	if math.Abs(mid-18.75) > 0.01 {
+		t.Fatalf("midpoint velocity %v", mid)
+	}
+}
+
+func TestMinJerkZeroDurationClamped(t *testing.T) {
+	tr := NewMinJerk(0, 5, 0, 0)
+	if tr.Duration <= 0 {
+		t.Fatal("duration not clamped")
+	}
+	if !tr.Done(time.Second) {
+		t.Fatal("should be done")
+	}
+}
+
+func TestTremorStatistics(t *testing.T) {
+	tr := NewTremor(0.06, sim.NewRand(1))
+	var sum, sumsq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := tr.At(time.Duration(i) * time.Millisecond)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	rms := math.Sqrt(sumsq / n)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("tremor mean %v", mean)
+	}
+	if rms < 0.02 || rms > 0.12 {
+		t.Fatalf("tremor rms %v, configured 0.06", rms)
+	}
+}
+
+func TestTremorNilSafe(t *testing.T) {
+	var tr *Tremor
+	if tr.At(time.Second) != 0 {
+		t.Fatal("nil tremor should be silent")
+	}
+	if NewTremor(-1, nil).At(time.Second) != 0 {
+		t.Fatal("negative amplitude should be silent")
+	}
+}
+
+func TestMovementTimeFittsMonotone(t *testing.T) {
+	h := New(DefaultProfile(), BareHand(), 15, nil)
+	if h.MovementTime(4, 2) >= h.MovementTime(16, 2) {
+		t.Fatal("MT should grow with amplitude")
+	}
+	if h.MovementTime(8, 4) >= h.MovementTime(8, 1) {
+		t.Fatal("MT should grow with smaller targets")
+	}
+	if h.MovementTime(0.0001, 10) < 50*time.Millisecond {
+		t.Fatal("MT should have a floor")
+	}
+}
+
+func TestGloveSlowsMovement(t *testing.T) {
+	bare := New(DefaultProfile(), BareHand(), 15, nil)
+	winter := New(DefaultProfile(), WinterGlove(), 15, nil)
+	if winter.MovementTime(10, 2) <= bare.MovementTime(10, 2) {
+		t.Fatal("winter glove should slow movement")
+	}
+}
+
+func TestMoveToReachesNoiselessTarget(t *testing.T) {
+	h := New(DefaultProfile(), BareHand(), 20, nil) // nil rng: no noise, no tremor... tremor is deterministic sinusoid
+	done, endpoint := h.MoveTo(8, 2, 0)
+	if endpoint != 8 {
+		t.Fatalf("noiseless endpoint %v", endpoint)
+	}
+	// Commanded position lands on the endpoint (tremor adds a bounded
+	// wiggle on top).
+	p := h.Position(done + time.Second)
+	if math.Abs(p-8) > 0.2 {
+		t.Fatalf("position %v after move", p)
+	}
+	if h.Moving() {
+		t.Fatal("still moving after completion")
+	}
+}
+
+func TestEndpointNoiseScalesWithGlove(t *testing.T) {
+	spread := func(g Glove) float64 {
+		rng := sim.NewRand(7)
+		h := New(DefaultProfile(), g, 20, rng)
+		var sumsq float64
+		const n = 500
+		for i := 0; i < n; i++ {
+			h.Teleport(20)
+			_, ep := h.MoveTo(10, 2, 0)
+			sumsq += (ep - 10) * (ep - 10)
+		}
+		return math.Sqrt(sumsq / n)
+	}
+	bare, winter := spread(BareHand()), spread(WinterGlove())
+	if winter <= bare*1.2 {
+		t.Fatalf("winter endpoint sd %.3f should clearly exceed bare %.3f", winter, bare)
+	}
+}
+
+func TestNudgeMoreAccurateThanMove(t *testing.T) {
+	spread := func(nudge bool) float64 {
+		rng := sim.NewRand(9)
+		h := New(DefaultProfile(), BareHand(), 20, rng)
+		var sumsq float64
+		const n = 500
+		for i := 0; i < n; i++ {
+			h.Teleport(12)
+			var ep float64
+			if nudge {
+				_, ep = h.Nudge(10, 2, 0)
+			} else {
+				_, ep = h.MoveTo(10, 2, 0)
+			}
+			sumsq += (ep - 10) * (ep - 10)
+		}
+		return math.Sqrt(sumsq / n)
+	}
+	if n, m := spread(true), spread(false); n >= m {
+		t.Fatalf("nudge sd %.3f should be below move sd %.3f", n, m)
+	}
+}
+
+func TestEndpointScaleLearning(t *testing.T) {
+	spread := func(scale float64) float64 {
+		rng := sim.NewRand(11)
+		h := New(DefaultProfile(), BareHand(), 20, rng)
+		h.SetEndpointScale(scale)
+		var sumsq float64
+		const n = 500
+		for i := 0; i < n; i++ {
+			h.Teleport(20)
+			_, ep := h.MoveTo(10, 2, 0)
+			sumsq += (ep - 10) * (ep - 10)
+		}
+		return math.Sqrt(sumsq / n)
+	}
+	if expert, novice := spread(0.3), spread(1.0); expert >= novice {
+		t.Fatalf("practised sd %.3f should be below novice %.3f", expert, novice)
+	}
+}
+
+func TestPositionNeverNegative(t *testing.T) {
+	h := New(DefaultProfile(), BareHand(), 0.01, sim.NewRand(3))
+	for i := 0; i < 1000; i++ {
+		if p := h.Position(time.Duration(i) * 7 * time.Millisecond); p < 0 {
+			t.Fatalf("negative position %v", p)
+		}
+	}
+}
+
+func TestVelocityDuringMove(t *testing.T) {
+	h := New(DefaultProfile(), BareHand(), 20, nil)
+	done, _ := h.MoveTo(5, 2, 0)
+	mid := done / 2
+	h.Position(mid)
+	if v := h.Velocity(mid); v >= 0 {
+		t.Fatalf("moving towards body should have negative velocity, got %v", v)
+	}
+	h.Position(done + time.Second)
+	if v := h.Velocity(done + time.Second); v != 0 {
+		t.Fatalf("velocity after completion %v", v)
+	}
+}
+
+func TestGloveDefaults(t *testing.T) {
+	// A zero-valued glove must be normalised by New.
+	h := New(DefaultProfile(), Glove{Name: "custom"}, 15, nil)
+	g := h.Glove()
+	if g.PrecisionPenalty != 1 || g.SpeedPenalty != 1 || g.TouchPenalty != 1 {
+		t.Fatalf("zero glove not normalised: %+v", g)
+	}
+}
+
+func TestGloveFixtures(t *testing.T) {
+	for _, g := range []Glove{BareHand(), LatexGlove(), WinterGlove(), ChemGlove()} {
+		if g.Name == "" || g.PrecisionPenalty < 1 || g.TouchPenalty <= 0 || g.TouchPenalty > 1 {
+			t.Errorf("glove fixture malformed: %+v", g)
+		}
+	}
+	if WinterGlove().TouchPenalty >= LatexGlove().TouchPenalty {
+		t.Error("winter glove should hurt touch more than latex")
+	}
+}

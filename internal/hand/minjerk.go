@@ -1,0 +1,75 @@
+// Package hand models the human arm moving the DistScroll towards and away
+// from the body: minimum-jerk point-to-point trajectories (Flash & Hogan),
+// physiological tremor, Fitts's-law movement times, and the effect of the
+// gloves that motivate the paper ("it is especially designed for situations
+// in which the user wears gloves").
+package hand
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MinJerk is a minimum-jerk point-to-point trajectory: the standard model
+// of voluntary reaching movements, with zero velocity and acceleration at
+// both endpoints.
+type MinJerk struct {
+	From, To float64
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// NewMinJerk returns a trajectory from 'from' to 'to' starting at start and
+// lasting d. A non-positive duration is clamped to one millisecond.
+func NewMinJerk(from, to float64, start, d time.Duration) MinJerk {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return MinJerk{From: from, To: to, Start: start, Duration: d}
+}
+
+// tau returns normalised time in [0,1].
+func (t MinJerk) tau(at time.Duration) float64 {
+	if at <= t.Start {
+		return 0
+	}
+	if at >= t.Start+t.Duration {
+		return 1
+	}
+	return float64(at-t.Start) / float64(t.Duration)
+}
+
+// Position returns the trajectory position at the given time.
+func (t MinJerk) Position(at time.Duration) float64 {
+	x := t.tau(at)
+	s := x * x * x * (10 + x*(-15+6*x))
+	return t.From + (t.To-t.From)*s
+}
+
+// Velocity returns the trajectory velocity (units/second) at the given
+// time.
+func (t MinJerk) Velocity(at time.Duration) float64 {
+	x := t.tau(at)
+	if x <= 0 || x >= 1 {
+		return 0
+	}
+	ds := 30*x*x - 60*x*x*x + 30*x*x*x*x
+	return (t.To - t.From) * ds / t.Duration.Seconds()
+}
+
+// Done reports whether the trajectory has completed at the given time.
+func (t MinJerk) Done(at time.Duration) bool { return at >= t.Start+t.Duration }
+
+// End returns the completion time.
+func (t MinJerk) End() time.Duration { return t.Start + t.Duration }
+
+// PeakVelocity returns the peak speed of the trajectory (at its midpoint).
+func (t MinJerk) PeakVelocity() float64 {
+	return 1.875 * math.Abs(t.To-t.From) / t.Duration.Seconds()
+}
+
+// String formats the trajectory for traces.
+func (t MinJerk) String() string {
+	return fmt.Sprintf("minjerk %.1f→%.1f over %v", t.From, t.To, t.Duration)
+}

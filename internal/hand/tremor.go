@@ -1,0 +1,64 @@
+package hand
+
+import (
+	"math"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Tremor models physiological hand tremor as a sum of sinusoids in the
+// 8–12 Hz band with random phases plus a slow postural drift component.
+// Amplitude is in the position units of the hand (cm).
+type Tremor struct {
+	components []tremorComponent
+	drift      tremorComponent
+}
+
+type tremorComponent struct {
+	ampl  float64
+	hz    float64
+	phase float64
+}
+
+// NewTremor returns a tremor generator with the given RMS amplitude in cm.
+// rng may be nil, producing a deterministic (fixed-phase) tremor.
+func NewTremor(rmsCm float64, rng *sim.Rand) *Tremor {
+	if rmsCm < 0 {
+		rmsCm = 0
+	}
+	freqs := []float64{8.3, 9.7, 11.2}
+	t := &Tremor{components: make([]tremorComponent, 0, len(freqs))}
+	// Split the RMS budget across the components (and keep a share for
+	// drift). For n equal sinusoids with amplitude a, RMS = a*sqrt(n/2).
+	per := rmsCm * 0.8 / math.Sqrt(float64(len(freqs))/2)
+	for i, hz := range freqs {
+		phase := float64(i) * 2.1
+		f := hz
+		if rng != nil {
+			phase = rng.Uniform(0, 2*math.Pi)
+			f = hz * rng.Uniform(0.95, 1.05)
+		}
+		t.components = append(t.components, tremorComponent{ampl: per, hz: f, phase: phase})
+	}
+	driftPhase := 0.7
+	if rng != nil {
+		driftPhase = rng.Uniform(0, 2*math.Pi)
+	}
+	t.drift = tremorComponent{ampl: rmsCm * 0.6, hz: 0.35, phase: driftPhase}
+	return t
+}
+
+// At returns the tremor displacement in cm at the given time.
+func (t *Tremor) At(at time.Duration) float64 {
+	if t == nil {
+		return 0
+	}
+	sec := at.Seconds()
+	sum := 0.0
+	for _, c := range t.components {
+		sum += c.ampl * math.Sin(2*math.Pi*c.hz*sec+c.phase)
+	}
+	sum += t.drift.ampl * math.Sin(2*math.Pi*t.drift.hz*sec+t.drift.phase)
+	return sum
+}

@@ -1,0 +1,118 @@
+package menu
+
+import "fmt"
+
+// PhoneMenu returns the "fictive mobile phone menu" used in the paper's
+// initial user study (Section 6), modelled on a 2005-era feature phone.
+func PhoneMenu() *Node {
+	return NewNode("Phone",
+		NewNode("Messages",
+			Leaf("Write message"),
+			Leaf("Inbox"),
+			Leaf("Outbox"),
+			Leaf("Drafts"),
+			Leaf("Templates"),
+		),
+		NewNode("Contacts",
+			Leaf("Search"),
+			Leaf("Add contact"),
+			Leaf("Speed dials"),
+			Leaf("Groups"),
+		),
+		NewNode("Call register",
+			Leaf("Missed calls"),
+			Leaf("Received calls"),
+			Leaf("Dialled numbers"),
+			Leaf("Call duration"),
+		),
+		NewNode("Settings",
+			NewNode("Tones",
+				Leaf("Ringing tone"),
+				Leaf("Ringing volume"),
+				Leaf("Vibrating alert"),
+				Leaf("Keypad tones"),
+			),
+			NewNode("Display",
+				Leaf("Wallpaper"),
+				Leaf("Contrast"),
+				Leaf("Backlight time"),
+			),
+			Leaf("Profiles"),
+			Leaf("Time and date"),
+			Leaf("Security"),
+		),
+		NewNode("Games",
+			Leaf("Snake"),
+			Leaf("Space Impact"),
+			Leaf("Bantumi"),
+		),
+		NewNode("Extras",
+			Leaf("Calculator"),
+			Leaf("Stopwatch"),
+			Leaf("Calendar"),
+		),
+	)
+}
+
+// FlatMenu returns a single-level menu with n numbered entries — the
+// workload for the range sweep and long-menu experiments.
+func FlatMenu(n int) *Node {
+	root := NewNode("List")
+	for i := 0; i < n; i++ {
+		root.AddChild(Leaf(fmt.Sprintf("Entry %02d", i+1)))
+	}
+	return root
+}
+
+// LabProtocolMenu returns the hazardous-laboratory scenario menu of the
+// glovelab example: protocol steps a gloved chemist browses one-handed
+// (paper Section 5.2: "hazardous environments as can often be found in bio-
+// or chemical laboratories").
+func LabProtocolMenu() *Node {
+	return NewNode("Lab",
+		NewNode("Protocols",
+			Leaf("PCR setup"),
+			Leaf("Gel electrophoresis"),
+			Leaf("Titration BA-7"),
+			Leaf("Buffer prep"),
+			Leaf("Centrifuge run"),
+		),
+		NewNode("Safety",
+			Leaf("MSDS lookup"),
+			Leaf("Spill procedure"),
+			Leaf("Waste disposal"),
+			Leaf("Emergency contacts"),
+		),
+		NewNode("Log",
+			Leaf("Record step"),
+			Leaf("Flag anomaly"),
+			Leaf("Sign off"),
+		),
+	)
+}
+
+// StocktakingMenu returns the warehouse scenario menu: "one hand counts or
+// scans the items and the second hand operates the mobile device to input
+// data on these items" (paper Section 5.2).
+func StocktakingMenu() *Node {
+	return NewNode("Stock",
+		NewNode("Count",
+			Leaf("Set quantity"),
+			Leaf("Add 1"),
+			Leaf("Add 10"),
+			Leaf("Clear"),
+		),
+		NewNode("Item info",
+			Leaf("Location"),
+			Leaf("Supplier"),
+			Leaf("Reorder level"),
+			Leaf("Last counted"),
+		),
+		NewNode("Discrepancy",
+			Leaf("Mark missing"),
+			Leaf("Mark damaged"),
+			Leaf("Mark surplus"),
+		),
+		Leaf("Next item"),
+	)
+}

@@ -1,0 +1,77 @@
+package menu
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// jsonNode is the on-disk menu schema:
+//
+//	{"title": "Phone", "children": [{"title": "Messages", "children": [...]}]}
+type jsonNode struct {
+	Title    string     `json:"title"`
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+// JSON schema errors.
+var (
+	// ErrNoTitle is returned when a node has an empty title.
+	ErrNoTitle = errors.New("menu: node without title")
+	// ErrTooDeep is returned beyond the supported nesting depth.
+	ErrTooDeep = errors.New("menu: tree too deep")
+)
+
+// maxJSONDepth bounds recursion on untrusted input.
+const maxJSONDepth = 16
+
+// FromJSON parses a menu tree from its JSON representation.
+func FromJSON(r io.Reader) (*Node, error) {
+	var root jsonNode
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("menu: parse json: %w", err)
+	}
+	return buildNode(root, 0)
+}
+
+func buildNode(j jsonNode, depth int) (*Node, error) {
+	if depth > maxJSONDepth {
+		return nil, fmt.Errorf("%w: > %d levels", ErrTooDeep, maxJSONDepth)
+	}
+	if j.Title == "" {
+		return nil, ErrNoTitle
+	}
+	n := NewNode(j.Title)
+	for _, c := range j.Children {
+		child, err := buildNode(c, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.AddChild(child)
+	}
+	return n, nil
+}
+
+// ToJSON writes the menu tree as indented JSON.
+func ToJSON(w io.Writer, root *Node) error {
+	if root == nil {
+		return errors.New("menu: nil root")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(toJSONNode(root)); err != nil {
+		return fmt.Errorf("menu: encode json: %w", err)
+	}
+	return nil
+}
+
+func toJSONNode(n *Node) jsonNode {
+	j := jsonNode{Title: n.Title}
+	for _, c := range n.Children {
+		j.Children = append(j.Children, toJSONNode(c))
+	}
+	return j
+}

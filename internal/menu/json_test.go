@@ -1,0 +1,84 @@
+package menu
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFromJSON(t *testing.T) {
+	src := `{
+		"title": "Root",
+		"children": [
+			{"title": "A", "children": [{"title": "A1"}, {"title": "A2"}]},
+			{"title": "B"}
+		]
+	}`
+	root, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Title != "Root" || len(root.Children) != 2 {
+		t.Fatalf("root: %+v", root)
+	}
+	if root.Children[0].Children[1].Title != "A2" {
+		t.Fatal("nested child lost")
+	}
+	if got := root.Children[0].Children[1].Path(); got != "Root > A > A2" {
+		t.Fatalf("path %q (parent wiring broken)", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := PhoneMenu()
+	var buf bytes.Buffer
+	if err := ToJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CountLeaves() != orig.CountLeaves() {
+		t.Fatalf("leaves %d vs %d", back.CountLeaves(), orig.CountLeaves())
+	}
+	var cmp func(a, b *Node) bool
+	cmp = func(a, b *Node) bool {
+		if a.Title != b.Title || len(a.Children) != len(b.Children) {
+			return false
+		}
+		for i := range a.Children {
+			if !cmp(a.Children[i], b.Children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !cmp(orig, back) {
+		t.Fatal("trees differ after round trip")
+	}
+}
+
+func TestFromJSONValidation(t *testing.T) {
+	if _, err := FromJSON(strings.NewReader(`{"children":[]}`)); !errors.Is(err, ErrNoTitle) {
+		t.Fatalf("missing title: %v", err)
+	}
+	if _, err := FromJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{"title":"x","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Depth bomb.
+	deep := strings.Repeat(`{"title":"d","children":[`, 20) + `{"title":"leaf"}` + strings.Repeat(`]}`, 20)
+	if _, err := FromJSON(strings.NewReader(deep)); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("depth bomb: %v", err)
+	}
+}
+
+func TestToJSONNil(t *testing.T) {
+	if err := ToJSON(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil root accepted")
+	}
+}

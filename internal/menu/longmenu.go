@@ -1,0 +1,143 @@
+package menu
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the two long-menu strategies of paper Section 7:
+// chunked access ("large menus could only be accessed in chunks of e.g. 10
+// entries") and speed-dependent automatic zooming after Igarashi &
+// Hinckley, the solution the paper points to in [6].
+
+// Chunked presents a long flat level in fixed-size pages. The distance
+// islands map onto one page plus two paging pseudo-entries, so a 100-entry
+// menu only ever needs 12 islands.
+type Chunked struct {
+	menu  *Menu
+	size  int
+	page  int
+	inner int // cursor within the page
+}
+
+// Paging pseudo-entry indices within a chunk view: 0 is "previous chunk",
+// 1..size are entries, size+1 is "next chunk".
+const (
+	ChunkPrev = 0
+	chunkBase = 1
+)
+
+// NewChunked wraps a menu's current level in pages of the given size.
+func NewChunked(m *Menu, size int) (*Chunked, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("menu: chunk size %d must be positive", size)
+	}
+	if m.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	return &Chunked{menu: m, size: size}, nil
+}
+
+// Slots returns the number of islands a chunk view needs (entries + two
+// paging slots).
+func (c *Chunked) Slots() int { return c.size + 2 }
+
+// Pages returns the number of pages.
+func (c *Chunked) Pages() int {
+	return (c.menu.Len() + c.size - 1) / c.size
+}
+
+// Page returns the current page index.
+func (c *Chunked) Page() int { return c.page }
+
+// ChunkNext returns the "next chunk" pseudo-entry index.
+func (c *Chunked) ChunkNext() int { return c.size + 1 }
+
+// pageLen returns the number of real entries on the current page.
+func (c *Chunked) pageLen() int {
+	n := c.menu.Len() - c.page*c.size
+	if n > c.size {
+		n = c.size
+	}
+	return n
+}
+
+// Select positions the view on slot index (a paging slot turns the page;
+// an entry slot moves the underlying menu cursor). It returns the absolute
+// entry index now under the cursor.
+func (c *Chunked) Select(slot int) int {
+	switch {
+	case slot <= ChunkPrev:
+		if c.page > 0 {
+			c.page--
+			c.inner = c.size - 1
+		} else {
+			c.inner = 0
+		}
+	case slot >= c.ChunkNext():
+		if c.page < c.Pages()-1 {
+			c.page++
+			c.inner = 0
+		} else {
+			c.inner = c.pageLen() - 1
+		}
+	default:
+		c.inner = slot - chunkBase
+		if c.inner >= c.pageLen() {
+			c.inner = c.pageLen() - 1
+		}
+	}
+	abs := c.page*c.size + c.inner
+	c.menu.MoveTo(abs)
+	return abs
+}
+
+// Absolute returns the absolute entry index under the cursor.
+func (c *Chunked) Absolute() int { return c.page*c.size + c.inner }
+
+// SlotForAbsolute returns the page and slot that reach an absolute index
+// (useful for planning: how many page turns plus which slot).
+func (c *Chunked) SlotForAbsolute(abs int) (page, slot int) {
+	if abs < 0 {
+		abs = 0
+	}
+	if abs >= c.menu.Len() {
+		abs = c.menu.Len() - 1
+	}
+	return abs / c.size, abs%c.size + chunkBase
+}
+
+// SDAZ implements speed-dependent automatic zooming for scrolling: the
+// faster the control signal moves, the coarser the granularity, so distant
+// targets are reached quickly yet fine positioning stays precise.
+type SDAZ struct {
+	// GainLow is entries per cm at near-zero speed.
+	GainLow float64
+	// GainHigh is entries per cm at and beyond SpeedHigh.
+	GainHigh float64
+	// SpeedHigh is the control speed (cm/s) at which the gain saturates.
+	SpeedHigh float64
+}
+
+// DefaultSDAZ returns gains tuned for a 26 cm scroll range.
+func DefaultSDAZ() SDAZ {
+	return SDAZ{GainLow: 0.5, GainHigh: 8, SpeedHigh: 40}
+}
+
+// Gain returns the entries-per-cm mapping gain at the given control speed
+// (cm/s), interpolating smoothly between the low- and high-speed gains.
+func (z SDAZ) Gain(speed float64) float64 {
+	speed = math.Abs(speed)
+	if z.SpeedHigh <= 0 || speed >= z.SpeedHigh {
+		return z.GainHigh
+	}
+	t := speed / z.SpeedHigh
+	// Smoothstep keeps the transition free of gain jumps.
+	t = t * t * (3 - 2*t)
+	return z.GainLow + (z.GainHigh-z.GainLow)*t
+}
+
+// Step converts a movement of dCm at the given speed into an entry delta.
+func (z SDAZ) Step(dCm, speed float64) int {
+	return int(math.Round(dCm * z.Gain(speed)))
+}

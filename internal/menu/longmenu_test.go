@@ -1,0 +1,143 @@
+package menu
+
+import (
+	"testing"
+)
+
+func chunked(t *testing.T, entries, size int) (*Menu, *Chunked) {
+	t.Helper()
+	m, err := New(FlatMenu(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChunked(m, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+func TestChunkedGeometry(t *testing.T) {
+	_, c := chunked(t, 100, 10)
+	if c.Pages() != 10 {
+		t.Fatalf("pages = %d", c.Pages())
+	}
+	if c.Slots() != 12 {
+		t.Fatalf("slots = %d", c.Slots())
+	}
+	// 95 entries: last page is short.
+	_, c2 := chunked(t, 95, 10)
+	if c2.Pages() != 10 {
+		t.Fatalf("pages(95) = %d", c2.Pages())
+	}
+}
+
+func TestChunkedSelectEntrySlot(t *testing.T) {
+	m, c := chunked(t, 100, 10)
+	abs := c.Select(4) // slot 4 = entry index 3 of page 0
+	if abs != 3 || m.Cursor() != 3 {
+		t.Fatalf("abs=%d cursor=%d", abs, m.Cursor())
+	}
+}
+
+func TestChunkedPaging(t *testing.T) {
+	m, c := chunked(t, 100, 10)
+	abs := c.Select(c.ChunkNext())
+	if c.Page() != 1 || abs != 10 {
+		t.Fatalf("page=%d abs=%d", c.Page(), abs)
+	}
+	abs = c.Select(ChunkPrev)
+	if c.Page() != 0 {
+		t.Fatalf("page after prev = %d", c.Page())
+	}
+	// Coming back up places the cursor at the end of the previous page.
+	if abs != 9 || m.Cursor() != 9 {
+		t.Fatalf("abs=%d cursor=%d after prev", abs, m.Cursor())
+	}
+}
+
+func TestChunkedPagingClamps(t *testing.T) {
+	_, c := chunked(t, 30, 10)
+	c.Select(ChunkPrev) // at page 0: stays
+	if c.Page() != 0 {
+		t.Fatalf("page = %d", c.Page())
+	}
+	c.Select(c.ChunkNext())
+	c.Select(c.ChunkNext())
+	c.Select(c.ChunkNext()) // beyond last page: clamps to last entry
+	if c.Page() != 2 {
+		t.Fatalf("page = %d", c.Page())
+	}
+	if c.Absolute() != 29 {
+		t.Fatalf("absolute = %d", c.Absolute())
+	}
+}
+
+func TestChunkedShortLastPage(t *testing.T) {
+	m, c := chunked(t, 25, 10)
+	c.Select(c.ChunkNext())
+	c.Select(c.ChunkNext()) // page 2 holds entries 20..24
+	abs := c.Select(9)      // slot 9 → inner 8, beyond the 5 entries: clamps
+	if abs != 24 || m.Cursor() != 24 {
+		t.Fatalf("abs=%d cursor=%d", abs, m.Cursor())
+	}
+}
+
+func TestSlotForAbsolute(t *testing.T) {
+	_, c := chunked(t, 100, 10)
+	page, slot := c.SlotForAbsolute(37)
+	if page != 3 || slot != 8 {
+		t.Fatalf("page=%d slot=%d", page, slot)
+	}
+	page, slot = c.SlotForAbsolute(-4)
+	if page != 0 || slot != 1 {
+		t.Fatalf("clamped low: page=%d slot=%d", page, slot)
+	}
+	page, _ = c.SlotForAbsolute(1000)
+	if page != 9 {
+		t.Fatalf("clamped high: page=%d", page)
+	}
+}
+
+func TestChunkedValidation(t *testing.T) {
+	m, err := New(FlatMenu(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChunked(m, 0); err == nil {
+		t.Fatal("chunk size 0 accepted")
+	}
+}
+
+func TestSDAZGainMonotone(t *testing.T) {
+	z := DefaultSDAZ()
+	if z.Gain(0) != z.GainLow {
+		t.Fatalf("gain at rest = %f", z.Gain(0))
+	}
+	if z.Gain(1000) != z.GainHigh {
+		t.Fatalf("gain saturated = %f", z.Gain(1000))
+	}
+	last := 0.0
+	for v := 0.0; v <= z.SpeedHigh; v += 1 {
+		g := z.Gain(v)
+		if g < last-1e-9 {
+			t.Fatalf("gain not monotone at %f: %f < %f", v, g, last)
+		}
+		last = g
+	}
+}
+
+func TestSDAZStep(t *testing.T) {
+	z := DefaultSDAZ()
+	slow := z.Step(2, 1)
+	fast := z.Step(2, 100)
+	if fast <= slow {
+		t.Fatalf("fast step %d should exceed slow step %d", fast, slow)
+	}
+	if z.Step(0, 50) != 0 {
+		t.Fatal("zero movement should step 0")
+	}
+	if z.Step(-2, 100) >= 0 {
+		t.Fatal("negative movement should step negative")
+	}
+}

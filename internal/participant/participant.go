@@ -1,0 +1,277 @@
+// Package participant simulates a study participant operating the full
+// DistScroll device: perceive the display, plan a movement, execute it with
+// the hand model, verify, correct, and press the select button. It turns
+// the paper's qualitative initial user study (Section 6) into repeatable
+// quantitative trials.
+package participant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Config shapes a participant.
+type Config struct {
+	Profile hand.Profile
+	Glove   hand.Glove
+	// ReactionTime is the perceive-and-plan latency before each movement.
+	ReactionTime time.Duration
+	// VerifyTime is the dwell needed to read the display after arriving.
+	VerifyTime time.Duration
+	// LearningTau is the trial constant of the endpoint-noise decay:
+	// scale = floor + (1-floor)·exp(-trials/tau). The paper observed that
+	// "shortly after knowing the relation between menu entry selection and
+	// distance, all users were able to nearly errorless use the device".
+	LearningTau float64
+	// LearningFloor is the asymptotic endpoint scale for a practised user.
+	LearningFloor float64
+	// MaxCorrections bounds corrective submovements per trial.
+	MaxCorrections int
+	// DiscoverySweep, when set, prepends a first-trial exploration sweep
+	// across the range ("the manner of operation was promptly discovered").
+	DiscoverySweep bool
+}
+
+// DefaultConfig is an average novice participant.
+func DefaultConfig() Config {
+	return Config{
+		Profile:        hand.DefaultProfile(),
+		Glove:          hand.BareHand(),
+		ReactionTime:   300 * time.Millisecond,
+		VerifyTime:     250 * time.Millisecond,
+		LearningTau:    4,
+		LearningFloor:  0.35,
+		MaxCorrections: 6,
+		DiscoverySweep: true,
+	}
+}
+
+// TrialResult records one selection trial.
+type TrialResult struct {
+	Target      int
+	Time        time.Duration
+	Corrections int
+	// WrongSelection is true when the select button fired on a different
+	// entry than the target.
+	WrongSelection bool
+	// Discovery is the exploration overhead included in Time (first trial
+	// only).
+	Discovery time.Duration
+}
+
+// Errored reports whether the trial had any error (wrong selection or at
+// least one correction).
+func (r TrialResult) Errored() bool { return r.WrongSelection || r.Corrections > 0 }
+
+// Participant operates a device.
+type Participant struct {
+	cfg    Config
+	dev    *core.Device
+	hand   *hand.Hand
+	rng    *sim.Rand
+	trials int
+
+	updateCancel func()
+}
+
+// ErrNoProgress is returned when a trial exhausts its correction budget
+// without reaching the target.
+var ErrNoProgress = errors.New("participant: correction budget exhausted")
+
+// New attaches a participant to a device. The participant takes over the
+// device's distance input: every 10 ms of virtual time the hand position is
+// written to the board.
+func New(cfg Config, dev *core.Device, rng *sim.Rand) (*Participant, error) {
+	if dev == nil {
+		return nil, errors.New("participant: device is required")
+	}
+	if cfg.LearningTau <= 0 {
+		cfg.LearningTau = DefaultConfig().LearningTau
+	}
+	if cfg.LearningFloor <= 0 || cfg.LearningFloor > 1 {
+		cfg.LearningFloor = DefaultConfig().LearningFloor
+	}
+	if cfg.MaxCorrections <= 0 {
+		cfg.MaxCorrections = DefaultConfig().MaxCorrections
+	}
+	var handRng *sim.Rand
+	if rng != nil {
+		handRng = rng.Split()
+	}
+	p := &Participant{
+		cfg:  cfg,
+		dev:  dev,
+		hand: hand.New(cfg.Profile, cfg.Glove, dev.Distance(), handRng),
+		rng:  rng,
+	}
+	p.updateCancel = dev.Scheduler.Every(10*time.Millisecond, func(at time.Duration) {
+		dev.SetDistance(p.hand.Position(at))
+	})
+	p.applyLearning()
+	return p, nil
+}
+
+// Detach stops driving the device distance.
+func (p *Participant) Detach() {
+	if p.updateCancel != nil {
+		p.updateCancel()
+		p.updateCancel = nil
+	}
+}
+
+// Hand exposes the hand model (scenario scripting).
+func (p *Participant) Hand() *hand.Hand { return p.hand }
+
+// Trials returns the number of completed trials.
+func (p *Participant) Trials() int { return p.trials }
+
+// EndpointScale returns the current learning-adjusted endpoint noise scale.
+func (p *Participant) EndpointScale() float64 {
+	return p.cfg.LearningFloor + (1-p.cfg.LearningFloor)*math.Exp(-float64(p.trials)/p.cfg.LearningTau)
+}
+
+func (p *Participant) applyLearning() {
+	p.hand.SetEndpointScale(p.EndpointScale())
+}
+
+// run advances the device simulation to the given absolute virtual time.
+func (p *Participant) run(until time.Duration) error {
+	d := until - p.dev.Clock.Now()
+	if d <= 0 {
+		return nil
+	}
+	return p.dev.Run(d)
+}
+
+// wait advances the simulation by d.
+func (p *Participant) wait(d time.Duration) error {
+	return p.run(p.dev.Clock.Now() + d)
+}
+
+// SelectEntry performs one full selection trial: scroll the cursor to the
+// target entry of the current level and press select. It returns the trial
+// result even on a wrong selection; only simulation faults return an error.
+func (p *Participant) SelectEntry(target int) (TrialResult, error) {
+	res := TrialResult{Target: target}
+	start := p.dev.Clock.Now()
+
+	if target < 0 || target >= p.dev.Menu.Len() {
+		return res, fmt.Errorf("participant: target %d out of range [0,%d)", target, p.dev.Menu.Len())
+	}
+
+	// First contact: sweep the device through the range to discover the
+	// distance→selection relation.
+	if p.cfg.DiscoverySweep && p.trials == 0 {
+		dStart := p.dev.Clock.Now()
+		if err := p.discover(); err != nil {
+			return res, err
+		}
+		res.Discovery = p.dev.Clock.Now() - dStart
+	}
+
+	// Perceive and plan.
+	if err := p.wait(p.cfg.ReactionTime); err != nil {
+		return res, err
+	}
+
+	targetDist, err := p.dev.DistanceForEntry(target)
+	if err != nil {
+		return res, fmt.Errorf("participant: %w", err)
+	}
+	w := p.dev.Mapper().EntryWidthCm()
+
+	// Primary movement.
+	done, _ := p.hand.MoveTo(targetDist, w, p.dev.Clock.Now())
+	if err := p.run(done); err != nil {
+		return res, err
+	}
+	if err := p.wait(p.cfg.VerifyTime); err != nil {
+		return res, err
+	}
+
+	// Verify-and-correct loop.
+	for p.dev.Cursor() != target {
+		if res.Corrections >= p.cfg.MaxCorrections {
+			// Give up and select whatever is under the cursor — the
+			// realistic failure mode the study counts as an error.
+			break
+		}
+		res.Corrections++
+		done, _ := p.hand.Nudge(targetDist, w, p.dev.Clock.Now())
+		if err := p.run(done); err != nil {
+			return res, err
+		}
+		if err := p.wait(p.cfg.VerifyTime); err != nil {
+			return res, err
+		}
+	}
+
+	// Select with the thumb.
+	selectedAt := p.dev.Cursor()
+	p.dev.PressSelect()
+	if err := p.wait(150 * time.Millisecond); err != nil {
+		return res, err
+	}
+	res.WrongSelection = selectedAt != target
+
+	res.Time = p.dev.Clock.Now() - start
+	p.trials++
+	p.applyLearning()
+	return res, nil
+}
+
+// discover sweeps the hand from far to near and back, as first-time users
+// did when handed the device.
+func (p *Participant) discover() error {
+	cfgRange := [2]float64{28, 6}
+	for _, target := range cfgRange {
+		done, _ := p.hand.MoveTo(target, 4, p.dev.Clock.Now())
+		if err := p.run(done); err != nil {
+			return err
+		}
+		if err := p.wait(300 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReturnToRoot presses the back button until the menu is at the root
+// level again (bounded by the tree depth).
+func (p *Participant) ReturnToRoot() error {
+	for guard := 0; p.dev.Menu.Depth() > 0 && guard < 16; guard++ {
+		p.dev.PressBack()
+		if err := p.wait(400 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	if p.dev.Menu.Depth() != 0 {
+		return fmt.Errorf("participant: stuck at depth %d", p.dev.Menu.Depth())
+	}
+	return nil
+}
+
+// NavigateTo descends a path of entry indices from the current level,
+// selecting one entry per level (entering submenus along the way). It
+// returns the per-level trial results.
+func (p *Participant) NavigateTo(path []int) ([]TrialResult, error) {
+	results := make([]TrialResult, 0, len(path))
+	for depth, idx := range path {
+		r, err := p.SelectEntry(idx)
+		if err != nil {
+			return results, fmt.Errorf("participant: level %d: %w", depth, err)
+		}
+		results = append(results, r)
+		// Allow the firmware to process the level change.
+		if err := p.wait(100 * time.Millisecond); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

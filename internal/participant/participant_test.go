@@ -1,0 +1,209 @@
+package participant
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func newPair(t *testing.T, seed uint64, root *menu.Node, pcfg Config) (*core.Device, *Participant) {
+	t.Helper()
+	dcfg := core.DefaultConfig()
+	dcfg.Seed = seed
+	dev, err := core.NewDevice(dcfg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dev.Stop)
+	p, err := New(pcfg, dev, sim.NewRand(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Detach)
+	return dev, p
+}
+
+func TestSelectEntryCompletes(t *testing.T) {
+	dev, p := newPair(t, 1, menu.FlatMenu(10), DefaultConfig())
+	res, err := p.SelectEntry(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("trial time %v", res.Time)
+	}
+	if res.Discovery <= 0 {
+		t.Fatal("first trial should include a discovery sweep")
+	}
+	// The selection was confirmed by the device (possibly with errors).
+	if dev.Menu.Selections() != 1 {
+		t.Fatalf("selections = %d", dev.Menu.Selections())
+	}
+	if p.Trials() != 1 {
+		t.Fatalf("trials = %d", p.Trials())
+	}
+}
+
+func TestSecondTrialHasNoDiscovery(t *testing.T) {
+	_, p := newPair(t, 2, menu.FlatMenu(10), DefaultConfig())
+	if _, err := p.SelectEntry(3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.SelectEntry(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discovery != 0 {
+		t.Fatalf("second trial discovery %v", res.Discovery)
+	}
+}
+
+func TestTargetOutOfRange(t *testing.T) {
+	_, p := newPair(t, 3, menu.FlatMenu(5), DefaultConfig())
+	if _, err := p.SelectEntry(9); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestLearningReducesEndpointScale(t *testing.T) {
+	_, p := newPair(t, 4, menu.FlatMenu(10), DefaultConfig())
+	before := p.EndpointScale()
+	for i := 0; i < 8; i++ {
+		if _, err := p.SelectEntry(i % 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := p.EndpointScale()
+	if after >= before {
+		t.Fatalf("endpoint scale did not fall: %.3f -> %.3f", before, after)
+	}
+	if after < p.cfg.LearningFloor {
+		t.Fatalf("scale %f below floor", after)
+	}
+}
+
+func TestLearningReducesErrors(t *testing.T) {
+	// Aggregate over several participants: early trials err more often
+	// than late trials — the paper's "nearly errorless" after learning.
+	var earlyErr, lateErr, earlyN, lateN int
+	for seed := uint64(0); seed < 8; seed++ {
+		cfg := DefaultConfig()
+		cfg.DiscoverySweep = false
+		_, p := newPair(t, 100+seed, menu.FlatMenu(12), cfg)
+		rng := sim.NewRand(seed)
+		for trial := 0; trial < 14; trial++ {
+			res, err := p.SelectEntry(rng.Intn(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trial < 4 {
+				earlyN++
+				if res.Errored() {
+					earlyErr++
+				}
+			} else if trial >= 10 {
+				lateN++
+				if res.Errored() {
+					lateErr++
+				}
+			}
+		}
+	}
+	earlyRate := float64(earlyErr) / float64(earlyN)
+	lateRate := float64(lateErr) / float64(lateN)
+	if lateRate >= earlyRate {
+		t.Fatalf("late error rate %.2f should be below early %.2f", lateRate, earlyRate)
+	}
+	if lateRate > 0.45 {
+		t.Fatalf("practised users should be nearly errorless, got %.2f", lateRate)
+	}
+}
+
+func TestNavigateToDescends(t *testing.T) {
+	dev, p := newPair(t, 5, menu.PhoneMenu(), DefaultConfig())
+	// Settings (3) -> Tones (0) -> Ringing tone (0).
+	results, err := p.NavigateTo([]int{3, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results: %d", len(results))
+	}
+	// After the final leaf selection we remain in Tones.
+	if dev.Menu.Level().Title != "Tones" {
+		t.Fatalf("level %q", dev.Menu.Level().Title)
+	}
+	if dev.Menu.Selections() != 1 {
+		t.Fatalf("selections = %d", dev.Menu.Selections())
+	}
+}
+
+func TestGlovedParticipantStillWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Glove = hand.WinterGlove()
+	cfg.DiscoverySweep = false
+	_, p := newPair(t, 6, menu.FlatMenu(8), cfg)
+	ok := 0
+	for i := 0; i < 6; i++ {
+		res, err := p.SelectEntry((i * 3) % 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.WrongSelection {
+			ok++
+		}
+	}
+	// Gloves cost corrections, not task failure: most trials still land.
+	if ok < 4 {
+		t.Fatalf("gloved participant succeeded only %d/6 trials", ok)
+	}
+}
+
+func TestDetachStopsDrivingDevice(t *testing.T) {
+	dev, p := newPair(t, 7, menu.FlatMenu(10), DefaultConfig())
+	if _, err := p.SelectEntry(5); err != nil {
+		t.Fatal(err)
+	}
+	p.Detach()
+	dev.SetDistance(28)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The hand no longer overwrites the distance.
+	if dev.Distance() < 27 {
+		t.Fatalf("distance %v still driven after detach", dev.Distance())
+	}
+}
+
+func TestHandAccessor(t *testing.T) {
+	_, p := newPair(t, 8, menu.FlatMenu(5), DefaultConfig())
+	h := p.Hand()
+	if h == nil {
+		t.Fatal("nil hand")
+	}
+	if h.Glove().Name != "bare" {
+		t.Fatalf("glove %q", h.Glove().Name)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil, sim.NewRand(1)); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestTrialResultErrored(t *testing.T) {
+	if (TrialResult{}).Errored() {
+		t.Fatal("clean trial marked errored")
+	}
+	if !(TrialResult{Corrections: 1}).Errored() {
+		t.Fatal("correction not counted as error")
+	}
+	if !(TrialResult{WrongSelection: true}).Errored() {
+		t.Fatal("wrong selection not counted as error")
+	}
+}

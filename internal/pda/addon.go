@@ -1,0 +1,225 @@
+// Package pda implements the paper's future-work item: "we also intend to
+// construct a minimized version of the DistScroll as add-on for a PDA"
+// (Section 7), attached through the device's connector as suggested in
+// Section 5.2 ("a DistScroll add-on for mobile devices using the power
+// connector ... thereby potentially extending its usage").
+//
+// The add-on is the DistScroll reduced to its essence: the GP2D120, the
+// ADC, the filter, the island mapper and a single select button — no
+// displays, no radio. It speaks a tiny bidirectional wire protocol over
+// the connector: the PDA announces how many entries its current list has
+// (the add-on rebuilds its islands), and the add-on streams island changes
+// and button presses back.
+package pda
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/adc"
+	"github.com/hcilab/distscroll/internal/buttons"
+	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/mapping"
+	"github.com/hcilab/distscroll/internal/serial"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Wire protocol record types (addon→PDA unless noted).
+const (
+	// RecIsland: [RecIsland, index] — the selection moved.
+	RecIsland byte = 0xA5
+	// RecButton: [RecButton, 0] — the select button was pressed.
+	RecButton byte = 0xB1
+	// RecConfig (PDA→addon): [RecConfig, entries] — list size changed.
+	RecConfig byte = 0xC0
+	// RecNoSignal: [RecNoSignal, 0] — out of range / no measurement.
+	RecNoSignal byte = 0xD2
+)
+
+// AddonConfig parameterises the add-on module.
+type AddonConfig struct {
+	Sensor       gp2d120.Config
+	Surface      gp2d120.Surface
+	Mapping      mapping.Config
+	Filter       firmware.FilterKind
+	SamplePeriod time.Duration
+}
+
+// DefaultAddonConfig matches the full prototype's sensing chain.
+func DefaultAddonConfig() AddonConfig {
+	return AddonConfig{
+		Sensor:       gp2d120.DefaultConfig(),
+		Surface:      gp2d120.DefaultSurface(),
+		Mapping:      mapping.DefaultConfig(1),
+		Filter:       firmware.MedianEMA,
+		SamplePeriod: 40 * time.Millisecond,
+	}
+}
+
+// Addon is the minimized DistScroll module.
+type Addon struct {
+	cfg    AddonConfig
+	sensor *gp2d120.Sensor
+	conv   *adc.Converter
+	filter firmware.Filter
+	mapper *mapping.Mapper
+	pad    *buttons.Pad
+	port   *serial.Port
+
+	distanceCm float64
+	lastIsland int
+	noSignal   bool
+
+	// Stats.
+	cycles  uint64
+	sentRec uint64
+}
+
+// NewAddon builds an add-on module talking over the given port end.
+func NewAddon(cfg AddonConfig, port *serial.Port, rng *sim.Rand) (*Addon, error) {
+	if port == nil {
+		return nil, errors.New("pda: addon needs a port")
+	}
+	var sensorRng, adcRng *sim.Rand
+	if rng != nil {
+		sensorRng = rng.Split()
+		adcRng = rng.Split()
+	}
+	sensor, err := gp2d120.New(cfg.Sensor, cfg.Surface, sensorRng)
+	if err != nil {
+		return nil, fmt.Errorf("pda: %w", err)
+	}
+	conv, err := adc.New(adc.DefaultVref, 1, adcRng)
+	if err != nil {
+		return nil, fmt.Errorf("pda: %w", err)
+	}
+	a := &Addon{
+		cfg:        cfg,
+		sensor:     sensor,
+		conv:       conv,
+		pad:        buttons.NewPad(buttons.SingleLargeButtonLayout()),
+		port:       port,
+		distanceCm: 15,
+		lastIsland: -1,
+	}
+	if err := conv.Connect(0, func() float64 { return a.sensor.Sample(a.distanceCm) }); err != nil {
+		return nil, fmt.Errorf("pda: %w", err)
+	}
+	f, err := firmware.NewFilter(cfg.Filter, 0.35)
+	if err != nil {
+		return nil, fmt.Errorf("pda: %w", err)
+	}
+	a.filter = f
+	if err := a.rebuildMapper(cfg.Mapping.Entries); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// SetDistance drives the physical distance (environment hook).
+func (a *Addon) SetDistance(cm float64) {
+	if cm < 0 {
+		cm = 0
+	}
+	a.distanceCm = cm
+}
+
+// PressButton drives the electrical button level.
+func (a *Addon) PressButton(pressed bool, at time.Duration) {
+	a.pad.Set(buttons.TopRight, pressed, at)
+}
+
+// Cycles reports executed loop cycles; Sent the emitted records.
+func (a *Addon) Cycles() uint64 { return a.cycles }
+
+// Sent reports emitted protocol records.
+func (a *Addon) Sent() uint64 { return a.sentRec }
+
+func (a *Addon) rebuildMapper(entries int) error {
+	if entries < 1 {
+		entries = 1
+	}
+	cfg := a.cfg.Mapping
+	cfg.Entries = entries
+	m, err := mapping.New(cfg, a.sensor.Ideal)
+	if err != nil {
+		return fmt.Errorf("pda: rebuild mapper: %w", err)
+	}
+	a.mapper = m
+	a.filter.Reset()
+	a.lastIsland = -1
+	return nil
+}
+
+// Step runs one add-on cycle: handle configuration from the PDA, sample,
+// map, and report changes.
+func (a *Addon) Step(now time.Duration) error {
+	a.cycles++
+
+	// Configuration from the host.
+	buf := make([]byte, 64)
+	for {
+		n, err := a.port.Read(buf)
+		if err != nil {
+			return fmt.Errorf("pda: addon read: %w", err)
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i+1 < n; i += 2 {
+			if buf[i] == RecConfig {
+				if err := a.rebuildMapper(int(buf[i+1])); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Sense and map.
+	code, err := a.conv.Read(0)
+	if err != nil {
+		return fmt.Errorf("pda: sample: %w", err)
+	}
+	v := a.filter.Apply(a.conv.Voltage(code))
+	if v < 0.32 {
+		if !a.noSignal {
+			a.noSignal = true
+			if err := a.emit(RecNoSignal, 0); err != nil {
+				return err
+			}
+		}
+	} else {
+		a.noSignal = false
+		if index, active := a.mapper.Map(v); active && index != a.lastIsland {
+			a.lastIsland = index
+			if err := a.emit(RecIsland, byte(index)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Button.
+	for _, ev := range a.pad.Scan(now) {
+		if ev.Kind == buttons.Press {
+			if err := a.emit(RecButton, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Addon) emit(rec, arg byte) error {
+	if _, err := a.port.Write([]byte{rec, arg}); err != nil {
+		return fmt.Errorf("pda: addon write: %w", err)
+	}
+	a.sentRec++
+	return nil
+}
+
+// DistanceForEntry exposes the island geometry so scenarios can steer.
+func (a *Addon) DistanceForEntry(index int) (float64, error) {
+	return a.mapper.DistanceFor(index)
+}

@@ -1,0 +1,160 @@
+package pda
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Screen geometry of the simulated 2005-era PDA (quarter-VGA class,
+// rendered as a text grid).
+const (
+	ScreenCols  = 28
+	ScreenLines = 10
+)
+
+// PDA is the host device: it owns a scrollable application list, renders
+// its screen, and consumes add-on records through the connector.
+type PDA struct {
+	port  portReader
+	items []string
+	sel   int
+	// OnActivate runs when the add-on button activates the selection.
+	OnActivate func(index int, item string)
+
+	// Stats.
+	records   uint64
+	unknown   uint64
+	noSignal  bool
+	activated int
+}
+
+// portReader is the slice of the serial port the PDA needs (test seam).
+type portReader interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+}
+
+// NewPDA returns a PDA showing the given list, driving the add-on on the
+// other end of the port. It immediately announces the list size.
+func NewPDA(items []string, port portReader) (*PDA, error) {
+	if port == nil {
+		return nil, errors.New("pda: port is required")
+	}
+	if len(items) == 0 {
+		return nil, errors.New("pda: empty list")
+	}
+	if len(items) > 255 {
+		return nil, fmt.Errorf("pda: %d items exceed the protocol's 255", len(items))
+	}
+	p := &PDA{port: port, items: append([]string(nil), items...)}
+	if err := p.announce(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// announce tells the add-on how many entries the current list has.
+func (p *PDA) announce() error {
+	if _, err := p.port.Write([]byte{RecConfig, byte(len(p.items))}); err != nil {
+		return fmt.Errorf("pda: announce: %w", err)
+	}
+	return nil
+}
+
+// SetList replaces the list (e.g. the user opened a different application)
+// and re-announces its size so the add-on rebuilds its islands.
+func (p *PDA) SetList(items []string) error {
+	if len(items) == 0 || len(items) > 255 {
+		return fmt.Errorf("pda: bad list size %d", len(items))
+	}
+	p.items = append([]string(nil), items...)
+	p.sel = 0
+	return p.announce()
+}
+
+// Selection returns the selected index.
+func (p *PDA) Selection() int { return p.sel }
+
+// SelectedItem returns the selected item text.
+func (p *PDA) SelectedItem() string { return p.items[p.sel] }
+
+// Activated reports how many activations occurred.
+func (p *PDA) Activated() int { return p.activated }
+
+// Records reports consumed protocol records.
+func (p *PDA) Records() uint64 { return p.records }
+
+// NoSignal reports whether the add-on currently sees no target.
+func (p *PDA) NoSignal() bool { return p.noSignal }
+
+// Service drains the connector and applies the add-on's records.
+func (p *PDA) Service() error {
+	buf := make([]byte, 64)
+	for {
+		n, err := p.port.Read(buf)
+		if err != nil {
+			return fmt.Errorf("pda: service: %w", err)
+		}
+		if n == 0 {
+			return nil
+		}
+		for i := 0; i+1 < n; i += 2 {
+			p.records++
+			switch buf[i] {
+			case RecIsland:
+				idx := int(buf[i+1])
+				if idx < len(p.items) {
+					p.sel = idx
+				}
+				p.noSignal = false
+			case RecButton:
+				p.activated++
+				if p.OnActivate != nil {
+					p.OnActivate(p.sel, p.items[p.sel])
+				}
+			case RecNoSignal:
+				p.noSignal = true
+			default:
+				p.unknown++
+			}
+		}
+	}
+}
+
+// Screen renders the PDA display: a title bar, the list window centred on
+// the selection, and a status line.
+func (p *PDA) Screen() string {
+	var b strings.Builder
+	rule := "+" + strings.Repeat("-", ScreenCols) + "+"
+	b.WriteString(rule + "\n")
+	fmt.Fprintf(&b, "|%-*s|\n", ScreenCols, " Applications")
+	b.WriteString(rule + "\n")
+
+	window := ScreenLines - 4
+	start := p.sel - window/2
+	if start > len(p.items)-window {
+		start = len(p.items) - window
+	}
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < start+window; i++ {
+		if i >= len(p.items) {
+			fmt.Fprintf(&b, "|%-*s|\n", ScreenCols, "")
+			continue
+		}
+		marker := "  "
+		if i == p.sel {
+			marker = "> "
+		}
+		fmt.Fprintf(&b, "|%-*s|\n", ScreenCols, marker+p.items[i])
+	}
+	status := fmt.Sprintf(" %d/%d", p.sel+1, len(p.items))
+	if p.noSignal {
+		status += "  [no signal]"
+	}
+	fmt.Fprintf(&b, "|%-*s|\n", ScreenCols, status)
+	b.WriteString(rule)
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package pda
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/serial"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// rig wires a PDA and an add-on over a serial pair.
+type rig struct {
+	pda   *PDA
+	addon *Addon
+	now   time.Duration
+}
+
+func newRig(t *testing.T, items []string, seed uint64) *rig {
+	t.Helper()
+	pdaEnd, addonEnd := serial.Pair(0)
+	cfg := DefaultAddonConfig()
+	cfg.Sensor.NoiseSD = 0
+	addon, err := NewAddon(cfg, addonEnd, sim.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPDA(items, pdaEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{pda: p, addon: addon}
+}
+
+// step advances both sides n cycles.
+func (r *rig) step(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r.now += 40 * time.Millisecond
+		if err := r.addon.Step(r.now); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.pda.Service(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func items(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "App " + string(rune('A'+i))
+	}
+	return out
+}
+
+func TestAddonScrollsPDASelection(t *testing.T) {
+	r := newRig(t, items(8), 1)
+	r.step(t, 3) // deliver the config record
+	d, err := r.addon.DistanceForEntry(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addon.SetDistance(d)
+	r.step(t, 10)
+	if r.pda.Selection() != 5 {
+		t.Fatalf("selection = %d", r.pda.Selection())
+	}
+	if r.pda.SelectedItem() != "App F" {
+		t.Fatalf("item = %q", r.pda.SelectedItem())
+	}
+}
+
+func TestButtonActivates(t *testing.T) {
+	r := newRig(t, items(5), 2)
+	r.step(t, 3)
+	d, err := r.addon.DistanceForEntry(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addon.SetDistance(d)
+	r.step(t, 10)
+
+	var activated string
+	r.pda.OnActivate = func(_ int, item string) { activated = item }
+	r.addon.PressButton(true, r.now)
+	r.step(t, 2)
+	r.addon.PressButton(false, r.now)
+	r.step(t, 2)
+	if activated != "App C" {
+		t.Fatalf("activated %q", activated)
+	}
+	if r.pda.Activated() != 1 {
+		t.Fatalf("activations = %d", r.pda.Activated())
+	}
+}
+
+func TestListChangeRebuildsIslands(t *testing.T) {
+	r := newRig(t, items(4), 3)
+	r.step(t, 3)
+	// Switch to a 12-entry list: the same physical distance now selects a
+	// different index because the islands were rebuilt.
+	if err := r.pda.SetList(items(12)); err != nil {
+		t.Fatal(err)
+	}
+	r.step(t, 3)
+	d, err := r.addon.DistanceForEntry(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addon.SetDistance(d)
+	r.step(t, 10)
+	if r.pda.Selection() != 10 {
+		t.Fatalf("selection = %d", r.pda.Selection())
+	}
+}
+
+func TestNoSignalIndicator(t *testing.T) {
+	r := newRig(t, items(6), 4)
+	r.step(t, 3)
+	d, err := r.addon.DistanceForEntry(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addon.SetDistance(d)
+	r.step(t, 10)
+	sel := r.pda.Selection()
+
+	r.addon.SetDistance(80) // walked away
+	r.step(t, 30)
+	if !r.pda.NoSignal() {
+		t.Fatal("no-signal not reported")
+	}
+	if got := r.pda.Selection(); got > sel {
+		t.Fatalf("selection advanced while out of range: %d -> %d", sel, got)
+	}
+	if !strings.Contains(r.pda.Screen(), "[no signal]") {
+		t.Fatalf("screen:\n%s", r.pda.Screen())
+	}
+
+	r.addon.SetDistance(d)
+	r.step(t, 10)
+	if r.pda.NoSignal() {
+		t.Fatal("no-signal stuck after recovery")
+	}
+}
+
+func TestScreenRendering(t *testing.T) {
+	r := newRig(t, items(10), 5)
+	r.step(t, 3)
+	d, err := r.addon.DistanceForEntry(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addon.SetDistance(d)
+	r.step(t, 10)
+	screen := r.pda.Screen()
+	if !strings.Contains(screen, "> App E") {
+		t.Fatalf("screen missing selection:\n%s", screen)
+	}
+	if !strings.Contains(screen, "5/10") {
+		t.Fatalf("screen missing status:\n%s", screen)
+	}
+	if !strings.Contains(screen, "Applications") {
+		t.Fatalf("screen missing title:\n%s", screen)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pdaEnd, addonEnd := serial.Pair(0)
+	if _, err := NewAddon(DefaultAddonConfig(), nil, nil); err == nil {
+		t.Fatal("nil port accepted")
+	}
+	if _, err := NewPDA(nil, pdaEnd); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := NewPDA(items(3), nil); err == nil {
+		t.Fatal("nil port accepted")
+	}
+	p, err := NewPDA(items(3), pdaEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetList(nil); err == nil {
+		t.Fatal("empty relist accepted")
+	}
+	_ = addonEnd
+}
+
+func TestAddonDeterministic(t *testing.T) {
+	run := func() uint64 {
+		r := newRig(t, items(9), 7)
+		r.step(t, 3)
+		d, err := r.addon.DistanceForEntry(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.addon.SetDistance(d)
+		r.step(t, 20)
+		return r.addon.Sent()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("sent differs: %d vs %d", a, b)
+	}
+}

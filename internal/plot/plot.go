@@ -1,0 +1,183 @@
+// Package plot renders the paper's figures as ASCII charts: scatter points
+// with an overlaid fitted curve on linear axes (Figure 4) or logarithmic
+// axes (Figure 5), directly printable from benchmarks and tools.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one data series.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Plot is an ASCII chart canvas.
+type Plot struct {
+	Title       string
+	XLabel      string
+	YLabel      string
+	Width       int
+	Height      int
+	LogX, LogY  bool
+	series      []Series
+	xmin, xmax  float64
+	ymin, ymax  float64
+	rangeForced bool
+}
+
+// New returns an empty plot of the given size.
+func New(title string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	return &Plot{Title: title, Width: width, Height: height}
+}
+
+// Add appends a series. Non-positive values are dropped on log axes.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q: %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	if s.Marker == 0 {
+		markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+		s.Marker = markers[len(p.series)%len(markers)]
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// AddFunc samples a function over [lo,hi] as a line series.
+func (p *Plot) AddFunc(name string, marker byte, lo, hi float64, n int, f func(float64) float64) error {
+	if n < 2 {
+		n = 64
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ys[i] = f(x)
+	}
+	return p.Add(Series{Name: name, Marker: marker, X: xs, Y: ys})
+}
+
+// SetRange forces the axis ranges instead of auto-scaling.
+func (p *Plot) SetRange(xmin, xmax, ymin, ymax float64) {
+	p.xmin, p.xmax, p.ymin, p.ymax = xmin, xmax, ymin, ymax
+	p.rangeForced = true
+}
+
+func (p *Plot) txX(x float64) (float64, bool) {
+	if p.LogX {
+		if x <= 0 {
+			return 0, false
+		}
+		return math.Log10(x), true
+	}
+	return x, true
+}
+
+func (p *Plot) txY(y float64) (float64, bool) {
+	if p.LogY {
+		if y <= 0 {
+			return 0, false
+		}
+		return math.Log10(y), true
+	}
+	return y, true
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	if p.rangeForced {
+		if x, ok := p.txX(p.xmin); ok {
+			xmin = x
+		}
+		if x, ok := p.txX(p.xmax); ok {
+			xmax = x
+		}
+		if y, ok := p.txY(p.ymin); ok {
+			ymin = y
+		}
+		if y, ok := p.txY(p.ymax); ok {
+			ymax = y
+		}
+	} else {
+		for _, s := range p.series {
+			for i := range s.X {
+				if x, ok := p.txX(s.X[i]); ok {
+					xmin = math.Min(xmin, x)
+					xmax = math.Max(xmax, x)
+				}
+				if y, ok := p.txY(s.Y[i]); ok {
+					ymin = math.Min(ymin, y)
+					ymax = math.Max(ymax, y)
+				}
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || xmax == xmin {
+		xmin, xmax = 0, 1
+	}
+	if math.IsInf(ymin, 1) || ymax == ymin {
+		ymin, ymax = 0, 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			tx, okx := p.txX(s.X[i])
+			ty, oky := p.txY(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((tx - xmin) / (xmax - xmin) * float64(p.Width-1))
+			row := p.Height - 1 - int((ty-ymin)/(ymax-ymin)*float64(p.Height-1))
+			if col < 0 || col >= p.Width || row < 0 || row >= p.Height {
+				continue
+			}
+			// Points win over line samples already drawn.
+			if grid[row][col] == ' ' || s.Marker == '*' {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(p.Height-1)
+		fmt.Fprintf(&b, "%9.3g |%s|\n", inv(yv, p.LogY), string(row))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", p.Width) + "+\n")
+	fmt.Fprintf(&b, "%10s %-.3g%*s%.3g\n", "", inv(xmin, p.LogX), p.Width-6, "", inv(xmax, p.LogX))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%10s x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "%10s %c %s\n", "", s.Marker, s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	p := New("title", 40, 10)
+	err := p.Add(Series{Name: "measured", Marker: '*', X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(out, "measured") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestAddLengthMismatch(t *testing.T) {
+	p := New("t", 40, 10)
+	if err := p.Add(Series{X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestAutoMarkers(t *testing.T) {
+	p := New("t", 40, 10)
+	if err := p.Add(Series{Name: "a", X: []float64{1}, Y: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "b", X: []float64{2}, Y: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("auto markers:\n%s", out)
+	}
+}
+
+func TestAddFuncSamples(t *testing.T) {
+	p := New("t", 40, 10)
+	if err := p.AddFunc("line", '+', 0, 10, 50, func(x float64) float64 { return 2 * x }); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if strings.Count(out, "+") < 10 {
+		t.Fatalf("function series too sparse:\n%s", out)
+	}
+}
+
+func TestLogAxesDropNonPositive(t *testing.T) {
+	p := New("t", 40, 10)
+	p.LogX, p.LogY = true, true
+	err := p.Add(Series{Name: "s", Marker: '*', X: []float64{-1, 0, 1, 10, 100}, Y: []float64{1, 1, 1, 10, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("log plot empty:\n%s", out)
+	}
+}
+
+func TestForcedRange(t *testing.T) {
+	p := New("t", 40, 10)
+	p.SetRange(0, 100, 0, 100)
+	if err := p.Add(Series{Name: "s", Marker: '*', X: []float64{50}, Y: []float64{50}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("in-range point not drawn")
+	}
+	// A point outside the forced range is clipped.
+	p2 := New("t", 40, 10)
+	p2.SetRange(0, 10, 0, 10)
+	if err := p2.Add(Series{Name: "s", Marker: '#', X: []float64{500}, Y: []float64{500}}); err != nil {
+		t.Fatal(err)
+	}
+	body := p2.Render()
+	gridPart := strings.Split(body, "+--")[0]
+	if strings.Contains(gridPart, "#") {
+		t.Fatal("out-of-range point drawn")
+	}
+}
+
+func TestEmptyPlotRenders(t *testing.T) {
+	p := New("empty", 30, 8)
+	if out := p.Render(); !strings.Contains(out, "empty") {
+		t.Fatal("empty plot failed to render")
+	}
+}
+
+func TestMinimumSizeClamped(t *testing.T) {
+	p := New("t", 1, 1)
+	if p.Width < 20 || p.Height < 8 {
+		t.Fatal("size not clamped")
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	p := New("t", 40, 10)
+	p.XLabel, p.YLabel = "distance", "volts"
+	if err := p.Add(Series{Name: "s", X: []float64{1}, Y: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "distance") || !strings.Contains(out, "volts") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+}

@@ -1,0 +1,135 @@
+// Package rf models the wireless link between the self-contained DistScroll
+// device and a PC. The paper's research approach (Section 3.2) chose a
+// "self contained interaction device that can be wirelessly linked to a PC";
+// this package provides the framing, integrity checking and channel model
+// for that link, plus the telemetry messages the firmware emits.
+package rf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame format:
+//
+//	0xAA 0x55  sync
+//	len        payload length (1 byte, <= MaxPayload)
+//	payload    len bytes
+//	crc        CRC-16/CCITT-FALSE over len+payload, big endian
+const (
+	sync0 = 0xAA
+	sync1 = 0x55
+	// MaxPayload is the largest payload a frame can carry.
+	MaxPayload = 255
+	// Overhead is the per-frame byte overhead (sync + len + crc).
+	Overhead = 5
+)
+
+// Framing errors.
+var (
+	// ErrPayloadTooLarge is returned when encoding an oversized payload.
+	ErrPayloadTooLarge = errors.New("rf: payload too large")
+	// ErrBadCRC is surfaced in decoder statistics when a frame fails its
+	// integrity check.
+	ErrBadCRC = errors.New("rf: bad crc")
+)
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode wraps a payload into a frame.
+func Encode(payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(payload))
+	}
+	frame := make([]byte, 0, len(payload)+Overhead)
+	frame = append(frame, sync0, sync1, byte(len(payload)))
+	frame = append(frame, payload...)
+	crc := CRC16(frame[2:]) // over len + payload
+	frame = binary.BigEndian.AppendUint16(frame, crc)
+	return frame, nil
+}
+
+// DecoderStats counts decoder outcomes.
+type DecoderStats struct {
+	Frames    uint64 // good frames delivered
+	CRCErrors uint64
+	Resyncs   uint64 // bytes skipped hunting for sync
+}
+
+// Decoder is an incremental frame decoder: feed it bytes in any chunking
+// and it emits complete, CRC-verified payloads. Corrupt frames are dropped
+// and the decoder re-synchronises on the next sync pattern.
+type Decoder struct {
+	buf   []byte
+	stats DecoderStats
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Stats returns the decoder statistics.
+func (d *Decoder) Stats() DecoderStats { return d.stats }
+
+// Feed consumes raw link bytes and returns any complete payloads.
+func (d *Decoder) Feed(data []byte) [][]byte {
+	d.buf = append(d.buf, data...)
+	var out [][]byte
+	for {
+		// Hunt for sync.
+		start := -1
+		for i := 0; i+1 < len(d.buf); i++ {
+			if d.buf[i] == sync0 && d.buf[i+1] == sync1 {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			// Keep at most one byte (a possible first sync byte).
+			if n := len(d.buf); n > 1 {
+				d.stats.Resyncs += uint64(n - 1)
+				d.buf = d.buf[n-1:]
+			}
+			return out
+		}
+		if start > 0 {
+			d.stats.Resyncs += uint64(start)
+			d.buf = d.buf[start:]
+		}
+		if len(d.buf) < 3 {
+			return out
+		}
+		n := int(d.buf[2])
+		total := 3 + n + 2
+		if len(d.buf) < total {
+			return out
+		}
+		body := d.buf[2 : 3+n]
+		wantCRC := binary.BigEndian.Uint16(d.buf[3+n : total])
+		if CRC16(body) != wantCRC {
+			d.stats.CRCErrors++
+			// Skip the bogus sync and rescan.
+			d.buf = d.buf[2:]
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, d.buf[3:3+n])
+		out = append(out, payload)
+		d.stats.Frames++
+		d.buf = d.buf[total:]
+	}
+}

@@ -1,0 +1,126 @@
+package rf
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// LinkConfig parameterises the channel model.
+type LinkConfig struct {
+	// LossProb is the per-frame probability of complete loss.
+	LossProb float64
+	// CorruptProb is the per-frame probability of a single-byte flip,
+	// which the decoder must reject by CRC.
+	CorruptProb float64
+	// Latency is the base propagation+stack delay.
+	Latency time.Duration
+	// Jitter is the half-width of the uniform latency jitter.
+	Jitter time.Duration
+	// BitrateBPS limits throughput; <= 0 means unlimited. The prototype's
+	// Smart-Its RF module runs at 19.2 kbit/s class rates.
+	BitrateBPS int
+}
+
+// DefaultLinkConfig is a clean short-range indoor link.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		LossProb:    0.002,
+		CorruptProb: 0.002,
+		Latency:     4 * time.Millisecond,
+		Jitter:      2 * time.Millisecond,
+		BitrateBPS:  19_200,
+	}
+}
+
+// LinkStats counts channel activity.
+type LinkStats struct {
+	Sent      uint64
+	Lost      uint64
+	Corrupted uint64
+	Delivered uint64
+}
+
+// Link is a unidirectional device→host channel that delivers framed
+// payloads to a Decoder after a modelled delay, loss and corruption.
+// Delivery is driven by the shared scheduler so time is virtual.
+type Link struct {
+	cfg   LinkConfig
+	sched *sim.Scheduler
+	rng   *sim.Rand
+	dec   *Decoder
+	sink  func(payload []byte, at time.Duration)
+	stats LinkStats
+	// busyUntil models the half-duplex serialisation of the radio.
+	busyUntil time.Duration
+}
+
+// NewLink returns a link delivering decoded payloads to sink. rng may be
+// nil for an ideal channel.
+func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payload []byte, at time.Duration)) (*Link, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("rf: scheduler is required")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("rf: sink is required")
+	}
+	if cfg.LossProb < 0 || cfg.LossProb > 1 || cfg.CorruptProb < 0 || cfg.CorruptProb > 1 {
+		return nil, fmt.Errorf("rf: probabilities must be in [0,1]")
+	}
+	return &Link{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}, nil
+}
+
+// Stats returns the channel statistics.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// DecoderStats returns the receive-side decoder statistics.
+func (l *Link) DecoderStats() DecoderStats { return l.dec.Stats() }
+
+// Send frames and transmits a payload. Returns the time at which delivery
+// (or silent loss) completes.
+func (l *Link) Send(payload []byte) (time.Duration, error) {
+	frame, err := Encode(payload)
+	if err != nil {
+		return 0, fmt.Errorf("rf: send: %w", err)
+	}
+	l.stats.Sent++
+
+	now := l.sched.Clock().Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txTime := time.Duration(0)
+	if l.cfg.BitrateBPS > 0 {
+		bits := float64(len(frame) * 10) // 8N1 framing on the air interface
+		txTime = time.Duration(bits / float64(l.cfg.BitrateBPS) * float64(time.Second))
+	}
+	l.busyUntil = start + txTime
+
+	delay := l.cfg.Latency
+	if l.rng != nil && l.cfg.Jitter > 0 {
+		delay += time.Duration(l.rng.Uniform(0, float64(2*l.cfg.Jitter)))
+	}
+	arrive := l.busyUntil + delay
+
+	if l.rng != nil && l.rng.Bool(l.cfg.LossProb) {
+		l.stats.Lost++
+		return arrive, nil
+	}
+	if l.rng != nil && l.rng.Bool(l.cfg.CorruptProb) && len(frame) > 3 {
+		l.stats.Corrupted++
+		i := 3 + l.rng.Intn(len(frame)-3)
+		frame = append([]byte(nil), frame...)
+		frame[i] ^= 1 << uint(l.rng.Intn(8))
+	}
+
+	frameCopy := append([]byte(nil), frame...)
+	l.sched.At(arrive, func(at time.Duration) {
+		for _, p := range l.dec.Feed(frameCopy) {
+			l.stats.Delivered++
+			l.sink(p, at)
+		}
+	})
+	return arrive, nil
+}

@@ -1,0 +1,106 @@
+package rf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MsgKind identifies a telemetry message type.
+type MsgKind byte
+
+// Telemetry message kinds emitted by the DistScroll firmware.
+const (
+	// MsgScroll reports that the distance mapping moved the cursor to a
+	// new entry index.
+	MsgScroll MsgKind = iota + 1
+	// MsgSelect reports a button selection of the current entry.
+	MsgSelect
+	// MsgLevel reports that the menu level changed (enter / back).
+	MsgLevel
+	// MsgState is the periodic debug state shown on the bottom display.
+	MsgState
+	// MsgHeartbeat is a keep-alive.
+	MsgHeartbeat
+)
+
+// String returns the message kind name.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgScroll:
+		return "scroll"
+	case MsgSelect:
+		return "select"
+	case MsgLevel:
+		return "level"
+	case MsgState:
+		return "state"
+	case MsgHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("msg(%d)", byte(k))
+	}
+}
+
+// Message is a decoded telemetry message.
+type Message struct {
+	Kind MsgKind
+	// Seq is a wrapping sequence number, used to measure loss.
+	Seq uint16
+	// At is the firmware timestamp (virtual milliseconds, wrapping).
+	AtMillis uint32
+
+	// Index is the entry index for MsgScroll/MsgSelect, the depth for
+	// MsgLevel.
+	Index int16
+	// Voltage is the filtered sensor voltage in millivolts (MsgState).
+	VoltageMV uint16
+	// Island is the active island index, -1 when between islands (MsgState).
+	Island int16
+	// Button is the button id for MsgSelect.
+	Button byte
+	// Context is the encoded orientation/context byte (MsgState); see
+	// the context package for the encoding.
+	Context byte
+}
+
+// ErrShortMessage is returned when decoding a truncated payload.
+var ErrShortMessage = errors.New("rf: short message")
+
+const msgLen = 1 + 2 + 4 + 2 + 2 + 2 + 1 + 1
+
+// MarshalBinary encodes the message into a fixed-size payload.
+func (m Message) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, msgLen)
+	buf[0] = byte(m.Kind)
+	binary.BigEndian.PutUint16(buf[1:], m.Seq)
+	binary.BigEndian.PutUint32(buf[3:], m.AtMillis)
+	binary.BigEndian.PutUint16(buf[7:], uint16(m.Index))
+	binary.BigEndian.PutUint16(buf[9:], m.VoltageMV)
+	binary.BigEndian.PutUint16(buf[11:], uint16(m.Island))
+	buf[13] = m.Button
+	buf[14] = m.Context
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a payload produced by MarshalBinary.
+func (m *Message) UnmarshalBinary(data []byte) error {
+	if len(data) < msgLen {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrShortMessage, len(data), msgLen)
+	}
+	m.Kind = MsgKind(data[0])
+	m.Seq = binary.BigEndian.Uint16(data[1:])
+	m.AtMillis = binary.BigEndian.Uint32(data[3:])
+	m.Index = int16(binary.BigEndian.Uint16(data[7:]))
+	m.VoltageMV = binary.BigEndian.Uint16(data[9:])
+	m.Island = int16(binary.BigEndian.Uint16(data[11:]))
+	m.Button = data[13]
+	m.Context = data[14]
+	return nil
+}
+
+// Timestamp converts the firmware millisecond counter to a duration.
+func (m Message) Timestamp() time.Duration {
+	return time.Duration(m.AtMillis) * time.Millisecond
+}

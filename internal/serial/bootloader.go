@@ -1,0 +1,202 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Bootloader protocol bytes. The host (programmer) drives; the device
+// bootloader answers each line with ACK or NAK.
+const (
+	Ack = 0x06
+	Nak = 0x15
+)
+
+// Protocol errors.
+var (
+	// ErrNak is returned when the device rejects a record.
+	ErrNak = errors.New("serial: device NAK")
+	// ErrNoReply is returned when the device does not answer.
+	ErrNoReply = errors.New("serial: no reply from bootloader")
+	// ErrVerify is returned when read-back does not match the image.
+	ErrVerify = errors.New("serial: flash verification failed")
+)
+
+// Bootloader is the device-resident programmer: it consumes Intel-HEX
+// lines from its serial port, erases and programs flash pages, and
+// acknowledges each record.
+type Bootloader struct {
+	port  *Port
+	flash *Flash
+	line  []byte
+
+	records uint64
+	naks    uint64
+}
+
+// NewBootloader attaches a bootloader to a port and a flash array.
+func NewBootloader(port *Port, flash *Flash) (*Bootloader, error) {
+	if port == nil || flash == nil {
+		return nil, errors.New("serial: bootloader needs a port and flash")
+	}
+	return &Bootloader{port: port, flash: flash}, nil
+}
+
+// Records reports how many records were accepted.
+func (bl *Bootloader) Records() uint64 { return bl.records }
+
+// Naks reports how many records were rejected.
+func (bl *Bootloader) Naks() uint64 { return bl.naks }
+
+// Service drains the serial port, processing complete HEX lines. Call it
+// from the polling loop; it never blocks.
+func (bl *Bootloader) Service() error {
+	buf := make([]byte, 256)
+	for {
+		n, err := bl.port.Read(buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		for _, b := range buf[:n] {
+			if b == '\n' {
+				bl.handleLine(string(bl.line))
+				bl.line = bl.line[:0]
+				continue
+			}
+			if b != '\r' {
+				bl.line = append(bl.line, b)
+			}
+		}
+	}
+}
+
+func (bl *Bootloader) handleLine(line string) {
+	// Try the line on its own first: a bare EOF record decodes to an
+	// empty image and is acknowledged as the end-of-download marker.
+	img, err := DecodeHex(strings.NewReader(line + "\n"))
+	if err != nil {
+		// A data record needs a synthetic EOF to satisfy the decoder.
+		img, err = DecodeHex(strings.NewReader(line + "\n:00000001FF\n"))
+	}
+	if err != nil {
+		bl.nak()
+		return
+	}
+	// A single record decodes into at most one span (EOF-only lines are
+	// empty and just get acknowledged as keep-alives).
+	for addr, data := range img.Spans {
+		if err := bl.program(addr, data); err != nil {
+			bl.nak()
+			return
+		}
+	}
+	bl.records++
+	_, _ = bl.port.Write([]byte{Ack})
+}
+
+func (bl *Bootloader) nak() {
+	bl.naks++
+	_, _ = bl.port.Write([]byte{Nak})
+}
+
+// program writes a span via page-granular read-modify-write: the
+// bootloader reads the page, merges the new bytes, erases and reprograms.
+func (bl *Bootloader) program(addr int, data []byte) error {
+	for len(data) > 0 {
+		pageAddr := addr - addr%PageSize
+		page := make([]byte, PageSize)
+		if err := bl.flash.Read(pageAddr, page); err != nil {
+			return err
+		}
+		off := addr - pageAddr
+		n := copy(page[off:], data)
+		if err := bl.flash.ErasePage(pageAddr); err != nil {
+			return err
+		}
+		if err := bl.flash.ProgramPage(pageAddr, page); err != nil {
+			return err
+		}
+		addr += n
+		data = data[n:]
+	}
+	return nil
+}
+
+// Programmer is the host side: it streams an image line by line over the
+// serial port, waiting for the bootloader's ACK after each record.
+type Programmer struct {
+	port *Port
+	// Pump services the device side between host writes; in the real
+	// setup this is the device's own poll loop running concurrently.
+	Pump func() error
+}
+
+// NewProgrammer returns a host-side programmer on the given port end.
+func NewProgrammer(port *Port, pump func() error) (*Programmer, error) {
+	if port == nil {
+		return nil, errors.New("serial: programmer needs a port")
+	}
+	return &Programmer{port: port, Pump: pump}, nil
+}
+
+// Download streams the image and returns the total records sent.
+func (p *Programmer) Download(img *Image) (int, error) {
+	var buf bytes.Buffer
+	if err := img.EncodeHex(&buf); err != nil {
+		return 0, err
+	}
+	records := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if _, err := p.port.Write([]byte(line + "\n")); err != nil {
+			return records, err
+		}
+		if p.Pump != nil {
+			if err := p.Pump(); err != nil {
+				return records, err
+			}
+		}
+		reply := make([]byte, 1)
+		n, err := p.port.Read(reply)
+		if err != nil {
+			return records, err
+		}
+		if n == 0 {
+			return records, ErrNoReply
+		}
+		if reply[0] != Ack {
+			return records, fmt.Errorf("%w on record %d", ErrNak, records+1)
+		}
+		records++
+	}
+	return records, nil
+}
+
+// Verify reads back every span of the image from flash and compares.
+func Verify(flash *Flash, img *Image) error {
+	for addr, want := range img.Spans {
+		got := make([]byte, len(want))
+		if err := flash.Read(addr, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("%w at %#x", ErrVerify, addr)
+		}
+	}
+	return nil
+}
+
+// InstalledVersion reads the version string out of flash, or "" when the
+// version block is erased.
+func InstalledVersion(flash *Flash) (string, error) {
+	buf := make([]byte, VersionLen)
+	if err := flash.Read(VersionAddr, buf); err != nil {
+		return "", err
+	}
+	v := strings.TrimRight(string(buf), "\x00\xff")
+	return v, nil
+}

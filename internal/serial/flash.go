@@ -1,0 +1,115 @@
+package serial
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PIC 18F452 flash geometry.
+const (
+	// FlashSize is the program memory size (32 KB).
+	FlashSize = 32 * 1024
+	// PageSize is the erase/write block size.
+	PageSize = 64
+	// ErasedByte is the value of erased flash cells.
+	ErasedByte = 0xFF
+)
+
+// Flash errors.
+var (
+	// ErrFlashBounds is returned for out-of-range addresses.
+	ErrFlashBounds = errors.New("serial: flash address out of range")
+	// ErrNotErased is returned when programming a page that was not
+	// erased first (flash cells only clear bits).
+	ErrNotErased = errors.New("serial: page not erased")
+	// ErrUnaligned is returned for page operations off a page boundary.
+	ErrUnaligned = errors.New("serial: unaligned page address")
+)
+
+// Flash is the microcontroller's self-writable program memory, with the
+// real constraint that a page must be erased before it is programmed, and
+// a per-page erase-cycle counter (flash wears out).
+type Flash struct {
+	data   [FlashSize]byte
+	erased [FlashSize / PageSize]bool
+	cycles [FlashSize / PageSize]uint32
+}
+
+// NewFlash returns fully erased flash.
+func NewFlash() *Flash {
+	f := &Flash{}
+	for i := range f.data {
+		f.data[i] = ErasedByte
+	}
+	for i := range f.erased {
+		f.erased[i] = true
+	}
+	return f
+}
+
+// ErasePage erases the page containing addr (addr must be page-aligned).
+func (f *Flash) ErasePage(addr int) error {
+	if addr < 0 || addr >= FlashSize {
+		return fmt.Errorf("%w: %#x", ErrFlashBounds, addr)
+	}
+	if addr%PageSize != 0 {
+		return fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	page := addr / PageSize
+	for i := addr; i < addr+PageSize; i++ {
+		f.data[i] = ErasedByte
+	}
+	f.erased[page] = true
+	f.cycles[page]++
+	return nil
+}
+
+// ProgramPage writes exactly one page at a page-aligned address. The page
+// must have been erased since its last programming.
+func (f *Flash) ProgramPage(addr int, data []byte) error {
+	if addr < 0 || addr+PageSize > FlashSize {
+		return fmt.Errorf("%w: %#x", ErrFlashBounds, addr)
+	}
+	if addr%PageSize != 0 {
+		return fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	if len(data) != PageSize {
+		return fmt.Errorf("serial: page write needs %d bytes, got %d", PageSize, len(data))
+	}
+	page := addr / PageSize
+	if !f.erased[page] {
+		return fmt.Errorf("%w: page %d", ErrNotErased, page)
+	}
+	copy(f.data[addr:], data)
+	f.erased[page] = false
+	return nil
+}
+
+// Read copies flash contents from addr into buf.
+func (f *Flash) Read(addr int, buf []byte) error {
+	if addr < 0 || addr+len(buf) > FlashSize {
+		return fmt.Errorf("%w: %#x+%d", ErrFlashBounds, addr, len(buf))
+	}
+	copy(buf, f.data[addr:addr+len(buf)])
+	return nil
+}
+
+// EraseCycles reports the erase count of the page containing addr.
+func (f *Flash) EraseCycles(addr int) (uint32, error) {
+	if addr < 0 || addr >= FlashSize {
+		return 0, fmt.Errorf("%w: %#x", ErrFlashBounds, addr)
+	}
+	return f.cycles[addr/PageSize], nil
+}
+
+// MaxEraseCycles reports the highest erase count across all pages — the
+// wear figure a maintainer watches.
+func (f *Flash) MaxEraseCycles() uint32 {
+	var maxC uint32
+	for _, c := range f.cycles {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}

@@ -1,0 +1,188 @@
+package serial
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Intel HEX record types used by the PIC toolchain.
+const (
+	recData byte = 0x00
+	recEOF  byte = 0x01
+)
+
+// Intel HEX errors.
+var (
+	// ErrHexSyntax is returned for malformed records.
+	ErrHexSyntax = errors.New("serial: intel hex syntax")
+	// ErrHexChecksum is returned when a record checksum fails.
+	ErrHexChecksum = errors.New("serial: intel hex checksum")
+	// ErrNoEOF is returned when the EOF record is missing.
+	ErrNoEOF = errors.New("serial: intel hex missing EOF record")
+)
+
+// Image is a firmware image: a sparse set of byte spans over the flash
+// address space, plus a human-readable version string embedded at
+// VersionAddr.
+type Image struct {
+	// Spans maps start address to contents; spans do not overlap.
+	Spans map[int][]byte
+}
+
+// VersionAddr is where the build embeds the version string (NUL padded).
+const (
+	VersionAddr = 0x7F00
+	VersionLen  = 32
+)
+
+// NewImage returns an empty image.
+func NewImage() *Image {
+	return &Image{Spans: make(map[int][]byte)}
+}
+
+// BuildImage assembles a firmware image from code bytes placed at the
+// reset vector and a version string at VersionAddr.
+func BuildImage(code []byte, version string) (*Image, error) {
+	if len(code) > VersionAddr {
+		return nil, fmt.Errorf("serial: code of %d bytes overlaps version block", len(code))
+	}
+	if len(version) >= VersionLen {
+		return nil, fmt.Errorf("serial: version %q too long", version)
+	}
+	img := NewImage()
+	img.Spans[0] = append([]byte(nil), code...)
+	v := make([]byte, VersionLen)
+	copy(v, version)
+	img.Spans[VersionAddr] = v
+	return img, nil
+}
+
+// Size returns the total byte count across spans.
+func (img *Image) Size() int {
+	n := 0
+	for _, s := range img.Spans {
+		n += len(s)
+	}
+	return n
+}
+
+// addresses returns span start addresses in ascending order.
+func (img *Image) addresses() []int {
+	addrs := make([]int, 0, len(img.Spans))
+	for a := range img.Spans {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	return addrs
+}
+
+// EncodeHex writes the image as Intel HEX with 16-byte data records.
+func (img *Image) EncodeHex(w io.Writer) error {
+	for _, start := range img.addresses() {
+		data := img.Spans[start]
+		for off := 0; off < len(data); off += 16 {
+			end := off + 16
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := writeRecord(w, start+off, recData, data[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return writeRecord(w, 0, recEOF, nil)
+}
+
+func writeRecord(w io.Writer, addr int, typ byte, data []byte) error {
+	sum := byte(len(data)) + byte(addr>>8) + byte(addr) + typ
+	for _, b := range data {
+		sum += b
+	}
+	checksum := byte(-int8(sum))
+	_, err := fmt.Fprintf(w, ":%02X%04X%02X%s%02X\n",
+		len(data), addr&0xFFFF, typ, strings.ToUpper(hex.EncodeToString(data)), checksum)
+	return err
+}
+
+// DecodeHex parses Intel HEX into an image, verifying every checksum and
+// requiring a terminating EOF record. Adjacent records merge into spans.
+func DecodeHex(r io.Reader) (*Image, error) {
+	img := NewImage()
+	sc := bufio.NewScanner(r)
+	sawEOF := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if sawEOF {
+			return nil, fmt.Errorf("%w: data after EOF at line %d", ErrHexSyntax, line)
+		}
+		if !strings.HasPrefix(text, ":") || len(text) < 11 || len(text)%2 == 0 {
+			return nil, fmt.Errorf("%w: line %d", ErrHexSyntax, line)
+		}
+		raw, err := hex.DecodeString(text[1:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrHexSyntax, line, err)
+		}
+		count := int(raw[0])
+		if len(raw) != count+5 {
+			return nil, fmt.Errorf("%w: line %d: length", ErrHexSyntax, line)
+		}
+		var sum byte
+		for _, b := range raw {
+			sum += b
+		}
+		if sum != 0 {
+			return nil, fmt.Errorf("%w: line %d", ErrHexChecksum, line)
+		}
+		addr := int(raw[1])<<8 | int(raw[2])
+		typ := raw[3]
+		data := raw[4 : 4+count]
+		switch typ {
+		case recData:
+			img.insert(addr, data)
+		case recEOF:
+			sawEOF = true
+		default:
+			return nil, fmt.Errorf("%w: line %d: record type %#x", ErrHexSyntax, line, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serial: read hex: %w", err)
+	}
+	if !sawEOF {
+		return nil, ErrNoEOF
+	}
+	return img, nil
+}
+
+// insert merges data at addr into the span set, coalescing with an
+// adjacent preceding span when contiguous.
+func (img *Image) insert(addr int, data []byte) {
+	for start, span := range img.Spans {
+		if start+len(span) == addr {
+			img.Spans[start] = append(span, data...)
+			return
+		}
+	}
+	img.Spans[addr] = append([]byte(nil), data...)
+}
+
+// Version extracts the embedded version string, if present.
+func (img *Image) Version() (string, bool) {
+	for start, span := range img.Spans {
+		if start <= VersionAddr && VersionAddr+VersionLen <= start+len(span) {
+			v := span[VersionAddr-start : VersionAddr-start+VersionLen]
+			return strings.TrimRight(string(v), "\x00"), true
+		}
+	}
+	return "", false
+}

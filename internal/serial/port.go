@@ -1,0 +1,87 @@
+// Package serial models the serial and programmer connector of the
+// Smart-Its base board (paper Section 4.1: the connectors were elongated
+// with ribbon cable "to allow an opening of the device for battery changes
+// and code downloads"). It provides a full-duplex byte port with baud
+// accounting, the PIC's self-write flash memory, Intel-HEX image handling
+// and the bootloader protocol used to download firmware into the device.
+package serial
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrClosed is returned on operations against a closed port.
+var ErrClosed = errors.New("serial: port closed")
+
+// Port is one end of a full-duplex serial connection. Writes appear in the
+// peer's read buffer immediately; the on-wire time is accounted and
+// retrievable so callers on a virtual clock can charge it.
+type Port struct {
+	name   string
+	baud   int
+	peer   *Port
+	rx     []byte
+	closed bool
+
+	txBytes  uint64
+	rxBytes  uint64
+	wireTime time.Duration
+}
+
+// Pair returns the two ends of a connected serial line at the given baud
+// rate (<= 0 selects 38400, the Smart-Its default).
+func Pair(baud int) (*Port, *Port) {
+	if baud <= 0 {
+		baud = 38_400
+	}
+	a := &Port{name: "A", baud: baud}
+	b := &Port{name: "B", baud: baud}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Baud returns the configured baud rate.
+func (p *Port) Baud() int { return p.baud }
+
+// Write queues data into the peer's read buffer and accounts the wire
+// time (10 bits per byte, 8N1).
+func (p *Port) Write(data []byte) (int, error) {
+	if p.closed || p.peer.closed {
+		return 0, ErrClosed
+	}
+	p.peer.rx = append(p.peer.rx, data...)
+	p.txBytes += uint64(len(data))
+	p.wireTime += time.Duration(float64(len(data)*10) / float64(p.baud) * float64(time.Second))
+	return len(data), nil
+}
+
+// Read drains up to len(buf) buffered bytes. It returns n = 0 with a nil
+// error when nothing is pending (the caller polls on virtual time).
+func (p *Port) Read(buf []byte) (int, error) {
+	if p.closed {
+		return 0, ErrClosed
+	}
+	n := copy(buf, p.rx)
+	p.rx = p.rx[n:]
+	p.rxBytes += uint64(n)
+	return n, nil
+}
+
+// Pending reports the number of buffered receive bytes.
+func (p *Port) Pending() int { return len(p.rx) }
+
+// Close shuts the port; both ends fail afterwards.
+func (p *Port) Close() { p.closed = true }
+
+// WireTime returns the cumulative transmit time of this end.
+func (p *Port) WireTime() time.Duration { return p.wireTime }
+
+// Stats returns transmit/receive byte counters.
+func (p *Port) Stats() (tx, rx uint64) { return p.txBytes, p.rxBytes }
+
+// String identifies the port end.
+func (p *Port) String() string {
+	return fmt.Sprintf("serial[%s %dbd]", p.name, p.baud)
+}

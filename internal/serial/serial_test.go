@@ -1,0 +1,379 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestPortRoundTrip(t *testing.T) {
+	a, b := Pair(0)
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("read %q", buf[:n])
+	}
+	// Other direction.
+	if _, err := b.Write([]byte("yo")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = a.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "yo" {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestPortEmptyReadNonBlocking(t *testing.T) {
+	a, _ := Pair(0)
+	n, err := a.Read(make([]byte, 4))
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestPortClose(t *testing.T) {
+	a, b := Pair(0)
+	b.Close()
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write to closed peer: %v", err)
+	}
+	if _, err := b.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read on closed port: %v", err)
+	}
+}
+
+func TestPortWireTimeAndStats(t *testing.T) {
+	a, b := Pair(9600)
+	if _, err := a.Write(make([]byte, 960)); err != nil {
+		t.Fatal(err)
+	}
+	// 960 bytes * 10 bits / 9600 bps = 1 s.
+	if got := a.WireTime().Seconds(); got < 0.99 || got > 1.01 {
+		t.Fatalf("wire time %.3f s", got)
+	}
+	buf := make([]byte, 2000)
+	if _, err := b.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := a.Stats()
+	_, rx := b.Stats()
+	if tx != 960 || rx != 960 {
+		t.Fatalf("tx=%d rx=%d", tx, rx)
+	}
+}
+
+func TestFlashEraseProgramRead(t *testing.T) {
+	f := NewFlash()
+	page := bytes.Repeat([]byte{0xAB}, PageSize)
+	if err := f.ProgramPage(0, page); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := f.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("readback mismatch")
+	}
+	// Reprogramming without erase fails.
+	if err := f.ProgramPage(0, page); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("double program: %v", err)
+	}
+	if err := f.ErasePage(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != ErasedByte {
+		t.Fatal("erase did not clear")
+	}
+	if err := f.ProgramPage(0, page); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+	cycles, err := f.EraseCycles(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 || f.MaxEraseCycles() != 1 {
+		t.Fatalf("cycles=%d max=%d", cycles, f.MaxEraseCycles())
+	}
+}
+
+func TestFlashValidation(t *testing.T) {
+	f := NewFlash()
+	if err := f.ErasePage(FlashSize); !errors.Is(err, ErrFlashBounds) {
+		t.Fatalf("erase oob: %v", err)
+	}
+	if err := f.ErasePage(3); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("erase unaligned: %v", err)
+	}
+	if err := f.ProgramPage(0, []byte{1}); err == nil {
+		t.Fatal("short page accepted")
+	}
+	if err := f.Read(FlashSize-1, make([]byte, 2)); !errors.Is(err, ErrFlashBounds) {
+		t.Fatalf("read oob: %v", err)
+	}
+}
+
+func TestIntelHexRoundTrip(t *testing.T) {
+	img, err := BuildImage([]byte("firmware code bytes here"), "distscroll-1.2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.EncodeHex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeHex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != img.Size() {
+		t.Fatalf("size %d vs %d", back.Size(), img.Size())
+	}
+	v, ok := back.Version()
+	if !ok || v != "distscroll-1.2.0" {
+		t.Fatalf("version %q ok=%t", v, ok)
+	}
+}
+
+func TestIntelHexRoundTripProperty(t *testing.T) {
+	rng := sim.NewRand(1)
+	f := func(_ uint8) bool {
+		n := 1 + rng.Intn(300)
+		code := make([]byte, n)
+		for i := range code {
+			code[i] = byte(rng.Intn(256))
+		}
+		img, err := BuildImage(code, "v")
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := img.EncodeHex(&buf); err != nil {
+			return false
+		}
+		back, err := DecodeHex(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := back.Spans[0]
+		return ok && bytes.Equal(got, code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntelHexRejectsCorruption(t *testing.T) {
+	img, err := BuildImage([]byte{1, 2, 3, 4}, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.EncodeHex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// Flip a data nibble: checksum must catch it.
+	bad := strings.Replace(text, "01020304", "01020305", 1)
+	if bad == text {
+		t.Fatal("test setup: data bytes not found")
+	}
+	if _, err := DecodeHex(strings.NewReader(bad)); !errors.Is(err, ErrHexChecksum) {
+		t.Fatalf("corrupted hex: %v", err)
+	}
+	// Truncated file without EOF.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if _, err := DecodeHex(strings.NewReader(strings.Join(lines[:len(lines)-1], "\n"))); !errors.Is(err, ErrNoEOF) {
+		t.Fatalf("missing EOF: %v", err)
+	}
+	// Garbage line.
+	if _, err := DecodeHex(strings.NewReader("hello\n")); !errors.Is(err, ErrHexSyntax) {
+		t.Fatalf("garbage: %v", err)
+	}
+}
+
+func TestBuildImageValidation(t *testing.T) {
+	if _, err := BuildImage(make([]byte, VersionAddr+1), "v"); err == nil {
+		t.Fatal("oversized code accepted")
+	}
+	if _, err := BuildImage([]byte{1}, strings.Repeat("v", VersionLen)); err == nil {
+		t.Fatal("oversized version accepted")
+	}
+}
+
+// download wires a programmer to a bootloader over a port pair and runs a
+// full firmware download.
+func download(t *testing.T, img *Image) (*Flash, *Bootloader) {
+	t.Helper()
+	host, dev := Pair(38_400)
+	flash := NewFlash()
+	bl, err := NewBootloader(dev, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgrammer(host, bl.Service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Download(img); err != nil {
+		t.Fatal(err)
+	}
+	return flash, bl
+}
+
+func TestBootloaderDownloadAndVerify(t *testing.T) {
+	code := bytes.Repeat([]byte{0xC0, 0xDE}, 600) // 1200 bytes across pages
+	img, err := BuildImage(code, "distscroll-2.0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash, bl := download(t, img)
+	if err := Verify(flash, img); err != nil {
+		t.Fatal(err)
+	}
+	v, err := InstalledVersion(flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "distscroll-2.0.0" {
+		t.Fatalf("installed version %q", v)
+	}
+	if bl.Naks() != 0 {
+		t.Fatalf("naks = %d", bl.Naks())
+	}
+	if bl.Records() == 0 {
+		t.Fatal("no records processed")
+	}
+}
+
+func TestBootloaderUpgradePreservesOtherSpans(t *testing.T) {
+	v1, err := BuildImage([]byte("version one code"), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash, _ := download(t, v1)
+	// Second download over the same flash (bootloader does RMW per page).
+	host, dev := Pair(0)
+	bl, err := NewBootloader(dev, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgrammer(host, bl.Service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := BuildImage([]byte("version two code, longer than before"), "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Download(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(flash, v2); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := InstalledVersion(flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != "v2" {
+		t.Fatalf("version %q", ver)
+	}
+	if flash.MaxEraseCycles() < 2 {
+		t.Fatalf("wear tracking: max cycles %d", flash.MaxEraseCycles())
+	}
+}
+
+func TestBootloaderNaksCorruptRecord(t *testing.T) {
+	host, dev := Pair(0)
+	flash := NewFlash()
+	bl, err := NewBootloader(dev, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.Write([]byte(":0400000001020304F1\n")); err != nil { // bad checksum
+		t.Fatal(err)
+	}
+	if err := bl.Service(); err != nil {
+		t.Fatal(err)
+	}
+	reply := make([]byte, 1)
+	n, err := host.Read(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || reply[0] != Nak {
+		t.Fatalf("reply %v", reply[:n])
+	}
+	if bl.Naks() != 1 {
+		t.Fatalf("naks = %d", bl.Naks())
+	}
+}
+
+func TestProgrammerSurfacesNak(t *testing.T) {
+	host, dev := Pair(0)
+	flash := NewFlash()
+	bl, err := NewBootloader(dev, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgrammer(host, func() error {
+		// Corrupt the device's view: drain and replace with garbage.
+		buf := make([]byte, 256)
+		for {
+			n, err := dev.Read(buf)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+		}
+		if _, err := dev.Write(nil); err != nil {
+			return err
+		}
+		// Feed a corrupt line directly.
+		if _, err := host.Write(nil); err != nil {
+			return err
+		}
+		bl.handleLine(":BROKEN")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := BuildImage([]byte{1, 2, 3}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Download(img); !errors.Is(err, ErrNak) {
+		t.Fatalf("download with corruption: %v", err)
+	}
+}
+
+func TestVerifyDetectsMismatch(t *testing.T) {
+	img, err := BuildImage([]byte{9, 9, 9, 9}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash := NewFlash() // never programmed
+	if err := Verify(flash, img); !errors.Is(err, ErrVerify) {
+		t.Fatalf("verify on blank flash: %v", err)
+	}
+}

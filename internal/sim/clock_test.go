@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(time.Second)
+	if c.Now() != time.Second {
+		t.Fatalf("after advance: %v", c.Now())
+	}
+	c.Advance(-time.Hour)
+	if c.Now() != time.Second {
+		t.Fatal("clock ran backwards on negative advance")
+	}
+	c.Set(500 * time.Millisecond)
+	if c.Now() != time.Second {
+		t.Fatal("Set moved the clock into the past")
+	}
+	c.Set(2 * time.Second)
+	if c.Now() != 2*time.Second {
+		t.Fatalf("Set: %v", c.Now())
+	}
+}
+
+func TestSchedulerOrdersEvents(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	var order []int
+	s.At(30*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	s.At(10*time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	s.At(20*time.Millisecond, func(time.Duration) { order = append(order, 2) })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerEqualTimesFIFO(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func(time.Duration) { order = append(order, i) })
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastEventsRunNow(t *testing.T) {
+	c := NewClock(time.Second)
+	s := NewScheduler(c)
+	var at time.Duration
+	s.At(100*time.Millisecond, func(now time.Duration) { at = now })
+	if !s.Step() {
+		t.Fatal("Step found no event")
+	}
+	if at != time.Second {
+		t.Fatalf("past event ran at %v, want clamped to now (1s)", at)
+	}
+}
+
+func TestSchedulerHorizonStopsBeforeLaterEvents(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	ran := false
+	s.At(2*time.Second, func(time.Duration) { ran = true })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Fatal("event beyond the horizon ran")
+	}
+	if s.Clock().Now() != time.Second {
+		t.Fatalf("clock at %v, want horizon 1s", s.Clock().Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	// A later Run executes it.
+	if err := s.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("event did not run after horizon extension")
+	}
+}
+
+func TestSchedulerEveryAndCancel(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	count := 0
+	cancel := s.Every(100*time.Millisecond, func(time.Duration) { count++ })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	cancel()
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("ticks after cancel = %d, want 10", count)
+	}
+}
+
+func TestSchedulerStopFromCallback(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	count := 0
+	s.Every(10*time.Millisecond, func(time.Duration) {
+		count++
+		if count == 3 {
+			s.Stop()
+		}
+	})
+	err := s.Run(time.Second)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run error = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	c := NewClock(5 * time.Second)
+	s := NewScheduler(c)
+	var at time.Duration
+	s.After(time.Second, func(now time.Duration) { at = now })
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 6*time.Second {
+		t.Fatalf("After event at %v, want 6s", at)
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := NewRand(9)
+	child := a.Split()
+	// Child stream must not simply mirror the parent.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream mirrors parent (%d/100 matches)", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 8)
+		if v < -3 || v >= 8 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(5)
+	if r.Intn(0) != 0 || r.Intn(-4) != 0 {
+		t.Fatal("Intn of non-positive n should be 0")
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) did not cover all values: %v", seen)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRand(6)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) rate = %.3f", rate)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRand(8)
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(2, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("mean = %.3f, want 2", mean)
+	}
+	if math.Abs(sd-3) > 0.06 {
+		t.Fatalf("sd = %.3f, want 3", sd)
+	}
+}
+
+func TestNormZeroSD(t *testing.T) {
+	r := NewRand(1)
+	if v := r.Norm(5, 0); v != 5 {
+		t.Fatalf("Norm with sd=0 returned %v", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(11)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Exp mean = %.3f, want 2", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(12)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package smartits
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/buttons"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func assemble(t *testing.T) *Board {
+	t.Helper()
+	b, err := Assemble(DefaultConfig(), sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAssembleAndSelfCheck(t *testing.T) {
+	b := assemble(t)
+	if err := b.SelfCheck(); err != nil {
+		t.Fatalf("self-check: %v", err)
+	}
+}
+
+func TestDistanceChannelTracksPhysicalDistance(t *testing.T) {
+	b := assemble(t)
+	read := func() float64 {
+		code, err := b.ADC.Read(ChanDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.ADC.Voltage(code)
+	}
+	b.SetDistance(5)
+	near := read()
+	b.SetDistance(28)
+	far := read()
+	if near <= far {
+		t.Fatalf("voltage should fall with distance: near=%.3f far=%.3f", near, far)
+	}
+}
+
+func TestSetDistanceClampsNegative(t *testing.T) {
+	b := assemble(t)
+	b.SetDistance(-5)
+	if b.Distance() != 0 {
+		t.Fatalf("distance = %v", b.Distance())
+	}
+}
+
+func TestBatteryChannel(t *testing.T) {
+	b := assemble(t)
+	code, err := b.ADC.Read(ChanBattery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 V through the divider = 4.5 V at the pin.
+	v := b.ADC.Voltage(code)
+	if v < 4.3 || v > 4.7 {
+		t.Fatalf("battery pin = %.2f V", v)
+	}
+	b.DrainBattery(3)
+	if b.Battery() != 6 {
+		t.Fatalf("battery = %v", b.Battery())
+	}
+	b.DrainBattery(100)
+	if b.Battery() != 0 {
+		t.Fatal("battery went negative")
+	}
+}
+
+func TestContrastPotPropagates(t *testing.T) {
+	b := assemble(t)
+	if err := b.SetContrastPot(55); err != nil {
+		t.Fatal(err)
+	}
+	if b.Top.Contrast() != 55 || b.Bottom.Contrast() != 55 {
+		t.Fatalf("contrast: top=%d bottom=%d", b.Top.Contrast(), b.Bottom.Contrast())
+	}
+}
+
+func TestSecondSensorFitted(t *testing.T) {
+	b := assemble(t)
+	if b.Sensor2 == nil {
+		t.Fatal("prototype config should fit the second (unused) sensor")
+	}
+	cfg := DefaultConfig()
+	cfg.SecondSensor = false
+	b2, err := Assemble(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Sensor2 != nil {
+		t.Fatal("second sensor fitted despite config")
+	}
+}
+
+func TestAccelerometerWired(t *testing.T) {
+	b := assemble(t)
+	code, err := b.ADC.Read(ChanAccelX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := b.ADC.Voltage(code)
+	// Flat orientation: zero-g output ~1.5 V.
+	if v < 1.3 || v > 1.7 {
+		t.Fatalf("accel X pin = %.2f V", v)
+	}
+}
+
+func TestInventoryAndPower(t *testing.T) {
+	b := assemble(t)
+	inv := b.Inventory()
+	if len(inv) < 10 {
+		t.Fatalf("inventory has %d components", len(inv))
+	}
+	names := make(map[string]bool, len(inv))
+	for _, c := range inv {
+		names[c.Name] = true
+	}
+	for _, want := range []string{
+		"PIC 18F452 microcontroller",
+		"Sharp GP2D120 distance sensor",
+		"Barton BT96040 display (top)",
+		"ADXL311JE acceleration sensor",
+	} {
+		if !names[want] {
+			t.Errorf("inventory missing %q", want)
+		}
+	}
+	if b.TotalCurrentMA() <= 50 {
+		t.Fatalf("total draw %.1f mA implausibly low", b.TotalCurrentMA())
+	}
+	if h := b.BatteryLifeHours(); h <= 0 || h > 24 {
+		t.Fatalf("battery life %.1f h implausible", h)
+	}
+	rep := b.InventoryReport()
+	if !strings.Contains(rep, "total draw") {
+		t.Fatalf("report:\n%s", rep)
+	}
+}
+
+func TestButtonsWiredPerLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Layout = buttons.SingleLargeButtonLayout()
+	b, err := Assemble(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Pad.Layout().Buttons); got != 1 {
+		t.Fatalf("buttons = %d", got)
+	}
+	// Inventory follows the layout.
+	count := 0
+	for _, c := range b.Inventory() {
+		if strings.HasPrefix(c.Name, "push button") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("inventory lists %d buttons", count)
+	}
+}
+
+func TestDeterministicAssembly(t *testing.T) {
+	read := func() uint16 {
+		b, err := Assemble(DefaultConfig(), sim.NewRand(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.SetDistance(12)
+		code, err := b.ADC.Read(ChanDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code
+	}
+	if read() != read() {
+		t.Fatal("same seed produced different readings")
+	}
+}

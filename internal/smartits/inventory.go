@@ -1,0 +1,99 @@
+package smartits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Component is one entry of the hardware inventory (paper Figure 3 shows
+// the open device; this is the bill of materials with power accounting).
+type Component struct {
+	Ref       string // figure-3 reference where applicable
+	Name      string
+	Board     string  // "base" or "add-on"
+	CurrentMA float64 // typical supply current
+}
+
+// Inventory returns the bill of materials of the assembled board.
+func (b *Board) Inventory() []Component {
+	inv := []Component{
+		{Ref: "3", Name: "PIC 18F452 microcontroller", Board: "base", CurrentMA: 12},
+		{Ref: "", Name: "RF transceiver module", Board: "base", CurrentMA: 18},
+		{Ref: "", Name: "serial / programmer connector", Board: "base", CurrentMA: 0},
+		{Ref: "2", Name: "add-on board connector (ribbon elongated)", Board: "base", CurrentMA: 0},
+		{Ref: "5", Name: "Sharp GP2D120 distance sensor", Board: "add-on", CurrentMA: 33},
+		{Ref: "", Name: "ADXL311JE acceleration sensor", Board: "add-on", CurrentMA: 0.4},
+		{Ref: "", Name: "Barton BT96040 display (top)", Board: "add-on", CurrentMA: 1.5},
+		{Ref: "", Name: "Barton BT96040 display (bottom)", Board: "add-on", CurrentMA: 1.5},
+		{Ref: "4", Name: "contrast potentiometer", Board: "add-on", CurrentMA: 0.1},
+		{Ref: "4", Name: "9 V block battery", Board: "case", CurrentMA: 0},
+	}
+	if b.Sensor2 != nil {
+		inv = append(inv, Component{
+			Ref: "1", Name: "Sharp GP2D120 distance sensor (second, unused)",
+			Board: "add-on", CurrentMA: 33,
+		})
+	}
+	for _, id := range b.Pad.Layout().Buttons {
+		inv = append(inv, Component{
+			Name: "push button " + id.String(), Board: "case", CurrentMA: 0,
+		})
+	}
+	return inv
+}
+
+// TotalCurrentMA sums the typical supply current of every component.
+func (b *Board) TotalCurrentMA() float64 {
+	total := 0.0
+	for _, c := range b.Inventory() {
+		total += c.CurrentMA
+	}
+	return total
+}
+
+// BatteryLifeHours estimates runtime on the 9 V block (≈550 mAh alkaline).
+func (b *Board) BatteryLifeHours() float64 {
+	draw := b.TotalCurrentMA()
+	if draw <= 0 {
+		return 0
+	}
+	return 550 / draw
+}
+
+// BatteryLifeHoursAtDuty estimates runtime when the distance sensors run
+// at the given sensing duty factor (power-save firmware): the IR emitters
+// only burn current while sampling.
+func (b *Board) BatteryLifeHoursAtDuty(duty float64) float64 {
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	sensorMA := 0.0
+	otherMA := 0.0
+	for _, c := range b.Inventory() {
+		if strings.Contains(c.Name, "GP2D120") {
+			sensorMA += c.CurrentMA
+		} else {
+			otherMA += c.CurrentMA
+		}
+	}
+	draw := otherMA + sensorMA*duty
+	if draw <= 0 {
+		return 0
+	}
+	return 550 / draw
+}
+
+// InventoryReport renders the bill of materials as a table.
+func (b *Board) InventoryReport() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "%-4s %-48s %-7s %8s\n", "ref", "component", "board", "mA")
+	for _, c := range b.Inventory() {
+		fmt.Fprintf(&s, "%-4s %-48s %-7s %8.1f\n", c.Ref, c.Name, c.Board, c.CurrentMA)
+	}
+	fmt.Fprintf(&s, "total draw %.1f mA, est. battery life %.1f h\n",
+		b.TotalCurrentMA(), b.BatteryLifeHours())
+	return s.String()
+}

@@ -1,0 +1,67 @@
+package smartits
+
+import (
+	"fmt"
+
+	"github.com/hcilab/distscroll/internal/serial"
+)
+
+// This file wires the base board's serial/programmer connector (paper
+// Figure 3: "the base Smart-Its board with serial and programmer
+// connector", elongated with ribbon cable for code downloads) to the
+// microcontroller's flash.
+
+// AttachProgrammer powers up the programming path: it creates the flash
+// array (if absent), the serial pair and the device-resident bootloader,
+// and returns the host-side port plus a programmer bound to it. Call once
+// per programming session.
+func (b *Board) AttachProgrammer() (*serial.Programmer, error) {
+	if b.Flash == nil {
+		b.Flash = serial.NewFlash()
+	}
+	host, dev := serial.Pair(38_400)
+	bl, err := serial.NewBootloader(dev, b.Flash)
+	if err != nil {
+		return nil, fmt.Errorf("smartits: %w", err)
+	}
+	b.Bootloader = bl
+	b.SerialHost = host
+	prog, err := serial.NewProgrammer(host, bl.Service)
+	if err != nil {
+		return nil, fmt.Errorf("smartits: %w", err)
+	}
+	return prog, nil
+}
+
+// FirmwareVersion reads the version string embedded in flash, or "" when
+// no image was downloaded.
+func (b *Board) FirmwareVersion() (string, error) {
+	if b.Flash == nil {
+		return "", nil
+	}
+	v, err := serial.InstalledVersion(b.Flash)
+	if err != nil {
+		return "", fmt.Errorf("smartits: %w", err)
+	}
+	return v, nil
+}
+
+// DownloadFirmware is the convenience path the maintainer uses: build an
+// image from code+version, stream it through the bootloader and verify.
+func (b *Board) DownloadFirmware(code []byte, version string) error {
+	img, err := serial.BuildImage(code, version)
+	if err != nil {
+		return fmt.Errorf("smartits: %w", err)
+	}
+	prog, err := b.AttachProgrammer()
+	if err != nil {
+		return err
+	}
+	if _, err := prog.Download(img); err != nil {
+		return fmt.Errorf("smartits: download: %w", err)
+	}
+	if err := serial.Verify(b.Flash, img); err != nil {
+		return fmt.Errorf("smartits: %w", err)
+	}
+	return nil
+}

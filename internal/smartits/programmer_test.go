@@ -1,0 +1,78 @@
+package smartits
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/serial"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestDownloadFirmwareEndToEnd(t *testing.T) {
+	b, err := Assemble(DefaultConfig(), sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.FirmwareVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "" {
+		t.Fatalf("fresh board has version %q", v)
+	}
+	code := bytes.Repeat([]byte{0xDE, 0xAD}, 400)
+	if err := b.DownloadFirmware(code, "distscroll-0.9"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = b.FirmwareVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "distscroll-0.9" {
+		t.Fatalf("version %q", v)
+	}
+	if b.Bootloader.Records() == 0 {
+		t.Fatal("bootloader saw no records")
+	}
+	// Code actually landed in flash.
+	got := make([]byte, len(code))
+	if err := b.Flash.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, code) {
+		t.Fatal("flash contents mismatch")
+	}
+}
+
+func TestFirmwareUpgradeBumpsVersionAndWear(t *testing.T) {
+	b, err := Assemble(DefaultConfig(), sim.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DownloadFirmware([]byte("first build"), "v1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DownloadFirmware([]byte("second build with fixes"), "v1.1"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.FirmwareVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "v1.1" {
+		t.Fatalf("version %q", v)
+	}
+	if b.Flash.MaxEraseCycles() < 2 {
+		t.Fatalf("wear %d, want >= 2 after an upgrade", b.Flash.MaxEraseCycles())
+	}
+}
+
+func TestDownloadFirmwareValidation(t *testing.T) {
+	b, err := Assemble(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DownloadFirmware(make([]byte, serial.VersionAddr+1), "v"); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}

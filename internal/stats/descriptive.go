@@ -1,0 +1,127 @@
+// Package stats provides the statistical tooling the experiments need:
+// descriptive summaries, ordinary least squares, non-linear least squares
+// (Gauss-Newton, used to fit the GP2D120 sensor characteristic of paper
+// Figures 4 and 5) and histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by operations that need at least one sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary holds descriptive statistics over a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+	CI95   float64 // half-width of the 95% confidence interval of the mean
+}
+
+// String formats the summary for reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g [%.4g,%.4g] median=%.4g ±%.4g",
+		s.N, s.Mean, s.SD, s.Min, s.Max, s.Median, s.CI95)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the sample variance (n-1 denominator) of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Summarize computes a full descriptive summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		SD:     StdDev(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		Median: Median(xs),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.N > 1 {
+		// Normal approximation; fine for the trial counts used here.
+		s.CI95 = 1.96 * s.SD / math.Sqrt(float64(s.N))
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations of a fit are singular.
+var ErrSingular = errors.New("stats: singular normal equations")
+
+// Model is a parametric model y = f(x; params) for non-linear least squares.
+type Model func(x float64, params []float64) float64
+
+// NonLinearFit is the result of a Gauss-Newton fit.
+type NonLinearFit struct {
+	Params     []float64
+	RMSE       float64
+	R2         float64
+	Iterations int
+	Converged  bool
+}
+
+// String formats the fit for reports.
+func (f NonLinearFit) String() string {
+	return fmt.Sprintf("params=%v rmse=%.4g R²=%.4f iters=%d converged=%t",
+		f.Params, f.RMSE, f.R2, f.Iterations, f.Converged)
+}
+
+// GaussNewton fits model parameters to (xs, ys) by damped Gauss-Newton with
+// a numerically differentiated Jacobian. init is the starting guess; it is
+// not modified. The fit stops when the step is below tol or after maxIter
+// iterations.
+func GaussNewton(model Model, xs, ys, init []float64, maxIter int, tol float64) (NonLinearFit, error) {
+	if len(xs) != len(ys) {
+		return NonLinearFit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	p := len(init)
+	if p == 0 {
+		return NonLinearFit{}, errors.New("stats: no parameters")
+	}
+	if len(xs) < p {
+		return NonLinearFit{}, fmt.Errorf("stats: %d points cannot determine %d parameters", len(xs), p)
+	}
+	params := append([]float64(nil), init...)
+
+	residuals := func(ps []float64) []float64 {
+		r := make([]float64, len(xs))
+		for i := range xs {
+			r[i] = ys[i] - model(xs[i], ps)
+		}
+		return r
+	}
+	sumsq := func(r []float64) float64 {
+		s := 0.0
+		for _, v := range r {
+			s += v * v
+		}
+		return s
+	}
+
+	fit := NonLinearFit{}
+	cost := sumsq(residuals(params))
+	for iter := 0; iter < maxIter; iter++ {
+		fit.Iterations = iter + 1
+		r := residuals(params)
+
+		// Numerical Jacobian of the residuals w.r.t. the parameters.
+		jac := make([][]float64, len(xs))
+		for i := range jac {
+			jac[i] = make([]float64, p)
+		}
+		for j := 0; j < p; j++ {
+			h := 1e-6 * math.Max(math.Abs(params[j]), 1)
+			bumped := append([]float64(nil), params...)
+			bumped[j] += h
+			for i := range xs {
+				// d(residual)/d(param) = -d(model)/d(param)
+				jac[i][j] = -(model(xs[i], bumped) - model(xs[i], params)) / h
+			}
+		}
+
+		// Normal equations: (JᵀJ) delta = -Jᵀ r
+		jtj := make([][]float64, p)
+		jtr := make([]float64, p)
+		for a := 0; a < p; a++ {
+			jtj[a] = make([]float64, p)
+			for b := 0; b < p; b++ {
+				s := 0.0
+				for i := range xs {
+					s += jac[i][a] * jac[i][b]
+				}
+				jtj[a][b] = s
+			}
+			s := 0.0
+			for i := range xs {
+				s += jac[i][a] * r[i]
+			}
+			jtr[a] = -s
+		}
+
+		delta, err := SolveLinear(jtj, jtr)
+		if err != nil {
+			return fit, err
+		}
+
+		// Damped step: halve until the cost does not increase.
+		step := 1.0
+		var next []float64
+		var nextCost float64
+		for k := 0; k < 20; k++ {
+			next = make([]float64, p)
+			for j := range next {
+				next[j] = params[j] + step*delta[j]
+			}
+			nextCost = sumsq(residuals(next))
+			if nextCost <= cost {
+				break
+			}
+			step /= 2
+		}
+		norm := 0.0
+		for j := range delta {
+			norm += step * delta[j] * step * delta[j]
+		}
+		params = next
+		cost = nextCost
+		if math.Sqrt(norm) < tol {
+			fit.Converged = true
+			break
+		}
+	}
+
+	fit.Params = params
+	fit.RMSE = math.Sqrt(cost / float64(len(xs)))
+	meanY := Mean(ys)
+	ssTot := 0.0
+	for _, y := range ys {
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - cost/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// SolveLinear solves the square system A x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n {
+		return nil, fmt.Errorf("stats: matrix is %dx? but vector is %d", len(a), n)
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(m[row][col]) > math.Abs(m[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+
+		inv := 1 / m[col][col]
+		for row := col + 1; row < n; row++ {
+			f := m[row][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				m[row][k] -= f * m[col][k]
+			}
+			x[row] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for k := col + 1; k < n; k++ {
+			s -= m[col][k] * x[k]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x, nil
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram accumulates samples into fixed-width bins over [Lo, Hi).
+// Samples outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	Under  int
+	Over   int
+	n      int
+}
+
+// NewHistogram returns a histogram with the given number of bins over
+// [lo, hi). It returns an error for a degenerate range or bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: invalid range [%g,%g)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, bins)}, nil
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i >= len(h.Bins) {
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// N reports the total number of samples added.
+func (h *Histogram) N() int { return h.n }
+
+// BinCenter returns the centre value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Render draws a horizontal ASCII bar chart, one row per bin, scaled so the
+// fullest bin spans width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 1
+	for _, c := range h.Bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Bins {
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&b, "%8.3g | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	return b.String()
+}

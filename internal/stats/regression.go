@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is the result of an ordinary-least-squares line fit y = a + b*x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// String formats the fit for reports.
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.4g + %.4g*x (R²=%.4f, n=%d)", f.Intercept, f.Slope, f.R2, f.N)
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// LinearRegression fits y = a + b*x by ordinary least squares.
+func LinearRegression(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrNoData
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate x values")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := a + b*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Intercept: a, Slope: b, R2: r2, N: len(xs)}, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples, or 0 when either sample is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RMSE returns the root-mean-square error between predictions and targets.
+func RMSE(pred, got []float64) float64 {
+	if len(pred) != len(got) || len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - got[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}

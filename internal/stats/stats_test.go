@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	almost(t, Mean(xs), 5, 1e-12, "mean")
+	almost(t, Variance(xs), 32.0/7, 1e-12, "variance")
+	almost(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "sd")
+	almost(t, Median(xs), 4.5, 1e-12, "median")
+}
+
+func TestDescriptiveEmptyAndSingle(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input should yield zeros")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("single sample variance should be 0")
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.CI95 != 0 {
+		t.Fatalf("single-sample summary: %+v", s)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	almost(t, Median([]float64{9, 1, 5}), 5, 1e-12, "median")
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	almost(t, Percentile(xs, 0), 1, 1e-12, "p0")
+	almost(t, Percentile(xs, 100), 5, 1e-12, "p100")
+	almost(t, Percentile(xs, 50), 3, 1e-12, "p50")
+	almost(t, Percentile(xs, 25), 2, 1e-12, "p25")
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	xs := []float64{5, -2, 9, 3}
+	s := Summarize(xs)
+	if s.Min != -2 || s.Max != 9 || s.N != 4 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.CI95 <= 0 {
+		t.Fatal("CI95 should be positive for n>1")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1.5 + 2*x
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.Intercept, 1.5, 1e-9, "intercept")
+	almost(t, fit.Slope, 2, 1e-9, "slope")
+	almost(t, fit.R2, 1, 1e-9, "r2")
+	almost(t, fit.Predict(10), 21.5, 1e-9, "predict")
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := sim.NewRand(1)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Uniform(0, 10)
+		xs = append(xs, x)
+		ys = append(ys, 3-0.5*x+rng.Norm(0, 0.1))
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.Intercept, 3, 0.05, "intercept")
+	almost(t, fit.Slope, -0.5, 0.02, "slope")
+	if fit.R2 < 0.98 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for n<2")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want error for constant x")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	almost(t, Correlation(xs, []float64{2, 4, 6, 8}), 1, 1e-12, "corr+")
+	almost(t, Correlation(xs, []float64{8, 6, 4, 2}), -1, 1e-12, "corr-")
+	if Correlation(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant series should have 0 correlation")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	almost(t, RMSE([]float64{1, 2}, []float64{1, 4}), math.Sqrt(2), 1e-12, "rmse")
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, x[0], 1, 1e-9, "x0")
+	almost(t, x[1], 3, 1e-9, "x1")
+	// Inputs untouched.
+	if a[0][0] != 2 || b[0] != 5 {
+		t.Fatal("SolveLinear mutated inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("want singular error")
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Zero on the diagonal forces a pivot swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, x[0], 3, 1e-9, "x0")
+	almost(t, x[1], 2, 1e-9, "x1")
+}
+
+func TestSolveLinearRandomProperty(t *testing.T) {
+	rng := sim.NewRand(2)
+	f := func(_ uint8) bool {
+		n := 1 + rng.Intn(5)
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Uniform(-5, 5)
+			}
+			a[i][i] += 10 // diagonally dominant: well conditioned
+			x[i] = rng.Uniform(-3, 3)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range x {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussNewtonRecoversSensorModel(t *testing.T) {
+	// The exact model fitted to paper Figure 4: V = a/(d+b) + c.
+	model := func(x float64, p []float64) float64 { return p[0]/(x+p[1]) + p[2] }
+	truth := []float64{13, 0.42, 0.04}
+	rng := sim.NewRand(3)
+	var xs, ys []float64
+	for d := 4.0; d <= 30; d += 0.5 {
+		xs = append(xs, d)
+		ys = append(ys, model(d, truth)+rng.Norm(0, 0.005))
+	}
+	fit, err := GaussNewton(model, xs, ys, []float64{5, 1, 0}, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.Params[0], 13, 0.3, "a")
+	almost(t, fit.Params[1], 0.42, 0.15, "b")
+	almost(t, fit.Params[2], 0.04, 0.02, "c")
+	if fit.R2 < 0.999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if !fit.Converged {
+		t.Fatal("fit did not converge")
+	}
+}
+
+func TestGaussNewtonErrors(t *testing.T) {
+	model := func(x float64, p []float64) float64 { return p[0] * x }
+	if _, err := GaussNewton(model, []float64{1}, []float64{1, 2}, []float64{1}, 10, 1e-6); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, err := GaussNewton(model, []float64{1, 2}, []float64{1, 2}, nil, 10, 1e-6); err == nil {
+		t.Fatal("want no-parameters error")
+	}
+	if _, err := GaussNewton(model, []float64{1}, []float64{1}, []float64{1, 2}, 10, 1e-6); err == nil {
+		t.Fatal("want underdetermined error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d", h.Bins[0])
+	}
+	if h.N() != 8 {
+		t.Fatalf("n = %d", h.N())
+	}
+	almost(t, h.BinCenter(0), 1, 1e-12, "bin center")
+	if h.Render(20) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("want bins error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("want range error")
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult is the outcome of a two-sample Welch t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch-Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+	// MeanDiff is mean(a) - mean(b).
+	MeanDiff float64
+}
+
+// Significant reports whether the difference is significant at the given
+// alpha (e.g. 0.05).
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// String formats the result in report style.
+func (r TTestResult) String() string {
+	return fmt.Sprintf("t(%.1f)=%.3f, p=%.4f, Δ=%.4g", r.DF, r.T, r.P, r.MeanDiff)
+}
+
+// WelchTTest performs a two-sided two-sample t-test without assuming
+// equal variances. Each sample needs at least two observations.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: t-test needs >= 2 samples per group (%d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		// Identical constant samples: no evidence of a difference.
+		return TTestResult{T: 0, DF: na + nb - 2, P: 1, MeanDiff: ma - mb}, nil
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	// Welch–Satterthwaite degrees of freedom.
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	p := 2 * studentTailCDF(math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p, MeanDiff: ma - mb}, nil
+}
+
+// studentTailCDF returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularised incomplete beta function.
+func studentTailCDF(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularised incomplete beta function I_x(a,b)
+// by the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lnFront := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lnFront)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF is the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

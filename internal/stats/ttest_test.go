@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestWelchTTestDetectsDifference(t *testing.T) {
+	rng := sim.NewRand(1)
+	var a, b []float64
+	for i := 0; i < 60; i++ {
+		a = append(a, rng.Norm(10, 1))
+		b = append(b, rng.Norm(11, 1)) // one sd apart: clearly significant
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.01) {
+		t.Fatalf("1-sd separation not significant: %s", res)
+	}
+	if res.MeanDiff >= 0 {
+		t.Fatalf("mean diff sign: %v", res.MeanDiff)
+	}
+	if res.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestWelchTTestNullNoFalsePositives(t *testing.T) {
+	// Under the null hypothesis, p should rarely be tiny.
+	rng := sim.NewRand(2)
+	small := 0
+	const runs = 200
+	for r := 0; r < runs; r++ {
+		var a, b []float64
+		for i := 0; i < 30; i++ {
+			a = append(a, rng.Norm(5, 2))
+			b = append(b, rng.Norm(5, 2))
+		}
+		res, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.01 {
+			small++
+		}
+	}
+	// Expect ~1% of runs below 0.01; allow generous slack.
+	if small > 10 {
+		t.Fatalf("%d/%d null runs significant at 0.01", small, runs)
+	}
+}
+
+func TestWelchTTestKnownValue(t *testing.T) {
+	// Hand-computable case: a = {1..5} (mean 3, var 2.5), b = {2..6}
+	// (mean 4, var 2.5): t = -1/sqrt(0.5+0.5) = -1, Welch df = 8,
+	// two-sided p = 2·P(T₈ > 1) ≈ 0.3466.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 3, 4, 5, 6}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T+1) > 1e-9 {
+		t.Fatalf("t = %.6f, want -1", res.T)
+	}
+	if math.Abs(res.DF-8) > 1e-9 {
+		t.Fatalf("df = %.6f, want 8", res.DF)
+	}
+	if math.Abs(res.P-0.3466) > 0.002 {
+		t.Fatalf("p = %.4f, want ≈ 0.3466", res.P)
+	}
+}
+
+func TestWelchTTestIdenticalConstant(t *testing.T) {
+	a := []float64{3, 3, 3}
+	res, err := WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Fatalf("constant samples: %s", res)
+	}
+}
+
+func TestWelchTTestValidation(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestStudentTailSymmetry(t *testing.T) {
+	if got := studentTailCDF(0, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tail at 0 = %v", got)
+	}
+	// Large t → tiny tail.
+	if got := studentTailCDF(10, 30); got > 1e-8 {
+		t.Fatalf("tail at t=10 = %v", got)
+	}
+	// Monotone decreasing in t.
+	last := 0.5
+	for x := 0.5; x < 5; x += 0.5 {
+		cur := studentTailCDF(x, 12)
+		if cur >= last {
+			t.Fatalf("tail not decreasing at %v", x)
+		}
+		last = cur
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("bounds")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.4, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}

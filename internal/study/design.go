@@ -1,0 +1,116 @@
+package study
+
+import (
+	"fmt"
+
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// This file provides the experimental-design tooling of a proper HCI
+// study: balanced Latin squares for counterbalancing condition order
+// across participants, and hierarchical task generation over real menu
+// trees (the paper's study used the fictive phone menu, not flat lists).
+
+// LatinSquare returns an n×n balanced Latin square (for even n) or a
+// cyclic Latin square (odd n): row p is the condition order for
+// participant p, guaranteeing each condition appears in each position
+// equally often.
+func LatinSquare(n int) ([][]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("study: latin square size %d", n)
+	}
+	sq := make([][]int, n)
+	for p := 0; p < n; p++ {
+		row := make([]int, n)
+		// Williams design: 0, 1, n-1, 2, n-2, ... shifted by p.
+		seq := make([]int, n)
+		seq[0] = 0
+		lo, hi := 1, n-1
+		for i := 1; i < n; i++ {
+			if i%2 == 1 {
+				seq[i] = lo
+				lo++
+			} else {
+				seq[i] = hi
+				hi--
+			}
+		}
+		for i, v := range seq {
+			row[i] = (v + p) % n
+		}
+		sq[p] = row
+	}
+	return sq, nil
+}
+
+// IsLatinSquare verifies the defining property: every value appears
+// exactly once per row and once per column.
+func IsLatinSquare(sq [][]int) bool {
+	n := len(sq)
+	for _, row := range sq {
+		if len(row) != n {
+			return false
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowSeen := make([]bool, n)
+		colSeen := make([]bool, n)
+		for j := 0; j < n; j++ {
+			r := sq[i][j]
+			c := sq[j][i]
+			if r < 0 || r >= n || rowSeen[r] {
+				return false
+			}
+			if c < 0 || c >= n || colSeen[c] {
+				return false
+			}
+			rowSeen[r] = true
+			colSeen[c] = true
+		}
+	}
+	return true
+}
+
+// LeafPath is one hierarchical task: the per-level entry indices from the
+// root to a leaf, plus the leaf's title for reporting.
+type LeafPath struct {
+	Indices []int
+	Title   string
+}
+
+// GenerateLeafPaths returns n tasks drawn uniformly from the leaves of a
+// menu tree, never repeating the same leaf twice in a row.
+func GenerateLeafPaths(root *menu.Node, n int, rng *sim.Rand) ([]LeafPath, error) {
+	if root == nil || len(root.Children) == 0 {
+		return nil, fmt.Errorf("study: menu has no entries")
+	}
+	var leaves []LeafPath
+	var walk func(node *menu.Node, path []int)
+	walk = func(node *menu.Node, path []int) {
+		for i, c := range node.Children {
+			p := append(append([]int(nil), path...), i)
+			if c.IsLeaf() {
+				leaves = append(leaves, LeafPath{Indices: p, Title: c.Title})
+			} else {
+				walk(c, p)
+			}
+		}
+	}
+	walk(root, nil)
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("study: menu has no leaves")
+	}
+
+	out := make([]LeafPath, 0, n)
+	last := -1
+	for len(out) < n {
+		i := rng.Intn(len(leaves))
+		if i == last && len(leaves) > 1 {
+			continue
+		}
+		out = append(out, leaves[i])
+		last = i
+	}
+	return out, nil
+}

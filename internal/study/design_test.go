@@ -1,0 +1,95 @@
+package study
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestLatinSquareProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%10) + 1
+		sq, err := LatinSquare(n)
+		if err != nil {
+			return false
+		}
+		return IsLatinSquare(sq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatinSquareBalancedFirstPositions(t *testing.T) {
+	sq, err := LatinSquare(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each condition leads exactly once across the 4 participants.
+	seen := make(map[int]int)
+	for _, row := range sq {
+		seen[row[0]]++
+	}
+	for c := 0; c < 4; c++ {
+		if seen[c] != 1 {
+			t.Fatalf("condition %d leads %d times: %v", c, seen[c], sq)
+		}
+	}
+}
+
+func TestLatinSquareValidation(t *testing.T) {
+	if _, err := LatinSquare(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if IsLatinSquare([][]int{{0, 1}, {0, 1}}) {
+		t.Fatal("repeated column accepted")
+	}
+	if IsLatinSquare([][]int{{0, 1}}) {
+		t.Fatal("ragged square accepted")
+	}
+}
+
+func TestGenerateLeafPaths(t *testing.T) {
+	rng := sim.NewRand(1)
+	paths, err := GenerateLeafPaths(menu.PhoneMenu(), 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 20 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	for i, p := range paths {
+		if len(p.Indices) == 0 || p.Title == "" {
+			t.Fatalf("path %d malformed: %+v", i, p)
+		}
+		if i > 0 && p.Title == paths[i-1].Title && len(paths) > 1 {
+			// Allowed only if the menu had one leaf, which it does not.
+			t.Fatalf("repeated consecutive leaf %q", p.Title)
+		}
+	}
+	// Each path resolves to a real leaf.
+	for _, p := range paths {
+		node := menu.PhoneMenu()
+		for _, idx := range p.Indices {
+			if idx < 0 || idx >= len(node.Children) {
+				t.Fatalf("path %v leaves the tree", p.Indices)
+			}
+			node = node.Children[idx]
+		}
+		if !node.IsLeaf() || node.Title != p.Title {
+			t.Fatalf("path %v resolves to %q, want leaf %q", p.Indices, node.Title, p.Title)
+		}
+	}
+}
+
+func TestGenerateLeafPathsValidation(t *testing.T) {
+	rng := sim.NewRand(2)
+	if _, err := GenerateLeafPaths(nil, 5, rng); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if _, err := GenerateLeafPaths(menu.Leaf("only"), 5, rng); err == nil {
+		t.Fatal("leaf root accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package study
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/hcilab/distscroll/internal/participant"
+)
+
+// WriteTrialsCSV writes per-trial session results as CSV.
+func WriteTrialsCSV(w io.Writer, participantID string, results []participant.TrialResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"participant", "trial", "target", "time_s", "discovery_s", "corrections", "wrong_selection"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("study: csv: %w", err)
+	}
+	for i, r := range results {
+		rec := []string{
+			participantID,
+			strconv.Itoa(i + 1),
+			strconv.Itoa(r.Target),
+			strconv.FormatFloat(r.Time.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(r.Discovery.Seconds(), 'f', 3, 64),
+			strconv.Itoa(r.Corrections),
+			strconv.FormatBool(r.WrongSelection),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("study: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("study: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteConditionsCSV writes technique-condition aggregates as CSV.
+func WriteConditionsCSV(w io.Writer, conds []ConditionResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"technique", "glove", "fitts_a_s", "fitts_b_s_per_bit", "r2", "throughput_bps", "error_rate", "mean_mt_s", "n"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("study: csv: %w", err)
+	}
+	for _, c := range conds {
+		rec := []string{
+			c.Name,
+			c.Glove,
+			strconv.FormatFloat(c.Analysis.Fit.Intercept, 'f', 4, 64),
+			strconv.FormatFloat(c.Analysis.Fit.Slope, 'f', 4, 64),
+			strconv.FormatFloat(c.Analysis.Fit.R2, 'f', 4, 64),
+			strconv.FormatFloat(c.Analysis.Throughput, 'f', 3, 64),
+			strconv.FormatFloat(c.Analysis.ErrorRate, 'f', 4, 64),
+			strconv.FormatFloat(c.MeanMT.Mean, 'f', 3, 64),
+			strconv.Itoa(c.Analysis.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("study: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("study: csv: %w", err)
+	}
+	return nil
+}
+
+// ConditionTable renders condition results as an aligned text table.
+func ConditionTable(conds []ConditionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %10s %10s %8s %8s %8s\n",
+		"technique", "glove", "meanMT(s)", "TP(bit/s)", "err%", "slope", "R2")
+	for _, c := range conds {
+		fmt.Fprintf(&b, "%-12s %-8s %10.3f %10.2f %8.1f %8.3f %8.3f\n",
+			c.Name, c.Glove, c.MeanMT.Mean, c.Analysis.Throughput,
+			100*c.Analysis.ErrorRate, c.Analysis.Fit.Slope, c.Analysis.Fit.R2)
+	}
+	return b.String()
+}

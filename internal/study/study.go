@@ -1,0 +1,216 @@
+// Package study is the experiment harness: it generates balanced trial
+// sets, runs full-device user-study sessions and kinematic technique
+// conditions, aggregates the metrics, and writes CSV — the quantitative
+// re-run of the paper's Section 6 study and Section 7 open questions.
+package study
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/fitts"
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/participant"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/stats"
+	"github.com/hcilab/distscroll/internal/technique"
+)
+
+// TrialSpec is one planned selection trial.
+type TrialSpec struct {
+	Target   int
+	Distance int // entries between the previous cursor and the target
+}
+
+// GenerateTrials produces a target sequence over a list of n entries whose
+// successive cursor distances cycle through the given amplitude set — the
+// balanced-amplitude design of Fitts experiments (Hinckley et al. 2002).
+func GenerateTrials(n int, amplitudes []int, reps int, rng *sim.Rand) []TrialSpec {
+	if n < 2 {
+		return nil
+	}
+	if len(amplitudes) == 0 {
+		amplitudes = []int{1, 2, 4}
+	}
+	specs := make([]TrialSpec, 0, len(amplitudes)*reps)
+	cursor := 0
+	for r := 0; r < reps; r++ {
+		order := rng.Perm(len(amplitudes))
+		for _, ai := range order {
+			amp := amplitudes[ai]
+			if amp >= n {
+				amp = n - 1
+			}
+			target := cursor + amp
+			if target >= n || (rng.Bool(0.5) && cursor-amp >= 0) {
+				target = cursor - amp
+			}
+			if target < 0 {
+				target = cursor + amp
+			}
+			if target >= n {
+				target = n - 1
+			}
+			if target == cursor {
+				target = (cursor + 1) % n
+			}
+			d := target - cursor
+			if d < 0 {
+				d = -d
+			}
+			specs = append(specs, TrialSpec{Target: target, Distance: d})
+			cursor = target
+		}
+	}
+	return specs
+}
+
+// SessionConfig configures one participant session on the full device.
+type SessionConfig struct {
+	Seed        uint64
+	Device      core.Config
+	Participant participant.Config
+	// Menu builds the navigated tree; nil uses a flat list of Entries.
+	Menu    *menu.Node
+	Entries int
+	Trials  []TrialSpec
+}
+
+// SessionResult is the outcome of one participant session.
+type SessionResult struct {
+	Results []participant.TrialResult
+	// Device diagnostics.
+	HostStats core.HostStats
+	Duration  time.Duration
+}
+
+// ErrorRate returns the fraction of trials with any error.
+func (s SessionResult) ErrorRate() float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	errs := 0
+	for _, r := range s.Results {
+		if r.Errored() {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(s.Results))
+}
+
+// Times returns the per-trial completion times in seconds, excluding
+// first-trial discovery overhead.
+func (s SessionResult) Times() []float64 {
+	out := make([]float64, 0, len(s.Results))
+	for _, r := range s.Results {
+		out = append(out, (r.Time - r.Discovery).Seconds())
+	}
+	return out
+}
+
+// RunSession executes one full-device participant session.
+func RunSession(cfg SessionConfig) (SessionResult, error) {
+	root := cfg.Menu
+	if root == nil {
+		n := cfg.Entries
+		if n < 2 {
+			n = 10
+		}
+		root = menu.FlatMenu(n)
+	}
+	devCfg := cfg.Device
+	if devCfg.Seed == 0 {
+		devCfg = core.DefaultConfig()
+	}
+	devCfg.Seed = cfg.Seed
+	dev, err := core.NewDevice(devCfg, root)
+	if err != nil {
+		return SessionResult{}, fmt.Errorf("study: %w", err)
+	}
+	defer dev.Stop()
+
+	rng := sim.NewRand(cfg.Seed ^ 0xabcdef)
+	p, err := participant.New(cfg.Participant, dev, rng)
+	if err != nil {
+		return SessionResult{}, fmt.Errorf("study: %w", err)
+	}
+	defer p.Detach()
+
+	res := SessionResult{Results: make([]participant.TrialResult, 0, len(cfg.Trials))}
+	for i, spec := range cfg.Trials {
+		r, err := p.SelectEntry(spec.Target)
+		if err != nil {
+			return res, fmt.Errorf("study: trial %d: %w", i, err)
+		}
+		res.Results = append(res.Results, r)
+	}
+	res.HostStats = dev.Host.Stats()
+	res.Duration = dev.Clock.Now()
+	return res, nil
+}
+
+// Condition is one technique × glove cell of the comparison experiment.
+type Condition struct {
+	Technique technique.Technique
+	Glove     hand.Glove
+	// Entries is the list length; Amplitudes the distance set; Reps the
+	// repetitions per amplitude.
+	Entries    int
+	Amplitudes []int
+	Reps       int
+}
+
+// ConditionResult aggregates one cell.
+type ConditionResult struct {
+	Name     string
+	Glove    string
+	Analysis fitts.Analysis
+	MeanMT   stats.Summary
+}
+
+// RunCondition executes one technique condition and analyses it.
+func RunCondition(c Condition, rng *sim.Rand) (ConditionResult, error) {
+	if c.Entries < 2 {
+		c.Entries = 20
+	}
+	if c.Reps < 1 {
+		c.Reps = 10
+	}
+	if len(c.Amplitudes) == 0 {
+		c.Amplitudes = []int{1, 2, 4, 8, 16}
+	}
+	obs := make([]fitts.Observation, 0, len(c.Amplitudes)*c.Reps)
+	times := make([]float64, 0, cap(obs))
+	for r := 0; r < c.Reps; r++ {
+		for _, amp := range c.Amplitudes {
+			if amp >= c.Entries {
+				continue
+			}
+			tr := technique.Trial{
+				DistanceEntries: amp,
+				TotalEntries:    c.Entries,
+				Glove:           c.Glove,
+			}
+			result := c.Technique.Acquire(tr, rng)
+			obs = append(obs, fitts.Observation{
+				D:   float64(amp),
+				W:   1, // one entry wide in task space
+				MT:  result.MT,
+				Err: result.Err,
+			})
+			times = append(times, result.MT.Seconds())
+		}
+	}
+	an, err := fitts.Analyze(obs)
+	if err != nil {
+		return ConditionResult{}, fmt.Errorf("study: condition %s/%s: %w", c.Technique.Name(), c.Glove.Name, err)
+	}
+	return ConditionResult{
+		Name:     c.Technique.Name(),
+		Glove:    c.Glove.Name,
+		Analysis: an,
+		MeanMT:   stats.Summarize(times),
+	}, nil
+}

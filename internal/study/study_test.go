@@ -1,0 +1,180 @@
+package study
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/participant"
+	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/technique"
+)
+
+func TestGenerateTrialsDistances(t *testing.T) {
+	rng := sim.NewRand(1)
+	amps := []int{1, 2, 4}
+	specs := GenerateTrials(20, amps, 5, rng)
+	if len(specs) != 15 {
+		t.Fatalf("trials = %d, want 15", len(specs))
+	}
+	counts := map[int]int{}
+	for _, s := range specs {
+		if s.Target < 0 || s.Target >= 20 {
+			t.Fatalf("target %d out of range", s.Target)
+		}
+		counts[s.Distance]++
+	}
+	for _, a := range amps {
+		if counts[a] == 0 {
+			t.Errorf("amplitude %d never generated: %v", a, counts)
+		}
+	}
+}
+
+func TestGenerateTrialsClampsAmplitude(t *testing.T) {
+	rng := sim.NewRand(2)
+	specs := GenerateTrials(5, []int{40}, 3, rng)
+	for _, s := range specs {
+		if s.Distance >= 5 || s.Distance == 0 {
+			t.Fatalf("distance %d invalid for 5 entries", s.Distance)
+		}
+	}
+	if GenerateTrials(1, []int{1}, 1, rng) != nil {
+		t.Fatal("degenerate list should produce no trials")
+	}
+}
+
+func TestRunSessionSmall(t *testing.T) {
+	rng := sim.NewRand(3)
+	cfg := SessionConfig{
+		Seed:        3,
+		Participant: participant.DefaultConfig(),
+		Entries:     10,
+		Trials:      GenerateTrials(10, []int{1, 3}, 2, rng),
+	}
+	res, err := RunSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.HostStats.Events == 0 {
+		t.Fatal("no telemetry captured")
+	}
+	times := res.Times()
+	if len(times) != 4 || times[0] <= 0 {
+		t.Fatalf("times: %v", times)
+	}
+	if r := res.ErrorRate(); r < 0 || r > 1 {
+		t.Fatalf("error rate %v", r)
+	}
+}
+
+func TestRunSessionWithHierarchicalMenu(t *testing.T) {
+	rng := sim.NewRand(4)
+	cfg := SessionConfig{
+		Seed:        4,
+		Participant: participant.DefaultConfig(),
+		Menu:        menu.PhoneMenu(),
+		Trials:      GenerateTrials(6, []int{1, 2}, 1, rng),
+	}
+	res, err := RunSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+}
+
+func TestRunConditionAnalyzable(t *testing.T) {
+	cond := Condition{
+		Technique:  technique.NewDistScroll(),
+		Glove:      hand.BareHand(),
+		Entries:    20,
+		Amplitudes: []int{1, 2, 4, 8},
+		Reps:       10,
+	}
+	res, err := RunCondition(cond, sim.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "distscroll" || res.Glove != "bare" {
+		t.Fatalf("labels: %+v", res)
+	}
+	if res.Analysis.Fit.Slope <= 0 {
+		t.Fatalf("slope %v should be positive (Fitts)", res.Analysis.Fit.Slope)
+	}
+	if res.MeanMT.N != 40 {
+		t.Fatalf("n = %d", res.MeanMT.N)
+	}
+}
+
+func TestRunConditionDefaults(t *testing.T) {
+	cond := Condition{Technique: technique.NewWheel(), Glove: hand.BareHand()}
+	if _, err := RunCondition(cond, sim.NewRand(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTrialsCSV(t *testing.T) {
+	results := []participant.TrialResult{
+		{Target: 3, Time: 1500e6, Corrections: 1},
+		{Target: 7, Time: 900e6, WrongSelection: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrialsCSV(&buf, "P01", results); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "participant" {
+		t.Fatalf("header: %v", records[0])
+	}
+	if records[1][0] != "P01" || records[2][6] != "true" {
+		t.Fatalf("rows: %v", records[1:])
+	}
+}
+
+func TestWriteConditionsCSV(t *testing.T) {
+	cond := Condition{Technique: technique.NewTilt(), Glove: hand.WinterGlove(), Entries: 20, Reps: 5}
+	res, err := RunCondition(cond, sim.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteConditionsCSV(&buf, []ConditionResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[1][0] != "tilt" || records[1][1] != "winter" {
+		t.Fatalf("csv: %v", records)
+	}
+}
+
+func TestConditionTable(t *testing.T) {
+	cond := Condition{Technique: technique.NewStylus(), Glove: hand.BareHand(), Entries: 20, Reps: 5}
+	res, err := RunCondition(cond, sim.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := ConditionTable([]ConditionResult{res})
+	if !strings.Contains(table, "stylus") || !strings.Contains(table, "technique") {
+		t.Fatalf("table:\n%s", table)
+	}
+}

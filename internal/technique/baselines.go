@@ -1,0 +1,276 @@
+package technique
+
+import (
+	"time"
+
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Tilt is rate-controlled scrolling by wrist rotation, after Rock'n'Scroll
+// (Bartlett 2000) and the tilt techniques of TiltText/Unigesture. The
+// paper's critique: "this puts a high load on the wrist" and "using this
+// input method for a longer period of time is fatiguing"; tilting also
+// changes the viewing angle.
+type Tilt struct {
+	// MaxRate is the saturated scroll rate in entries/second.
+	MaxRate float64
+	// RampTime is the time to reach the working rate.
+	RampTime time.Duration
+	// SettleTime is the stop-and-level-out cost at the target.
+	SettleTime time.Duration
+	// OvershootPerEntry is the overshoot probability growth per entry of
+	// travel at full rate (rate control overshoots on long travels).
+	OvershootPerEntry float64
+	// FatiguePerTrial slows every subsequent trial (wrist load).
+	FatiguePerTrial float64
+
+	trials int
+}
+
+// NewTilt returns the tilt model with literature-typical parameters.
+func NewTilt() *Tilt {
+	return &Tilt{
+		MaxRate:           7,
+		RampTime:          250 * time.Millisecond,
+		SettleTime:        350 * time.Millisecond,
+		OvershootPerEntry: 0.012,
+		FatiguePerTrial:   0.004,
+	}
+}
+
+// Name implements Technique.
+func (t *Tilt) Name() string { return "tilt" }
+
+// Acquire implements Technique.
+func (t *Tilt) Acquire(tr Trial, rng *sim.Rand) Result {
+	t.trials++
+	fatigue := 1 + t.FatiguePerTrial*float64(t.trials)
+	sec := 0.30 + t.RampTime.Seconds() // reaction + ramp
+	sec += float64(tr.DistanceEntries) / t.MaxRate
+	sec += t.SettleTime.Seconds()
+	sec *= fatigue
+
+	res := Result{}
+	pOver := t.OvershootPerEntry * float64(tr.DistanceEntries)
+	if pOver > 0.6 {
+		pOver = 0.6
+	}
+	for c := 0; c < 4; c++ {
+		if rng == nil || !rng.Bool(pOver) {
+			break
+		}
+		res.Corrections++
+		// An overshoot costs a reverse micro-scroll.
+		sec += 0.5
+		pOver *= 0.4
+	}
+	if res.Corrections >= 4 {
+		res.Err = true
+	}
+	// Selection still needs a (small) button press; viewing-angle changes
+	// slow verification slightly under tilt.
+	press := 0.22 * buttonPenalty(tr.Glove)
+	sec += press + 0.08
+	res.MT = time.Duration(sec * float64(time.Second))
+	return res
+}
+
+// Reset clears the fatigue accumulator between conditions.
+func (t *Tilt) Reset() { t.trials = 0 }
+
+// ButtonRepeat is classic keypad scrolling: hold the down key, the cursor
+// steps at the repeat rate. Gloves make the small keys hard to hit.
+type ButtonRepeat struct {
+	// FirstDelay is the press-to-first-repeat delay.
+	FirstDelay time.Duration
+	// RepeatRate is entries per second while held.
+	RepeatRate float64
+}
+
+// NewButtonRepeat returns phone-keypad-typical parameters.
+func NewButtonRepeat() *ButtonRepeat {
+	return &ButtonRepeat{FirstDelay: 400 * time.Millisecond, RepeatRate: 6}
+}
+
+// Name implements Technique.
+func (b *ButtonRepeat) Name() string { return "buttons" }
+
+// Acquire implements Technique.
+func (b *ButtonRepeat) Acquire(tr Trial, rng *sim.Rand) Result {
+	penalty := buttonPenalty(tr.Glove)
+	sec := 0.30 // reaction
+	switch {
+	case tr.DistanceEntries <= 0:
+	case tr.DistanceEntries <= 3:
+		// Discrete taps are faster than engaging auto-repeat.
+		sec += float64(tr.DistanceEntries) * 0.22 * penalty
+	default:
+		sec += (0.22 + b.FirstDelay.Seconds()) * penalty
+		sec += float64(tr.DistanceEntries-1) / b.RepeatRate
+		// Releasing at the right moment has its own precision problem at
+		// 6 entries/s; model a one-entry overshoot chance.
+		sec += 0.1
+	}
+
+	res := Result{}
+	// Missing the small key entirely (fat-finger / glove).
+	pMiss := 0.01 + 0.25*(1-clamp01(tr.Glove.TouchPenalty))
+	for c := 0; c < 4; c++ {
+		if rng == nil || !rng.Bool(pMiss) {
+			break
+		}
+		res.Corrections++
+		sec += 0.45 * penalty
+		pMiss *= 0.5
+	}
+	if tr.DistanceEntries > 3 && rng != nil && rng.Bool(0.15) {
+		// Auto-repeat release overshoot: back up one entry.
+		res.Corrections++
+		sec += 0.35 * penalty
+	}
+	if res.Corrections >= 4 {
+		res.Err = true
+	}
+	sec += 0.22 * penalty // final select press
+	res.MT = time.Duration(sec * float64(time.Second))
+	return res
+}
+
+// Wheel is detented rotary scrolling after the TUISTER and Rantanen's
+// YoYo interface: one detent per entry, clutching on long travels. The
+// paper notes the TUISTER needs both hands; the YoYo needs attachment to
+// the garment and mechanical parts.
+type Wheel struct {
+	// DetentRate is detents per second of comfortable rotation.
+	DetentRate float64
+	// ClutchEvery is how many detents fit one wrist rotation before
+	// re-gripping; ClutchTime is the re-grip cost.
+	ClutchEvery int
+	ClutchTime  time.Duration
+	// TwoHanded adds an acquisition cost for the second hand (TUISTER).
+	TwoHanded bool
+}
+
+// NewWheel returns TUISTER-like parameters.
+func NewWheel() *Wheel {
+	return &Wheel{
+		DetentRate:  8,
+		ClutchEvery: 12,
+		ClutchTime:  300 * time.Millisecond,
+		TwoHanded:   true,
+	}
+}
+
+// Name implements Technique.
+func (w *Wheel) Name() string { return "wheel" }
+
+// Acquire implements Technique.
+func (w *Wheel) Acquire(tr Trial, rng *sim.Rand) Result {
+	sec := 0.30
+	if w.TwoHanded {
+		sec += 0.40 // bring the second hand to the device
+	}
+	d := tr.DistanceEntries
+	sec += float64(d) / w.DetentRate
+	if w.ClutchEvery > 0 && d > w.ClutchEvery {
+		clutches := (d - 1) / w.ClutchEvery
+		sec += float64(clutches) * w.ClutchTime.Seconds()
+	}
+	// Thick gloves slow the grip slightly.
+	sec *= 1 + 0.3*(1-clamp01(tr.Glove.TouchPenalty))
+
+	res := Result{}
+	// Detents make overshoot rare and cheap.
+	if rng != nil && rng.Bool(0.04) {
+		res.Corrections++
+		sec += 0.25
+	}
+	sec += 0.20 // select by pressing the device
+	res.MT = time.Duration(sec * float64(time.Second))
+	return res
+}
+
+// Stylus is direct pointing at the on-screen list with a stylus or finger:
+// the fastest technique bare-handed and the one gloves break ("gloves
+// reduce ... the tactile sensation of the hand and fingers and make touch
+// and stylus interfaces harder to use").
+type Stylus struct {
+	// RowHeightMM is the on-screen row height.
+	RowHeightMM float64
+	// FittsA/FittsB are stylus-pointing constants.
+	FittsA, FittsB float64
+}
+
+// NewStylus returns PDA-typical parameters.
+func NewStylus() *Stylus {
+	return &Stylus{RowHeightMM: 4.5, FittsA: 0.12, FittsB: 0.12}
+}
+
+// Name implements Technique.
+func (s *Stylus) Name() string { return "stylus" }
+
+// Acquire implements Technique.
+func (s *Stylus) Acquire(tr Trial, rng *sim.Rand) Result {
+	// On a 5-row screen a distant target first needs drag-scrolling into
+	// view: ~0.35 s per screenful, then one pointing movement.
+	sec := 0.30
+	rows := 5
+	if tr.DistanceEntries >= rows {
+		screens := float64(tr.DistanceEntries) / float64(rows)
+		sec += 0.35 * screens
+	}
+	wEff := s.RowHeightMM * clamp01p(tr.Glove.TouchPenalty)
+	dMM := s.RowHeightMM * float64(min(tr.DistanceEntries, rows))
+	if dMM < s.RowHeightMM {
+		dMM = s.RowHeightMM
+	}
+	sec += fittsSeconds(s.FittsA, s.FittsB, dMM, wEff)
+
+	res := Result{}
+	// Tap scatter vs. effective row height. Re-taps barely improve with a
+	// numb fat finger — the miss probability decays slowly, unlike the
+	// visually-verified corrections of DistScroll.
+	sd := 1.1 / clamp01p(tr.Glove.TouchPenalty) // mm
+	p := missProb(sd, wEff/2)
+	for c := 0; c < 5; c++ {
+		if rng == nil || !rng.Bool(p) {
+			break
+		}
+		res.Corrections++
+		sec += 0.5 // re-aim, re-tap, re-verify
+		p *= 0.9
+	}
+	if res.Corrections >= 5 {
+		res.Err = true
+	}
+	res.MT = time.Duration(sec * float64(time.Second))
+	return res
+}
+
+// buttonPenalty converts the glove touch penalty into a small-button time
+// multiplier.
+func buttonPenalty(g hand.Glove) float64 {
+	return 1 + 0.9*(1-clamp01(g.TouchPenalty))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// clamp01p clamps into (0,1], avoiding division by zero.
+func clamp01p(x float64) float64 {
+	if x <= 0.05 {
+		return 0.05
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,93 @@
+package technique
+
+import (
+	"math"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Hybrid answers the paper's Section 7 question "Is it meaningful to use
+// distance scrolling in addition to normal scrolling or exclusively?" by
+// modelling the combined mode: one ballistic distance movement gets the
+// cursor near the target (no fine verification needed), then discrete
+// button steps close the residual. Distance provides reach, buttons
+// provide precision.
+type Hybrid struct {
+	// Distance geometry, as in DistScroll.
+	Profile       hand.Profile
+	NearCm, FarCm float64
+	// Tolerance is the coarse-landing window in entries that the button
+	// phase can comfortably absorb.
+	Tolerance float64
+	// StepTime is the cost of one fine button step.
+	StepTime time.Duration
+	// ReactionTime and VerifyTime as in the other models.
+	ReactionTime time.Duration
+	VerifyTime   time.Duration
+}
+
+// NewHybrid returns the combined-mode model with prototype geometry.
+func NewHybrid() *Hybrid {
+	return &Hybrid{
+		Profile:      hand.DefaultProfile(),
+		NearCm:       4,
+		FarCm:        30,
+		Tolerance:    3,
+		StepTime:     220 * time.Millisecond,
+		ReactionTime: 300 * time.Millisecond,
+		VerifyTime:   250 * time.Millisecond,
+	}
+}
+
+// Name implements Technique.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Acquire implements Technique.
+func (h *Hybrid) Acquire(t Trial, rng *sim.Rand) Result {
+	entries := t.TotalEntries
+	if entries < 2 {
+		entries = 2
+	}
+	widthCm := (h.FarCm - h.NearCm) / float64(entries-1)
+	amplitudeCm := float64(t.DistanceEntries) * widthCm
+
+	glove := t.Glove
+	if glove.PrecisionPenalty <= 0 {
+		glove = hand.BareHand()
+	}
+
+	sec := h.ReactionTime.Seconds()
+	var steps float64
+	if float64(t.DistanceEntries) <= h.Tolerance {
+		// Short hop: buttons alone, no arm movement at all.
+		steps = float64(t.DistanceEntries)
+	} else {
+		// Coarse distance jump with a relaxed target (tolerance window):
+		// ballistic, no correction loop, one verification.
+		coarseW := h.Tolerance * widthCm
+		sec += fittsSeconds(h.Profile.FittsA, h.Profile.FittsB, amplitudeCm, coarseW) * glove.SpeedPenalty
+		sec += h.VerifyTime.Seconds()
+		// The residual is the landing scatter, quantised to entries.
+		sd := h.Profile.EndpointSD * glove.PrecisionPenalty / widthCm // in entries
+		resid := sd
+		if rng != nil {
+			resid = math.Abs(rng.Norm(0, sd))
+		}
+		steps = math.Round(resid)
+	}
+
+	res := Result{}
+	penalty := buttonPenalty(glove)
+	sec += steps * h.StepTime.Seconds() * penalty
+	// Fine steps are visually verified one by one: overshoot is rare and
+	// cheap (one extra step back).
+	if rng != nil && steps > 0 && rng.Bool(0.05) {
+		res.Corrections++
+		sec += h.StepTime.Seconds() * penalty
+	}
+	sec += 0.18 * penalty // select press
+	res.MT = time.Duration(sec * float64(time.Second))
+	return res
+}

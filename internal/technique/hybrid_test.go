@@ -1,0 +1,74 @@
+package technique
+
+import (
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestHybridShortHopsAreButtonsOnly(t *testing.T) {
+	h := NewHybrid()
+	// D=1 with nil rng: reaction + 1 step + press, no arm movement.
+	r := h.Acquire(Trial{DistanceEntries: 1, TotalEntries: 40, Glove: hand.BareHand()}, nil)
+	want := 0.3 + 0.22 + 0.18
+	if got := r.MT.Seconds(); got < want-0.01 || got > want+0.01 {
+		t.Fatalf("D=1 MT = %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestHybridBeatsButtonsAtLongRange(t *testing.T) {
+	hy := meanMT(t, NewHybrid(), 32, 40, hand.BareHand(), 1)
+	bt := meanMT(t, NewButtonRepeat(), 32, 40, hand.BareHand(), 2)
+	if hy >= bt {
+		t.Fatalf("hybrid %v should beat buttons %v at D=32", hy, bt)
+	}
+}
+
+func TestHybridBeatsDistanceOnDensesStructures(t *testing.T) {
+	// On 40 entries the distance-only islands are narrow; hybrid avoids
+	// the verify-correct loop entirely.
+	hy := meanMT(t, NewHybrid(), 8, 40, hand.BareHand(), 3)
+	ds := meanMT(t, NewDistScroll(), 8, 40, hand.BareHand(), 4)
+	if hy >= ds {
+		t.Fatalf("hybrid %v should beat distance-only %v on a 40-entry list", hy, ds)
+	}
+}
+
+func TestHybridMTGrowsWithDistance(t *testing.T) {
+	near := meanMT(t, NewHybrid(), 1, 40, hand.BareHand(), 5)
+	far := meanMT(t, NewHybrid(), 32, 40, hand.BareHand(), 6)
+	if far <= near {
+		t.Fatalf("MT(32)=%v <= MT(1)=%v", far, near)
+	}
+}
+
+func TestHybridGloveTolerant(t *testing.T) {
+	bare := meanMT(t, NewHybrid(), 8, 40, hand.BareHand(), 7)
+	winter := meanMT(t, NewHybrid(), 8, 40, hand.WinterGlove(), 8)
+	if ratio := float64(winter) / float64(bare); ratio > 1.8 {
+		t.Fatalf("hybrid glove ratio %.2f too large", ratio)
+	}
+}
+
+func TestHybridName(t *testing.T) {
+	if NewHybrid().Name() != "hybrid" {
+		t.Fatal("name")
+	}
+}
+
+func TestHybridErrorsRare(t *testing.T) {
+	rng := sim.NewRand(9)
+	h := NewHybrid()
+	errs := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		r := h.Acquire(Trial{DistanceEntries: 8, TotalEntries: 40, Glove: hand.BareHand()}, rng)
+		if r.Err {
+			errs++
+		}
+	}
+	if rate := float64(errs) / n; rate > 0.05 {
+		t.Fatalf("hybrid error rate %.3f", rate)
+	}
+}

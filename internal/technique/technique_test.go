@@ -1,0 +1,186 @@
+package technique
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/hand"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func all() []Technique {
+	return []Technique{
+		NewDistScroll(),
+		NewTilt(),
+		NewButtonRepeat(),
+		NewWheel(),
+		NewStylus(),
+	}
+}
+
+func meanMT(t *testing.T, tech Technique, dist, entries int, g hand.Glove, seed uint64) time.Duration {
+	t.Helper()
+	rng := sim.NewRand(seed)
+	var total time.Duration
+	const n = 200
+	for i := 0; i < n; i++ {
+		r := tech.Acquire(Trial{DistanceEntries: dist, TotalEntries: entries, Glove: g}, rng)
+		if r.MT <= 0 {
+			t.Fatalf("%s: non-positive MT %v", tech.Name(), r.MT)
+		}
+		total += r.MT
+	}
+	return total / n
+}
+
+func TestAllTechniquesMTGrowsWithDistance(t *testing.T) {
+	for _, tech := range all() {
+		near := meanMT(t, tech, 1, 30, hand.BareHand(), 1)
+		far := meanMT(t, tech, 16, 30, hand.BareHand(), 2)
+		if far <= near {
+			t.Errorf("%s: MT(16)=%v <= MT(1)=%v", tech.Name(), far, near)
+		}
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tech := range all() {
+		n := tech.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestStylusFastestBareHanded(t *testing.T) {
+	// For short, on-screen distances direct pointing wins bare-handed —
+	// the status quo the paper concedes.
+	stylus := meanMT(t, NewStylus(), 2, 20, hand.BareHand(), 3)
+	dist := meanMT(t, NewDistScroll(), 2, 20, hand.BareHand(), 4)
+	if stylus >= dist {
+		t.Fatalf("bare-handed short-range: stylus %v should beat distscroll %v", stylus, dist)
+	}
+}
+
+func TestWinterGlovesInvertTheRanking(t *testing.T) {
+	// The paper's motivating claim: with thick gloves, touch/stylus input
+	// degrades badly while DistScroll barely changes.
+	g := hand.WinterGlove()
+	stylus := meanMT(t, NewStylus(), 4, 20, g, 5)
+	dist := meanMT(t, NewDistScroll(), 4, 20, g, 6)
+	if dist >= stylus {
+		t.Fatalf("winter gloves: distscroll %v should beat stylus %v", dist, stylus)
+	}
+}
+
+func TestGloveBarelyAffectsDistScroll(t *testing.T) {
+	bare := meanMT(t, NewDistScroll(), 8, 20, hand.BareHand(), 7)
+	winter := meanMT(t, NewDistScroll(), 8, 20, hand.WinterGlove(), 8)
+	ratio := float64(winter) / float64(bare)
+	if ratio > 1.4 {
+		t.Fatalf("distscroll glove penalty ratio %.2f too large", ratio)
+	}
+}
+
+func TestGloveHurtsStylusBadly(t *testing.T) {
+	bare := meanMT(t, NewStylus(), 4, 20, hand.BareHand(), 9)
+	winter := meanMT(t, NewStylus(), 4, 20, hand.WinterGlove(), 10)
+	if float64(winter)/float64(bare) < 1.3 {
+		t.Fatalf("stylus should suffer with winter gloves: %v vs %v", winter, bare)
+	}
+}
+
+func TestGloveHurtsButtons(t *testing.T) {
+	bare := meanMT(t, NewButtonRepeat(), 4, 20, hand.BareHand(), 11)
+	winter := meanMT(t, NewButtonRepeat(), 4, 20, hand.WinterGlove(), 12)
+	if winter <= bare {
+		t.Fatalf("buttons should slow with gloves: %v vs %v", winter, bare)
+	}
+}
+
+func TestTiltFatigueAccumulates(t *testing.T) {
+	tilt := NewTilt()
+	rng := sim.NewRand(13)
+	trial := Trial{DistanceEntries: 4, TotalEntries: 20, Glove: hand.BareHand()}
+	var first, last time.Duration
+	const n = 200
+	for i := 0; i < n; i++ {
+		r := tilt.Acquire(trial, rng)
+		if i < 10 {
+			first += r.MT
+		}
+		if i >= n-10 {
+			last += r.MT
+		}
+	}
+	if last <= first {
+		t.Fatalf("tilt fatigue missing: first10=%v last10=%v", first, last)
+	}
+	tilt.Reset()
+	r := tilt.Acquire(trial, rng)
+	if r.MT >= last/10 {
+		t.Fatalf("Reset did not clear fatigue: %v", r.MT)
+	}
+}
+
+func TestWheelClutchingCosts(t *testing.T) {
+	w := NewWheel()
+	short := meanMT(t, w, 10, 60, hand.BareHand(), 14)
+	long := meanMT(t, w, 40, 60, hand.BareHand(), 15)
+	// 40 detents = 3 clutches beyond the rotation rate cost.
+	extra := long - short
+	perEntry := float64(extra) / 30
+	if perEntry <= float64(time.Second)/w.DetentRate/float64(time.Second)*1e9*0.9 {
+		t.Logf("per-entry %v", time.Duration(perEntry))
+	}
+	if long <= short {
+		t.Fatalf("wheel long travel %v should exceed short %v", long, short)
+	}
+}
+
+func TestErrorRatesBounded(t *testing.T) {
+	rng := sim.NewRand(16)
+	for _, tech := range all() {
+		errs := 0
+		const n = 500
+		for i := 0; i < n; i++ {
+			r := tech.Acquire(Trial{DistanceEntries: 8, TotalEntries: 20, Glove: hand.BareHand()}, rng)
+			if r.Err {
+				errs++
+			}
+			if r.Corrections < 0 {
+				t.Fatalf("%s: negative corrections", tech.Name())
+			}
+		}
+		if rate := float64(errs) / n; rate > 0.2 {
+			t.Errorf("%s: bare-handed error rate %.2f too high", tech.Name(), rate)
+		}
+	}
+}
+
+func TestNilRngIsDeterministic(t *testing.T) {
+	for _, tech := range all() {
+		tr := Trial{DistanceEntries: 5, TotalEntries: 20, Glove: hand.BareHand()}
+		a := tech.Acquire(tr, nil)
+		b := tech.Acquire(tr, nil)
+		if tech.Name() == "tilt" {
+			continue // fatigue makes successive trials differ by design
+		}
+		if a.MT != b.MT {
+			t.Errorf("%s: nil-rng trials differ: %v vs %v", tech.Name(), a.MT, b.MT)
+		}
+	}
+}
+
+func TestDistScrollZeroGloveNormalised(t *testing.T) {
+	d := NewDistScroll()
+	r := d.Acquire(Trial{DistanceEntries: 3, TotalEntries: 10}, nil)
+	if r.MT <= 0 {
+		t.Fatalf("zero glove broke the model: %v", r.MT)
+	}
+	if d.String() == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,185 @@
+// Package trace records and replays DistScroll sessions: the physical
+// distance signal driving the device and every host-decoded event, as a
+// JSON document. Traces make user-study sessions auditable and let a
+// developer replay an interesting interaction against a modified firmware
+// build.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+)
+
+// Sample is one distance observation.
+type Sample struct {
+	AtMs       int64   `json:"atMs"`
+	DistanceCm float64 `json:"distanceCm"`
+}
+
+// Event is one host-side event.
+type Event struct {
+	AtMs  int64  `json:"atMs"`
+	Kind  string `json:"kind"`
+	Index int    `json:"index"`
+}
+
+// Trace is a recorded session.
+type Trace struct {
+	Name           string   `json:"name"`
+	Seed           uint64   `json:"seed"`
+	SamplePeriodMs int64    `json:"samplePeriodMs"`
+	Samples        []Sample `json:"samples"`
+	Events         []Event  `json:"events"`
+}
+
+// Validation errors.
+var (
+	// ErrEmptyTrace is returned when replaying a trace without samples.
+	ErrEmptyTrace = errors.New("trace: no samples")
+	// ErrUnordered is returned when sample timestamps go backwards.
+	ErrUnordered = errors.New("trace: samples out of order")
+)
+
+// Duration returns the time span covered by the samples.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return time.Duration(t.Samples[len(t.Samples)-1].AtMs) * time.Millisecond
+}
+
+// Validate checks structural invariants.
+func (t *Trace) Validate() error {
+	if len(t.Samples) == 0 {
+		return ErrEmptyTrace
+	}
+	last := int64(-1)
+	for i, s := range t.Samples {
+		if s.AtMs < last {
+			return fmt.Errorf("%w: sample %d at %dms after %dms", ErrUnordered, i, s.AtMs, last)
+		}
+		last = s.AtMs
+	}
+	return nil
+}
+
+// Save writes the trace as indented JSON.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trace from JSON and validates it.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Recorder captures a live session from a device.
+type Recorder struct {
+	trace  *Trace
+	cancel func()
+	done   bool
+}
+
+// Record starts recording the device's distance signal at the given period
+// and taps every host event. Stop finishes the recording.
+func Record(dev *core.Device, name string, seed uint64, period time.Duration) (*Recorder, error) {
+	if dev == nil {
+		return nil, errors.New("trace: device is required")
+	}
+	if period <= 0 {
+		period = 20 * time.Millisecond
+	}
+	rec := &Recorder{
+		trace: &Trace{
+			Name:           name,
+			Seed:           seed,
+			SamplePeriodMs: period.Milliseconds(),
+		},
+	}
+	// Capture the starting distance immediately so replay starts right.
+	rec.trace.Samples = append(rec.trace.Samples, Sample{
+		AtMs:       dev.Clock.Now().Milliseconds(),
+		DistanceCm: dev.Distance(),
+	})
+	rec.cancel = dev.Scheduler.Every(period, func(at time.Duration) {
+		if rec.done {
+			return
+		}
+		rec.trace.Samples = append(rec.trace.Samples, Sample{
+			AtMs:       at.Milliseconds(),
+			DistanceCm: dev.Distance(),
+		})
+	})
+	dev.Host.Tap(func(e core.Event) {
+		if rec.done {
+			return
+		}
+		rec.trace.Events = append(rec.trace.Events, Event{
+			AtMs:  e.HostTime.Milliseconds(),
+			Kind:  e.Kind.String(),
+			Index: e.Index,
+		})
+	})
+	return rec, nil
+}
+
+// Stop ends the recording and returns the trace.
+func (r *Recorder) Stop() *Trace {
+	if !r.done {
+		r.done = true
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+	return r.trace
+}
+
+// Replay schedules the trace's distance samples onto a device, relative to
+// the device's current virtual time, then returns the time at which the
+// replay completes. Run the device past that time to execute it.
+func Replay(t *Trace, dev *core.Device) (time.Duration, error) {
+	if dev == nil {
+		return 0, errors.New("trace: device is required")
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	base := dev.Clock.Now()
+	t0 := t.Samples[0].AtMs
+	var end time.Duration
+	for _, s := range t.Samples {
+		at := base + time.Duration(s.AtMs-t0)*time.Millisecond
+		cm := s.DistanceCm
+		dev.Scheduler.At(at, func(time.Duration) { dev.SetDistance(cm) })
+		end = at
+	}
+	return end, nil
+}
+
+// CountKind returns how many recorded events have the given kind.
+func (t *Trace) CountKind(kind string) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

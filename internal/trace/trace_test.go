@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/menu"
+)
+
+func newDev(t *testing.T, seed uint64) *core.Device {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	dev, err := core.NewDevice(cfg, menu.FlatMenu(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dev.Stop)
+	return dev
+}
+
+// record captures a short scripted session.
+func record(t *testing.T, seed uint64) *Trace {
+	t.Helper()
+	dev := newDev(t, seed)
+	rec, err := Record(dev, "test-session", seed, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDistance(26)
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDistance(8)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dev.PressSelect()
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Stop()
+}
+
+func TestRecordCapturesSamplesAndEvents(t *testing.T) {
+	tr := record(t, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) < 50 {
+		t.Fatalf("samples = %d", len(tr.Samples))
+	}
+	if tr.CountKind("scroll") == 0 {
+		t.Fatal("no scroll events recorded")
+	}
+	if tr.CountKind("select") == 0 {
+		t.Fatal("no select event recorded")
+	}
+	if tr.Duration() < 1500*time.Millisecond {
+		t.Fatalf("duration %v", tr.Duration())
+	}
+}
+
+func TestStopFreezesTrace(t *testing.T) {
+	dev := newDev(t, 2)
+	rec, err := Record(dev, "s", 2, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Stop()
+	n := len(tr.Samples)
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != n {
+		t.Fatal("recorder still appending after Stop")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := record(t, 3)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"samples\"") {
+		t.Fatal("json missing samples")
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(tr.Samples) || len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost data: %d/%d samples, %d/%d events",
+			len(back.Samples), len(tr.Samples), len(back.Events), len(tr.Events))
+	}
+	if back.Name != "test-session" || back.Seed != 3 {
+		t.Fatalf("metadata: %+v", back)
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"samples":[]}`)); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("empty: %v", err)
+	}
+	bad := `{"samples":[{"atMs":100,"distanceCm":10},{"atMs":50,"distanceCm":10}]}`
+	if _, err := Load(strings.NewReader(bad)); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("unordered: %v", err)
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReplayReproducesCursorPath(t *testing.T) {
+	tr := record(t, 4)
+
+	// Replay onto a fresh device with the same seed: the cursor must end
+	// on the same entry.
+	dev := newDev(t, 4)
+	end, err := Replay(tr, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(end - dev.Clock.Now() + 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The recorded session ended at distance 8 on a 12-entry menu.
+	wantDist := 8.0
+	if got := dev.Distance(); got != wantDist {
+		t.Fatalf("replayed distance %v, want %v", got, wantDist)
+	}
+	if dev.Host.Stats().Events == 0 {
+		t.Fatal("replay produced no events")
+	}
+}
+
+func TestReplayValidatesTrace(t *testing.T) {
+	dev := newDev(t, 5)
+	if _, err := Replay(&Trace{}, dev); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("empty replay: %v", err)
+	}
+	if _, err := Replay(&Trace{Samples: []Sample{{AtMs: 0}}}, nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	if _, err := Record(nil, "x", 1, 0); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package distscroll
+
+import (
+	"io"
+
+	"github.com/hcilab/distscroll/internal/menu"
+)
+
+// Item is one entry of the hierarchical structure a Device navigates.
+// Build trees with NewItem/NewLeaf or use the bundled fixtures.
+type Item struct {
+	// Title is the text shown on the device display.
+	Title string
+	// Children are the sub-entries; a childless item is selectable.
+	Children []*Item
+	// OnSelect, when set on a leaf, runs when the entry is selected.
+	OnSelect func()
+}
+
+// NewItem returns an item with children.
+func NewItem(title string, children ...*Item) *Item {
+	return &Item{Title: title, Children: children}
+}
+
+// NewLeaf returns a selectable leaf item.
+func NewLeaf(title string, onSelect func()) *Item {
+	return &Item{Title: title, OnSelect: onSelect}
+}
+
+// toNode converts the public tree into the internal menu representation.
+func (it *Item) toNode() *menu.Node {
+	n := menu.NewNode(it.Title)
+	n.Action = it.OnSelect
+	for _, c := range it.Children {
+		n.AddChild(c.toNode())
+	}
+	return n
+}
+
+// fromNode converts an internal fixture into the public representation.
+func fromNode(n *menu.Node) *Item {
+	it := &Item{Title: n.Title}
+	for _, c := range n.Children {
+		it.Children = append(it.Children, fromNode(c))
+	}
+	return it
+}
+
+// PhoneMenu returns the fictive mobile-phone menu from the paper's initial
+// user study.
+func PhoneMenu() *Item { return fromNode(menu.PhoneMenu()) }
+
+// LabProtocolMenu returns the hazardous-laboratory scenario menu.
+func LabProtocolMenu() *Item { return fromNode(menu.LabProtocolMenu()) }
+
+// StocktakingMenu returns the warehouse stocktaking scenario menu.
+func StocktakingMenu() *Item { return fromNode(menu.StocktakingMenu()) }
+
+// NumberedList returns a flat list of n numbered entries.
+func NumberedList(n int) *Item { return fromNode(menu.FlatMenu(n)) }
+
+// MenuFromJSON parses a menu tree from JSON:
+//
+//	{"title": "Root", "children": [{"title": "Entry"}, ...]}
+func MenuFromJSON(r io.Reader) (*Item, error) {
+	n, err := menu.FromJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromNode(n), nil
+}
+
+// MenuToJSON writes an item tree as indented JSON (the MenuFromJSON
+// schema).
+func MenuToJSON(w io.Writer, root *Item) error {
+	if root == nil {
+		return menu.ToJSON(w, nil)
+	}
+	return menu.ToJSON(w, root.toNode())
+}

@@ -1,0 +1,196 @@
+package distscroll_test
+
+import (
+	"testing"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+)
+
+func TestWithScrollRange(t *testing.T) {
+	dev := newTestDevice(t,
+		distscroll.WithEntries(10),
+		distscroll.WithScrollRange(6, 20),
+	)
+	first, err := dev.DistanceForEntry(9) // nearest under towards=down
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := dev.DistanceForEntry(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 6 || last != 20 {
+		t.Fatalf("range endpoints: %.1f .. %.1f, want 6 .. 20", first, last)
+	}
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithScrollRange(20, 6),
+	); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithScrollRange(-1, 10),
+	); err == nil {
+		t.Fatal("negative near accepted")
+	}
+}
+
+func TestWithGapFraction(t *testing.T) {
+	dev := newTestDevice(t,
+		distscroll.WithEntries(5),
+		distscroll.WithGapFraction(0),
+	)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithGapFraction(1),
+	); err == nil {
+		t.Fatal("gap 1 accepted")
+	}
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithGapFraction(-0.1),
+	); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestWithSamplePeriod(t *testing.T) {
+	// A 10 ms loop produces ~4x the cycles of the default 40 ms loop.
+	fast := newTestDevice(t,
+		distscroll.WithEntries(5),
+		distscroll.WithSamplePeriod(10*time.Millisecond),
+	)
+	if err := fast.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if cycles := fast.Internal().Firmware.Stats().Cycles; cycles < 90 {
+		t.Fatalf("fast loop cycles = %d", cycles)
+	}
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithSamplePeriod(0),
+	); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestWithFilterNames(t *testing.T) {
+	for _, name := range []string{"raw", "median3", "ema", "median3+ema", ""} {
+		dev := newTestDevice(t, distscroll.WithEntries(5), distscroll.WithFilter(name))
+		if err := dev.Run(200 * time.Millisecond); err != nil {
+			t.Fatalf("filter %q: %v", name, err)
+		}
+	}
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithFilter("kalman"),
+	); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}
+
+func TestWithoutRadio(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(5), distscroll.WithoutRadio())
+	dev.SetDistance(10)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sent, delivered, lost := dev.LinkStats()
+	if sent+delivered+lost != 0 {
+		t.Fatalf("radio-less device has link stats %d/%d/%d", sent, delivered, lost)
+	}
+	if dev.Distance() != 10 {
+		t.Fatalf("distance %v", dev.Distance())
+	}
+}
+
+func TestWithRadioLinkValidation(t *testing.T) {
+	if _, err := distscroll.New(
+		distscroll.WithEntries(5),
+		distscroll.WithRadioLink(1.5, time.Millisecond),
+	); err == nil {
+		t.Fatal("loss > 1 accepted")
+	}
+}
+
+func TestScenarioMenuFixtures(t *testing.T) {
+	for name, root := range map[string]*distscroll.Item{
+		"lab":   distscroll.LabProtocolMenu(),
+		"stock": distscroll.StocktakingMenu(),
+	} {
+		dev := newTestDevice(t, distscroll.WithMenu(root))
+		if err := dev.Run(500 * time.Millisecond); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dev.Entries()) < 3 {
+			t.Fatalf("%s fixture has %d entries", name, len(dev.Entries()))
+		}
+	}
+}
+
+func TestWithPowerSave(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(8), distscroll.WithPowerSave(0))
+	// Hold still: the firmware idles and the cycle rate drops.
+	dev.SetDistance(15)
+	if err := dev.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fw := dev.Internal().Firmware
+	if !fw.Idle() {
+		t.Fatal("not idle after 10 s of stillness")
+	}
+	// 10 s at 25 Hz would be 250 cycles; idling must cut that hard.
+	if cycles := fw.Stats().Cycles; cycles > 150 {
+		t.Fatalf("cycles = %d, power save ineffective", cycles)
+	}
+	// Interaction still works: move to an entry and check the cursor.
+	d, err := dev.DistanceForEntry(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDistance(d)
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Cursor() != 6 {
+		t.Fatalf("cursor = %d after wake", dev.Cursor())
+	}
+	if fw.Idle() {
+		t.Fatal("still idle after interaction")
+	}
+	if _, err := distscroll.New(distscroll.WithEntries(5), distscroll.WithPowerSave(-time.Second)); err == nil {
+		t.Fatal("negative idle threshold accepted")
+	}
+}
+
+func TestWithRelativeScrolling(t *testing.T) {
+	dev := newTestDevice(t, distscroll.WithEntries(300), distscroll.WithRelativeScrolling())
+	dev.SetDistance(26)
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Cursor()
+	dev.GlideTo(8, 800*time.Millisecond)
+	if err := dev.Run(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Cursor() <= before {
+		t.Fatalf("relative scrolling did not advance: %d -> %d", before, dev.Cursor())
+	}
+	// 300 entries is far beyond what absolute islands could resolve (the
+	// mapper would still be built, but relative mode ignores it).
+	if dev.Cursor() >= 300 {
+		t.Fatalf("cursor out of bounds: %d", dev.Cursor())
+	}
+}
+
+func TestWithEntriesValidation(t *testing.T) {
+	if _, err := distscroll.New(distscroll.WithEntries(1)); err == nil {
+		t.Fatal("single-entry list accepted")
+	}
+}
