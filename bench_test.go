@@ -13,8 +13,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/gp2d120"
 	"github.com/hcilab/distscroll/internal/mapping"
 	"github.com/hcilab/distscroll/internal/menu"
@@ -178,6 +180,56 @@ func BenchmarkA4IslandMap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Map(v)
 	}
+}
+
+// BenchmarkHubDemux measures the host hub's receive path: decode one
+// versioned frame and route it to the right per-device session, round-robin
+// across a 64-device fleet.
+func BenchmarkHubDemux(b *testing.B) {
+	const devices = 64
+	hub := core.NewHub(false)
+	frames := make([][]byte, devices)
+	for i := range frames {
+		m := rf.Message{
+			Device: uint32(i + 1), Kind: rf.MsgScroll,
+			Seq: 1, AtMillis: 40, Index: int16(i % 10),
+		}
+		payload, err := m.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = payload
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Handle(frames[i%devices], time.Duration(i)*time.Millisecond)
+	}
+	b.StopTimer()
+	st := hub.Stats()
+	if st.BadFrames != 0 || st.Decoded == 0 {
+		b.Fatalf("hub stats: %+v", st)
+	}
+	b.ReportMetric(float64(st.Devices), "devices")
+}
+
+// BenchmarkFleetScroll runs a full 16-device fleet — sensors, firmware,
+// lossy radios and the shared hub — through the scripted menu workload per
+// iteration and reports the simulated decode throughput.
+func BenchmarkFleetScroll(b *testing.B) {
+	var tot fleet.Totals
+	for i := 0; i < b.N; i++ {
+		r, err := fleet.New(fleet.Config{Devices: 16, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := r.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot = r.Total(results)
+	}
+	b.ReportMetric(tot.FramesPerSecond, "vframes/s")
+	b.ReportMetric(float64(tot.Events), "events")
 }
 
 // BenchmarkA4RFCodec isolates the link codec: encode one telemetry message

@@ -8,6 +8,7 @@
 //	distscroll-bench -run F4,E3      # run selected experiments
 //	distscroll-bench -seed 42        # change the master seed
 //	distscroll-bench -o report.txt   # also write the report to a file
+//	distscroll-bench -fleet 64       # simulate a 64-device fleet instead
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/hcilab/distscroll/internal/experiments"
+	"github.com/hcilab/distscroll/internal/fleet"
 )
 
 func main() {
@@ -30,13 +32,19 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("distscroll-bench", flag.ContinueOnError)
 	var (
-		runList = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		seed    = fs.Uint64("seed", 1, "master random seed")
-		outPath = fs.String("o", "", "also write the report to this file")
-		csvDir  = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
+		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		seed     = fs.Uint64("seed", 1, "master random seed")
+		outPath  = fs.String("o", "", "also write the report to this file")
+		csvDir   = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
+		fleetN   = fs.Int("fleet", 0, "simulate a fleet of N devices against one hub instead of the experiments")
+		fleetWrk = fs.Int("workers", 0, "bound on concurrently simulating fleet devices (0 = one goroutine per device)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *fleetN > 0 {
+		return runFleet(*fleetN, *fleetWrk, *seed, *outPath, stdout)
 	}
 
 	if *csvDir != "" {
@@ -76,6 +84,46 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *outPath != "" {
 		if err := os.WriteFile(*outPath, []byte(report.String()), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// runFleet simulates n devices concurrently against one hub and prints the
+// per-device and aggregate accounting.
+func runFleet(n, workers int, seed uint64, outPath string, stdout io.Writer) error {
+	r, err := fleet.New(fleet.Config{Devices: n, Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	results, err := r.RunAll()
+	if err != nil {
+		return err
+	}
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "DistScroll fleet report (%d devices, seed %d)\n", n, seed)
+	fmt.Fprintf(&report, "%s\n", strings.Repeat("=", 60))
+	fmt.Fprintf(&report, "%6s %8s %10s %8s %8s %8s\n",
+		"device", "sent", "delivered", "lost", "events", "missed")
+	for _, res := range results {
+		fmt.Fprintf(&report, "%6d %8d %10d %8d %8d %8d\n",
+			res.Device, res.Link.Sent, res.Link.Delivered, res.Link.Lost,
+			res.Host.Events, res.Host.MissedSeq)
+	}
+	tot := r.Total(results)
+	fmt.Fprintf(&report, "%s\n", strings.Repeat("-", 60))
+	fmt.Fprintf(&report, "frames sent %d, delivered %d, lost %d, corrupted %d, events %d, seq gaps %d\n",
+		tot.Sent, tot.Delivered, tot.Lost, tot.Corrupted, tot.Events, tot.MissedSeq)
+	fmt.Fprintf(&report, "virtual time %.1f s, decode throughput %.1f frames/s\n",
+		tot.VirtualSeconds, tot.FramesPerSecond)
+
+	if _, err := io.WriteString(stdout, report.String()); err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(report.String()), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
 	}

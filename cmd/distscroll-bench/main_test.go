@@ -75,3 +75,39 @@ func TestRunCaseInsensitiveIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFleetMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fleet", "5", "-seed", "4", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fleet report (5 devices, seed 4)") {
+		t.Fatalf("report header:\n%s", s)
+	}
+	// One table row per device plus the aggregate lines.
+	for _, want := range []string{"frames sent", "decode throughput"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	if got := strings.Count(s, "\n"); got < 5+5 {
+		t.Fatalf("report too short (%d lines):\n%s", got, s)
+	}
+}
+
+func TestFleetModeWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-fleet", "2", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fleet report (2 devices") {
+		t.Fatalf("file report:\n%s", data)
+	}
+}

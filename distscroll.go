@@ -29,7 +29,6 @@ import (
 	"github.com/hcilab/distscroll/internal/buttons"
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/firmware"
-	"github.com/hcilab/distscroll/internal/hand"
 	"github.com/hcilab/distscroll/internal/mapping"
 )
 
@@ -98,6 +97,16 @@ func WithEntries(n int) Option {
 func WithSeed(seed uint64) Option {
 	return func(c *config) error {
 		c.core.Seed = seed
+		return nil
+	}
+}
+
+// WithDeviceID tags the device's telemetry with a wire id (frame v1) so a
+// host serving many DistScrolls can attribute frames. Zero — the default —
+// is the conventional single-device id.
+func WithDeviceID(id uint32) Option {
+	return func(c *config) error {
+		c.core.DeviceID = id
 		return nil
 	}
 }
@@ -325,16 +334,11 @@ func (d *Device) Distance() float64 { return d.inner.Distance() }
 
 // GlideTo moves the device smoothly (minimum-jerk) from its current
 // distance to target cm over the given duration, then returns. Combine
-// with Run: GlideTo schedules the motion, Run executes it.
+// with Run: GlideTo schedules the motion, Run executes it. A single
+// self-rescheduling callback samples the trajectory and stops exactly when
+// the motion completes.
 func (d *Device) GlideTo(targetCm float64, over time.Duration) {
-	traj := hand.NewMinJerk(d.inner.Distance(), targetCm, d.inner.Clock.Now(), over)
-	step := 10 * time.Millisecond
-	for t := step; t <= over+step; t += step {
-		at := d.inner.Clock.Now() + t
-		d.inner.Scheduler.At(at, func(now time.Duration) {
-			d.inner.SetDistance(traj.Position(now))
-		})
-	}
+	d.inner.GlideTo(targetCm, over)
 }
 
 // DistanceForEntry returns the physical distance in cm that selects entry

@@ -1,0 +1,174 @@
+package distscroll_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	distscroll "github.com/hcilab/distscroll"
+)
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := distscroll.NewFleet(0, distscroll.WithEntries(10)); err == nil {
+		t.Fatal("zero-device fleet accepted")
+	}
+	if _, err := distscroll.NewFleet(2); err == nil {
+		t.Fatal("fleet without a menu accepted")
+	}
+	if _, err := distscroll.NewFleet(2, distscroll.WithEntries(1)); err == nil {
+		t.Fatal("bad option not surfaced")
+	}
+}
+
+func TestFleetRunAllReport(t *testing.T) {
+	f, err := distscroll.NewFleet(6, distscroll.WithEntries(12), distscroll.WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 6 {
+		t.Fatalf("size %d", f.Size())
+	}
+	scrolls := make([]int, f.Size())
+	var selected []string
+	f.OnScroll(func(device int, e distscroll.Event) { scrolls[device]++ })
+	f.OnSelect(func(device int, e distscroll.Event) {
+		selected = append(selected, fmt.Sprintf("%d:%s", device, e.Entry))
+	})
+	rep, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 6 {
+		t.Fatalf("device reports: %d", len(rep.Devices))
+	}
+	for i, dr := range rep.Devices {
+		if dr.Err != nil {
+			t.Fatalf("device %d: %v", i, dr.Err)
+		}
+		if dr.Events == 0 || dr.Sent == 0 {
+			t.Fatalf("device %d report empty: %+v", i, dr)
+		}
+		if scrolls[i] == 0 {
+			t.Fatalf("device %d scroll handler never fired", i)
+		}
+	}
+	// The default workload ends by selecting the middle entry (index 5 of
+	// 12, title "Entry 06").
+	if len(selected) != 6 {
+		t.Fatalf("selections: %v", selected)
+	}
+	for i, s := range selected {
+		if want := fmt.Sprintf("%d:Entry 06", i); s != want {
+			t.Fatalf("selection %q, want %q", s, want)
+		}
+	}
+	if rep.Frames == 0 || rep.Events == 0 || rep.FramesPerSecond <= 0 {
+		t.Fatalf("aggregate report: %+v", rep)
+	}
+	if rep.Delivered > rep.Frames {
+		t.Fatalf("delivered %d > sent %d", rep.Delivered, rep.Frames)
+	}
+}
+
+func TestFleetHandlerReplayDeterministic(t *testing.T) {
+	run := func() []string {
+		f, err := distscroll.NewFleet(4, distscroll.WithEntries(10), distscroll.WithSeed(33))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []string
+		f.OnScroll(func(device int, e distscroll.Event) {
+			trace = append(trace, fmt.Sprintf("%d:%d@%d", device, e.Index, e.At/time.Microsecond))
+		})
+		if _, err := f.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no scroll events replayed")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace[%d] differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWithDeviceIDSingleDevice(t *testing.T) {
+	dev, err := distscroll.New(
+		distscroll.WithEntries(10),
+		distscroll.WithDeviceID(7),
+		distscroll.WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	var scrolls int
+	dev.OnScroll(func(distscroll.Event) { scrolls++ })
+	target, err := dev.DistanceForEntry(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDistance(target)
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The single-device host accepts tagged frames: the id changes the
+	// wire format, not the behaviour.
+	if scrolls == 0 {
+		t.Fatal("no scroll events with a device id set")
+	}
+	if dev.Internal().Host.Stats().Decoded == 0 {
+		t.Fatal("no frames decoded")
+	}
+}
+
+func TestGlideToStopsExactlyAtTarget(t *testing.T) {
+	dev, err := distscroll.New(distscroll.WithEntries(10), distscroll.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	dev.SetDistance(20)
+	if err := dev.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// A duration that is not a multiple of the 10 ms sampling step: the
+	// final callback must still land exactly on the end of the motion and
+	// pin the distance to the target.
+	dev.GlideTo(8, 123*time.Millisecond)
+	if err := dev.Run(123 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Distance(); got != 8 {
+		t.Fatalf("distance after glide = %v, want exactly 8", got)
+	}
+	// No stray trajectory callbacks may fire after the motion ended.
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Distance(); got != 8 {
+		t.Fatalf("distance drifted to %v after glide completed", got)
+	}
+}
+
+func TestGlideToZeroDurationJumps(t *testing.T) {
+	dev, err := distscroll.New(distscroll.WithEntries(10), distscroll.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	dev.GlideTo(14, 0)
+	if err := dev.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Distance(); got != 14 {
+		t.Fatalf("distance = %v, want 14", got)
+	}
+}

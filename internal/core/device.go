@@ -6,6 +6,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/buttons"
 	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/hand"
 	"github.com/hcilab/distscroll/internal/mapping"
 	"github.com/hcilab/distscroll/internal/menu"
 	"github.com/hcilab/distscroll/internal/rf"
@@ -15,7 +16,10 @@ import (
 
 // Config assembles a complete system.
 type Config struct {
-	Seed     uint64
+	Seed uint64
+	// DeviceID identifies this device on the wire (frame v1) so a Hub can
+	// demultiplex a fleet. Zero is the conventional single-device id.
+	DeviceID uint32
 	Board    smartits.Config
 	Firmware firmware.Config
 	Link     rf.LinkConfig
@@ -23,6 +27,14 @@ type Config struct {
 	Radio bool
 	// KeepEventLog retains every host event for inspection.
 	KeepEventLog bool
+	// Sink overrides where the link delivers decoded payloads. Nil keeps
+	// the classic single-device wiring (the device's own Host); a fleet
+	// passes the shared Hub's Handle.
+	Sink func(payload []byte, at time.Duration)
+	// Transport, when set, builds the device→host channel instead of the
+	// default lossy rf.Link — e.g. an rf.Pipe for an ideal in-process
+	// channel, or a real network backend.
+	Transport func(sched *sim.Scheduler, rng *sim.Rand, sink func(payload []byte, at time.Duration)) (rf.Transport, error)
 }
 
 // DefaultConfig is the prototype system.
@@ -47,6 +59,9 @@ type Device struct {
 	Rand      *sim.Rand
 	Board     *smartits.Board
 	Firmware  *firmware.Firmware
+	// Transport is the device→host channel; Link is the same object when
+	// the transport is the default lossy RF model, nil otherwise.
+	Transport rf.Transport
 	Link      *rf.Link
 	Host      *Host
 	Menu      *menu.Menu
@@ -80,16 +95,35 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 		Host:      NewHost(cfg.KeepEventLog),
 	}
 
+	sink := cfg.Sink
+	if sink == nil {
+		sink = d.Host.Handle
+	}
 	var tx firmware.Sender
 	if cfg.Radio {
-		link, err := rf.NewLink(cfg.Link, sched, rng.Split(), d.Host.Handle)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		linkRNG := rng.Split()
+		if cfg.Transport != nil {
+			tr, err := cfg.Transport(sched, linkRNG, sink)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			d.Transport = tr
+			if l, ok := tr.(*rf.Link); ok {
+				d.Link = l
+			}
+			tx = tr
+		} else {
+			link, err := rf.NewLink(cfg.Link, sched, linkRNG, sink)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			d.Link = link
+			d.Transport = link
+			tx = link
 		}
-		d.Link = link
-		tx = link
 	}
 
+	cfg.Firmware.DeviceID = cfg.DeviceID
 	fw, err := firmware.New(cfg.Firmware, board, m, tx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -144,6 +178,46 @@ func (d *Device) SetDistance(cm float64) { d.Board.SetDistance(cm) }
 
 // Distance returns the current physical distance.
 func (d *Device) Distance() float64 { return d.Board.Distance() }
+
+// GlideTo schedules a smooth minimum-jerk motion from the current distance
+// to target cm over the given duration. A single self-rescheduling callback
+// samples the trajectory every 10 ms and stops exactly at the end of the
+// motion, where the trajectory pins the distance to the target.
+//
+// Each callback fires one nanosecond ahead of its nominal grid instant but
+// applies the position computed at that instant: the trajectory models a
+// continuously moving hand, so a sensor sample landing exactly on a glide
+// grid point must observe the hand's position at that instant — not the
+// previous step's — regardless of scheduler insertion order.
+func (d *Device) GlideTo(targetCm float64, over time.Duration) {
+	start := d.Clock.Now()
+	if over <= 0 {
+		d.Scheduler.At(start, func(time.Duration) { d.SetDistance(targetCm) })
+		return
+	}
+	traj := hand.NewMinJerk(d.Distance(), targetCm, start, over)
+	end := start + over
+	const step = 10 * time.Millisecond
+	const lead = time.Nanosecond
+	nominal := start + step
+	if nominal > end {
+		nominal = end
+	}
+	var move func(time.Duration)
+	move = func(time.Duration) {
+		at := nominal
+		d.SetDistance(traj.Position(at))
+		if at >= end {
+			return
+		}
+		nominal += step
+		if nominal > end {
+			nominal = end
+		}
+		d.Scheduler.At(nominal-lead, move)
+	}
+	d.Scheduler.At(nominal-lead, move)
+}
 
 // PressSelect taps the select (thumb) button, advancing virtual time past
 // the debounce so the press registers on the next firmware cycle. The

@@ -3,6 +3,12 @@
 // decodes telemetry into application events. This is the paper's primary
 // contribution wired together — "a self contained interaction device that
 // can be wirelessly linked to a PC" (Section 3.2).
+//
+// The host side is layered for fleets of devices: a Session holds the
+// per-device receive state (sequence accounting, event log, handlers), a
+// Hub demultiplexes frames from many devices onto their sessions, and Host
+// remains the one-device convenience wrapper the rest of the repository
+// uses.
 package core
 
 import (
@@ -14,6 +20,9 @@ import (
 // Event is a host-side application event decoded from device telemetry.
 type Event struct {
 	Kind rf.MsgKind
+	// Device is the sending device's wire id (0 for legacy v0 frames and
+	// unconfigured single devices).
+	Device uint32
 	// Index is the entry index (scroll/select) or depth (level).
 	Index int
 	// Button is the button id on select events.
@@ -35,105 +44,16 @@ type HostStats struct {
 	MissedSeq uint64
 }
 
-// Host is the PC side of the link: it decodes payloads and dispatches
-// typed events to registered handlers.
+// Host is the PC side of a single-device link: a thin wrapper around one
+// Session that decodes payloads and dispatches typed events to registered
+// handlers. It accepts frames from any device id — demultiplexing is the
+// Hub's job.
 type Host struct {
-	onScroll func(Event)
-	onSelect func(Event)
-	onLevel  func(Event)
-	onState  func(Event)
-	taps     []func(Event)
-
-	stats   HostStats
-	lastSeq uint16
-	haveSeq bool
-	events  []Event // retained log for tests and the study harness
-	keepLog bool
+	*Session
 }
 
 // NewHost returns a host driver. With keepLog set every event is retained
 // and retrievable via Events.
 func NewHost(keepLog bool) *Host {
-	return &Host{keepLog: keepLog}
-}
-
-// OnScroll registers the scroll handler.
-func (h *Host) OnScroll(fn func(Event)) { h.onScroll = fn }
-
-// OnSelect registers the selection handler.
-func (h *Host) OnSelect(fn func(Event)) { h.onSelect = fn }
-
-// OnLevel registers the level-change handler.
-func (h *Host) OnLevel(fn func(Event)) { h.onLevel = fn }
-
-// OnState registers the debug-state handler.
-func (h *Host) OnState(fn func(Event)) { h.onState = fn }
-
-// Tap registers an additional observer invoked for every decoded event,
-// independent of the per-kind handlers (used by trace recorders).
-func (h *Host) Tap(fn func(Event)) { h.taps = append(h.taps, fn) }
-
-// Stats returns the host statistics.
-func (h *Host) Stats() HostStats { return h.stats }
-
-// Events returns the retained event log (empty unless keepLog).
-func (h *Host) Events() []Event {
-	out := make([]Event, len(h.events))
-	copy(out, h.events)
-	return out
-}
-
-// ResetLog clears the retained event log.
-func (h *Host) ResetLog() { h.events = h.events[:0] }
-
-// Handle is the rf.Link sink: it decodes one payload.
-func (h *Host) Handle(payload []byte, at time.Duration) {
-	var m rf.Message
-	if err := m.UnmarshalBinary(payload); err != nil {
-		h.stats.BadFrames++
-		return
-	}
-	h.stats.Decoded++
-	if h.haveSeq {
-		if gap := m.Seq - h.lastSeq; gap > 1 && gap < 0x8000 {
-			h.stats.MissedSeq += uint64(gap - 1)
-		}
-	}
-	h.lastSeq = m.Seq
-	h.haveSeq = true
-
-	ev := Event{
-		Kind:       m.Kind,
-		Index:      int(m.Index),
-		Button:     m.Button,
-		DeviceTime: m.Timestamp(),
-		HostTime:   at,
-		Voltage:    float64(m.VoltageMV) / 1000,
-		Island:     int(m.Island),
-	}
-	h.stats.Events++
-	if h.keepLog {
-		h.events = append(h.events, ev)
-	}
-	for _, tap := range h.taps {
-		tap(ev)
-	}
-	switch m.Kind {
-	case rf.MsgScroll:
-		if h.onScroll != nil {
-			h.onScroll(ev)
-		}
-	case rf.MsgSelect:
-		if h.onSelect != nil {
-			h.onSelect(ev)
-		}
-	case rf.MsgLevel:
-		if h.onLevel != nil {
-			h.onLevel(ev)
-		}
-	case rf.MsgState:
-		if h.onState != nil {
-			h.onState(ev)
-		}
-	}
+	return &Host{Session: NewSession(0, keepLog)}
 }

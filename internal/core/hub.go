@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// HubStats aggregates receive activity across every device a hub serves.
+type HubStats struct {
+	// Devices is the number of known device sessions.
+	Devices int
+	// Decoded, Events and MissedSeq sum the per-device session counters.
+	Decoded   uint64
+	Events    uint64
+	MissedSeq uint64
+	// BadFrames counts payloads that failed to decode; they carry no
+	// readable device id, so they are attributed to the hub itself.
+	BadFrames uint64
+}
+
+// Hub is the fleet-capable host side: it decodes incoming frames once and
+// demultiplexes them by device id onto per-device Sessions. Sessions are
+// created on demand, so an unknown device showing up on the air gets its
+// own accounting rather than polluting another device's. Legacy v0 frames
+// (no device field) land on the device-0 session.
+//
+// A hub is safe for concurrent use by many device goroutines; frames from
+// any single device must arrive in order.
+type Hub struct {
+	keepLogs bool
+
+	mu        sync.Mutex
+	sessions  map[uint32]*Session
+	order     []uint32 // ids in registration order, for deterministic iteration
+	badFrames uint64
+}
+
+// NewHub returns an empty hub. With keepLogs set every session retains its
+// event log (see Session.Events).
+func NewHub(keepLogs bool) *Hub {
+	return &Hub{keepLogs: keepLogs, sessions: make(map[uint32]*Session)}
+}
+
+// Session returns the session for the given device id, creating it if the
+// device is new. Use it to register per-device handlers before a run.
+func (h *Hub) Session(id uint32) *Session {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sessionLocked(id)
+}
+
+func (h *Hub) sessionLocked(id uint32) *Session {
+	if s, ok := h.sessions[id]; ok {
+		return s
+	}
+	s := NewSession(id, h.keepLogs)
+	h.sessions[id] = s
+	h.order = append(h.order, id)
+	return s
+}
+
+// Lookup returns the session for a device id without creating one.
+func (h *Hub) Lookup(id uint32) (*Session, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.sessions[id]
+	return s, ok
+}
+
+// Devices returns the known device ids in registration order.
+func (h *Hub) Devices() []uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint32, len(h.order))
+	copy(out, h.order)
+	return out
+}
+
+// Handle is the shared rf link sink: it decodes one payload and routes it
+// to the sending device's session. Many device links may point here.
+func (h *Hub) Handle(payload []byte, at time.Duration) {
+	var m rf.Message
+	if err := m.UnmarshalBinary(payload); err != nil {
+		h.mu.Lock()
+		h.badFrames++
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Lock()
+	s := h.sessionLocked(m.Device)
+	h.mu.Unlock()
+	// Session state is touched outside the hub lock: one device's frames
+	// never block another device's.
+	s.Consume(m, at)
+}
+
+// Stats aggregates the per-device session counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	sessions := make([]*Session, 0, len(h.order))
+	for _, id := range h.order {
+		sessions = append(sessions, h.sessions[id])
+	}
+	agg := HubStats{Devices: len(sessions), BadFrames: h.badFrames}
+	h.mu.Unlock()
+	for _, s := range sessions {
+		st := s.Stats()
+		agg.Decoded += st.Decoded
+		agg.Events += st.Events
+		agg.MissedSeq += st.MissedSeq
+		agg.BadFrames += st.BadFrames
+	}
+	return agg
+}
+
+// DeviceStats returns one device's receive counters.
+func (h *Hub) DeviceStats(id uint32) (HostStats, bool) {
+	s, ok := h.Lookup(id)
+	if !ok {
+		return HostStats{}, false
+	}
+	return s.Stats(), true
+}
+
+// PerDeviceStats returns every device's counters keyed by id, with the ids
+// sorted ascending for stable reporting.
+func (h *Hub) PerDeviceStats() ([]uint32, map[uint32]HostStats) {
+	ids := h.Devices()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make(map[uint32]HostStats, len(ids))
+	for _, id := range ids {
+		if st, ok := h.DeviceStats(id); ok {
+			out[id] = st
+		}
+	}
+	return ids, out
+}

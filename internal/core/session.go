@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// Session is the host-side receive state for ONE device: sequence-number
+// accounting, the retained event log and the registered handlers. A Hub
+// owns one session per device id; the single-device Host is a thin wrapper
+// around one session.
+//
+// A session is safe for concurrent use, but frames for one device must
+// arrive in order (in the simulator they do: each device's link delivers on
+// that device's scheduler).
+type Session struct {
+	device uint32
+
+	mu       sync.Mutex
+	onScroll func(Event)
+	onSelect func(Event)
+	onLevel  func(Event)
+	onState  func(Event)
+	taps     []func(Event)
+
+	stats   HostStats
+	lastSeq uint16
+	haveSeq bool
+	events  []Event // retained log for tests, replay and the study harness
+	keepLog bool
+}
+
+// NewSession returns a session for the given device id. With keepLog set
+// every event is retained and retrievable via Events.
+func NewSession(device uint32, keepLog bool) *Session {
+	return &Session{device: device, keepLog: keepLog}
+}
+
+// Device returns the device id this session tracks.
+func (s *Session) Device() uint32 { return s.device }
+
+// OnScroll registers the scroll handler.
+func (s *Session) OnScroll(fn func(Event)) { s.mu.Lock(); s.onScroll = fn; s.mu.Unlock() }
+
+// OnSelect registers the selection handler.
+func (s *Session) OnSelect(fn func(Event)) { s.mu.Lock(); s.onSelect = fn; s.mu.Unlock() }
+
+// OnLevel registers the level-change handler.
+func (s *Session) OnLevel(fn func(Event)) { s.mu.Lock(); s.onLevel = fn; s.mu.Unlock() }
+
+// OnState registers the debug-state handler.
+func (s *Session) OnState(fn func(Event)) { s.mu.Lock(); s.onState = fn; s.mu.Unlock() }
+
+// Tap registers an additional observer invoked for every decoded event,
+// independent of the per-kind handlers (used by trace recorders).
+func (s *Session) Tap(fn func(Event)) { s.mu.Lock(); s.taps = append(s.taps, fn); s.mu.Unlock() }
+
+// Stats returns the session statistics.
+func (s *Session) Stats() HostStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Events returns the retained event log (empty unless keepLog).
+func (s *Session) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// ResetLog clears the retained event log.
+func (s *Session) ResetLog() {
+	s.mu.Lock()
+	s.events = s.events[:0]
+	s.mu.Unlock()
+}
+
+// Handle decodes one raw payload and consumes it. It is a valid rf link
+// sink for a device wired directly to this session.
+func (s *Session) Handle(payload []byte, at time.Duration) {
+	var m rf.Message
+	if err := m.UnmarshalBinary(payload); err != nil {
+		s.mu.Lock()
+		s.stats.BadFrames++
+		s.mu.Unlock()
+		return
+	}
+	s.Consume(m, at)
+}
+
+// Consume processes one already-decoded message: sequence accounting, event
+// log and handler dispatch. The Hub routes decoded messages here so the
+// payload is only unmarshalled once per frame.
+func (s *Session) Consume(m rf.Message, at time.Duration) {
+	s.mu.Lock()
+	s.stats.Decoded++
+	if s.haveSeq {
+		// Wrapping diff: a gap below 0x8000 is frames lost on air; at or
+		// above it the frame is a late reordering, not a loss.
+		if gap := m.Seq - s.lastSeq; gap > 1 && gap < 0x8000 {
+			s.stats.MissedSeq += uint64(gap - 1)
+		}
+	}
+	s.lastSeq = m.Seq
+	s.haveSeq = true
+
+	ev := Event{
+		Kind:       m.Kind,
+		Device:     m.Device,
+		Index:      int(m.Index),
+		Button:     m.Button,
+		DeviceTime: m.Timestamp(),
+		HostTime:   at,
+		Voltage:    float64(m.VoltageMV) / 1000,
+		Island:     int(m.Island),
+	}
+	s.stats.Events++
+	if s.keepLog {
+		s.events = append(s.events, ev)
+	}
+	taps := s.taps
+	var handler func(Event)
+	switch m.Kind {
+	case rf.MsgScroll:
+		handler = s.onScroll
+	case rf.MsgSelect:
+		handler = s.onSelect
+	case rf.MsgLevel:
+		handler = s.onLevel
+	case rf.MsgState:
+		handler = s.onState
+	}
+	s.mu.Unlock()
+
+	// Handlers run outside the lock so they may call back into the
+	// session (Stats, Events) without deadlocking.
+	for _, tap := range taps {
+		tap(ev)
+	}
+	if handler != nil {
+		handler(ev)
+	}
+}

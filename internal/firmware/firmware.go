@@ -17,6 +17,9 @@ import (
 
 // Config parameterises the firmware build.
 type Config struct {
+	// DeviceID is stamped into every telemetry message (frame v1) so a
+	// host hub can attribute frames when many devices share a receiver.
+	DeviceID uint32
 	// SamplePeriod is the sensor polling period (prototype: 25 Hz).
 	SamplePeriod time.Duration
 	// Filter selects the smoothing strategy; FilterAlpha its EMA gain.
@@ -434,6 +437,7 @@ func (fw *Firmware) send(m rf.Message, now time.Duration) {
 	if fw.tx == nil {
 		return
 	}
+	m.Device = fw.cfg.DeviceID
 	m.Seq = fw.seq
 	fw.seq++
 	m.AtMillis = uint32(now / time.Millisecond)

@@ -1,0 +1,291 @@
+// Package fleet runs many independently seeded DistScroll devices
+// concurrently against one shared host-side Hub. The paper builds "a self
+// contained interaction device that can be wirelessly linked to a PC"
+// (Section 3.2); this package scales that host to a population of devices,
+// the way large scrolling-evaluation testbeds exercise one technique across
+// many devices and configurations at once.
+//
+// Each device owns its virtual clock, scheduler and random stream, so a
+// device's behaviour — and therefore its event stream at the hub — is a
+// pure function of the fleet seed and its index, independent of goroutine
+// interleaving. Only the hub's session map and aggregate counters are
+// shared, and those are commutative.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// Step is one scripted action a device performs: reach for a menu entry
+// with a minimum-jerk glide, dwell until the cursor settles, then
+// optionally press a button.
+type Step struct {
+	// Entry is the target entry index at the device's current menu level.
+	Entry int
+	// Glide is the duration of the reach; Dwell the settle time after it.
+	Glide time.Duration
+	Dwell time.Duration
+	// Select presses the select button after dwelling; Back presses the
+	// back button. Select wins if both are set.
+	Select bool
+	Back   bool
+}
+
+// Script is the menu workload every device in the fleet runs.
+type Script []Step
+
+// ScriptFor returns the default workload for a menu level of n entries:
+// glide far, glide back, then glide to the middle and select. It exercises
+// scrolling in both directions plus a selection round-trip.
+func ScriptFor(n int) Script {
+	last := n - 1
+	return Script{
+		{Entry: last, Glide: 400 * time.Millisecond, Dwell: 300 * time.Millisecond},
+		{Entry: last / 4, Glide: 400 * time.Millisecond, Dwell: 300 * time.Millisecond},
+		{Entry: last / 2, Glide: 300 * time.Millisecond, Dwell: 300 * time.Millisecond, Select: true},
+	}
+}
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Devices is the fleet size.
+	Devices int
+	// Seed is the master seed; every device derives its own independent
+	// seed from it, so the whole fleet is reproducible from one number.
+	Seed uint64
+	// Core is the per-device template. Seed, DeviceID, Sink and the event
+	// log flag are overwritten per device. The zero value means
+	// core.DefaultConfig().
+	Core core.Config
+	// Menu builds a fresh menu tree per device (trees hold navigation
+	// state, so devices cannot share one). Nil means a flat 12-entry menu.
+	Menu func() *menu.Node
+	// Script is the workload every device runs; nil picks ScriptFor sized
+	// to the menu's root level.
+	Script Script
+	// Workers bounds how many devices simulate concurrently; <= 0 runs
+	// one goroutine per device.
+	Workers int
+}
+
+// Result is one device's outcome, deterministic given the fleet seed.
+type Result struct {
+	// Device is the wire id (1-based; 0 is reserved for legacy traffic).
+	Device uint32
+	// Err is the first firmware or scenario error, nil on success.
+	Err error
+	// FinalCursor is the menu cursor after the script completed.
+	FinalCursor int
+	// Host is this device's receive accounting at the hub.
+	Host core.HostStats
+	// Link is the device's channel accounting (sent/delivered/lost).
+	Link rf.LinkStats
+	// Elapsed is the virtual time the device simulated.
+	Elapsed time.Duration
+}
+
+// Totals aggregates a fleet run.
+type Totals struct {
+	Devices   int
+	Errors    int
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64
+	Corrupted uint64
+	Decoded   uint64
+	Events    uint64
+	MissedSeq uint64
+	BadFrames uint64
+	// VirtualSeconds sums per-device simulated time; FramesPerSecond is
+	// the aggregate decode throughput against that budget.
+	VirtualSeconds  float64
+	FramesPerSecond float64
+}
+
+// Runner owns a fleet of assembled devices and the shared hub.
+type Runner struct {
+	cfg     Config
+	hub     *core.Hub
+	devices []*core.Device
+	ids     []uint32
+}
+
+// New assembles a fleet: n devices with derived seeds and wire ids 1..n,
+// all delivering telemetry into one shared hub.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
+	}
+	if cfg.Menu == nil {
+		cfg.Menu = func() *menu.Node { return menu.FlatMenu(12) }
+	}
+	// core.Config holds func fields and so is not comparable; a template
+	// with neither a radio nor a sample period is taken as the zero value.
+	if !cfg.Core.Radio && cfg.Core.Firmware.SamplePeriod == 0 {
+		cfg.Core = core.DefaultConfig()
+	}
+
+	r := &Runner{cfg: cfg, hub: core.NewHub(true)}
+	master := sim.NewRand(cfg.Seed)
+	for i := 0; i < cfg.Devices; i++ {
+		id := uint32(i + 1)
+		c := cfg.Core
+		c.Seed = master.Uint64()
+		c.DeviceID = id
+		c.Sink = r.hub.Handle
+		// The hub keeps the logs; the per-device host would be a second,
+		// unused copy.
+		c.KeepEventLog = false
+		dev, err := core.NewDevice(c, cfg.Menu())
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %d: %w", id, err)
+		}
+		r.devices = append(r.devices, dev)
+		r.ids = append(r.ids, id)
+		// Pre-register so Devices() iterates in fleet order even for
+		// devices whose first frame arrives late.
+		r.hub.Session(id)
+	}
+	if r.cfg.Script == nil {
+		r.cfg.Script = ScriptFor(r.devices[0].Menu.Len())
+	}
+	return r, nil
+}
+
+// Hub returns the shared host hub (register per-device handlers on its
+// sessions before RunAll).
+func (r *Runner) Hub() *core.Hub { return r.hub }
+
+// Len returns the fleet size.
+func (r *Runner) Len() int { return len(r.devices) }
+
+// Device returns the i-th assembled device (0-based fleet index).
+func (r *Runner) Device(i int) *core.Device { return r.devices[i] }
+
+// ID returns the wire id of the i-th device.
+func (r *Runner) ID(i int) uint32 { return r.ids[i] }
+
+// Session returns the hub session of the i-th device.
+func (r *Runner) Session(i int) *core.Session { return r.hub.Session(r.ids[i]) }
+
+// RunAll simulates every device through the script concurrently — one
+// goroutine per device, bounded by Config.Workers — and returns per-device
+// results in fleet order. The first device error is also returned, with all
+// remaining devices still run to completion.
+func (r *Runner) RunAll() ([]Result, error) {
+	workers := r.cfg.Workers
+	if workers <= 0 || workers > len(r.devices) {
+		workers = len(r.devices)
+	}
+	sem := make(chan struct{}, workers)
+	results := make([]Result, len(r.devices))
+	var wg sync.WaitGroup
+	for i := range r.devices {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = r.runDevice(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.Err != nil {
+			return results, fmt.Errorf("fleet: device %d: %w", res.Device, res.Err)
+		}
+	}
+	return results, nil
+}
+
+// runDevice drives one device through the script on its own virtual clock.
+func (r *Runner) runDevice(i int) Result {
+	dev := r.devices[i]
+	id := r.ids[i]
+	res := Result{Device: id}
+
+	fail := func(err error) Result {
+		res.Err = err
+		r.collect(dev, id, &res)
+		return res
+	}
+
+	// Let the firmware boot and the filter settle before the workload.
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		return fail(err)
+	}
+	for _, st := range r.cfg.Script {
+		dist, err := dev.DistanceForEntry(st.Entry)
+		if err != nil {
+			return fail(fmt.Errorf("step entry %d: %w", st.Entry, err))
+		}
+		dev.GlideTo(dist, st.Glide)
+		if err := dev.Run(st.Glide + st.Dwell); err != nil {
+			return fail(err)
+		}
+		switch {
+		case st.Select:
+			dev.PressSelect()
+		case st.Back:
+			dev.PressBack()
+		default:
+			continue
+		}
+		if err := dev.Run(300 * time.Millisecond); err != nil {
+			return fail(err)
+		}
+	}
+	// Stop the firmware tick and drain in-flight radio deliveries so the
+	// hub accounting is complete.
+	dev.Stop()
+	if err := dev.Run(time.Second); err != nil {
+		return fail(err)
+	}
+	r.collect(dev, id, &res)
+	return res
+}
+
+func (r *Runner) collect(dev *core.Device, id uint32, res *Result) {
+	res.FinalCursor = dev.Cursor()
+	res.Elapsed = dev.Clock.Now()
+	if st, ok := r.hub.DeviceStats(id); ok {
+		res.Host = st
+	}
+	switch tr := dev.Transport.(type) {
+	case *rf.Link:
+		res.Link = tr.Stats()
+	case *rf.Pipe:
+		res.Link = tr.Stats()
+	}
+}
+
+// Total aggregates per-device results into fleet-wide counters.
+func (r *Runner) Total(results []Result) Totals {
+	var t Totals
+	t.Devices = len(results)
+	for _, res := range results {
+		if res.Err != nil {
+			t.Errors++
+		}
+		t.Sent += res.Link.Sent
+		t.Delivered += res.Link.Delivered
+		t.Lost += res.Link.Lost
+		t.Corrupted += res.Link.Corrupted
+		t.Decoded += res.Host.Decoded
+		t.Events += res.Host.Events
+		t.MissedSeq += res.Host.MissedSeq
+		t.BadFrames += res.Host.BadFrames
+		t.VirtualSeconds += res.Elapsed.Seconds()
+	}
+	if t.VirtualSeconds > 0 {
+		t.FramesPerSecond = float64(t.Decoded) / t.VirtualSeconds
+	}
+	return t
+}

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := New(Config{Devices: 0}); err == nil {
+		t.Fatal("zero-device fleet accepted")
+	}
+}
+
+// streamKey flattens one device's event log into a comparable signature.
+func streamKey(events []core.Event) string {
+	s := ""
+	for _, e := range events {
+		s += fmt.Sprintf("%d:%d:%d;", e.Kind, e.Index, e.HostTime/time.Microsecond)
+	}
+	return s
+}
+
+func runFleet(t *testing.T, cfg Config) (*Runner, []Result) {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, results
+}
+
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Devices: 8, Seed: 42, Workers: 3}
+	run := func() ([]string, []Result) {
+		r, results := runFleet(t, cfg)
+		keys := make([]string, r.Len())
+		for i := range keys {
+			keys[i] = streamKey(r.Session(i).Events())
+		}
+		return keys, results
+	}
+	keysA, resA := run()
+	keysB, resB := run()
+	for i := range keysA {
+		if keysA[i] != keysB[i] {
+			t.Fatalf("device %d event stream differs between runs:\n%s\nvs\n%s", i+1, keysA[i], keysB[i])
+		}
+		if resA[i].FinalCursor != resB[i].FinalCursor || resA[i].Host != resB[i].Host {
+			t.Fatalf("device %d results differ: %+v vs %+v", i+1, resA[i], resB[i])
+		}
+		if keysA[i] == "" {
+			t.Fatalf("device %d produced no events", i+1)
+		}
+	}
+}
+
+func TestFleetDevicesAreIndependentlySeeded(t *testing.T) {
+	r, _ := runFleet(t, Config{Devices: 4, Seed: 7})
+	// With a noisy sensor and a lossy link, two devices with different
+	// seeds virtually never produce byte-identical event timelines.
+	seen := map[string]int{}
+	for i := 0; i < r.Len(); i++ {
+		seen[streamKey(r.Session(i).Events())]++
+	}
+	if len(seen) != r.Len() {
+		t.Fatalf("expected %d distinct streams, got %d", r.Len(), len(seen))
+	}
+}
+
+func TestFleet64ConcurrentDevices(t *testing.T) {
+	// The acceptance bar: 64 devices simulating concurrently (this test
+	// runs under -race in CI) with every frame attributed at the hub.
+	r, results := runFleet(t, Config{Devices: 64, Seed: 1})
+	if len(results) != 64 {
+		t.Fatalf("results: %d", len(results))
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("device %d: %v", res.Device, res.Err)
+		}
+		if res.Host.Events == 0 {
+			t.Fatalf("device %d received no events", res.Device)
+		}
+		// The script ends with selecting the middle entry.
+		if want := (r.Device(0).Menu.Len() - 1) / 2; res.FinalCursor != want {
+			t.Fatalf("device %d final cursor %d, want %d", res.Device, res.FinalCursor, want)
+		}
+	}
+	agg := r.Hub().Stats()
+	if agg.Devices != 64 || agg.BadFrames != 0 {
+		t.Fatalf("hub aggregate: %+v", agg)
+	}
+	tot := r.Total(results)
+	if tot.Delivered != tot.Decoded {
+		t.Fatalf("delivered %d != decoded %d", tot.Delivered, tot.Decoded)
+	}
+	if tot.FramesPerSecond <= 0 {
+		t.Fatalf("throughput %v", tot.FramesPerSecond)
+	}
+}
+
+func TestFleetAttributesLossPerDevice(t *testing.T) {
+	cfg := Config{Devices: 6, Seed: 3, Core: core.DefaultConfig()}
+	// A harsh channel: every fifth frame vanishes, nothing is corrupted,
+	// so seq gaps at the hub must mirror the per-device link losses.
+	cfg.Core.Link.LossProb = 0.2
+	cfg.Core.Link.CorruptProb = 0
+	r, results := runFleet(t, cfg)
+	var totalMissed uint64
+	for i, res := range results {
+		if res.Link.Lost == 0 {
+			t.Fatalf("device %d lost no frames at 20%% loss (sent %d)", res.Device, res.Link.Sent)
+		}
+		// Gaps are only observable on a delivered successor, so missed can
+		// trail lost (tail losses), but never exceed it.
+		if res.Host.MissedSeq > res.Link.Lost {
+			t.Fatalf("device %d missed %d > lost %d", res.Device, res.Host.MissedSeq, res.Link.Lost)
+		}
+		if got, _ := r.Hub().DeviceStats(r.ID(i)); got.MissedSeq != res.Host.MissedSeq {
+			t.Fatalf("device %d stats mismatch", res.Device)
+		}
+		totalMissed += res.Host.MissedSeq
+	}
+	if totalMissed == 0 {
+		t.Fatal("no seq gaps observed across the fleet at 20% loss")
+	}
+}
+
+func TestFleetWithPipeTransport(t *testing.T) {
+	cfg := Config{Devices: 5, Seed: 9, Core: core.DefaultConfig()}
+	cfg.Core.Transport = func(sched *sim.Scheduler, _ *sim.Rand, sink func([]byte, time.Duration)) (rf.Transport, error) {
+		return rf.NewPipe(sched, 2*time.Millisecond, sink)
+	}
+	r, results := runFleet(t, cfg)
+	for _, res := range results {
+		if res.Link.Sent == 0 || res.Link.Sent != res.Link.Delivered {
+			t.Fatalf("device %d pipe stats: %+v", res.Device, res.Link)
+		}
+		if res.Host.MissedSeq != 0 {
+			t.Fatalf("device %d lost frames on an ideal pipe: %+v", res.Device, res.Host)
+		}
+	}
+	if agg := r.Hub().Stats(); agg.MissedSeq != 0 || agg.Devices != 5 {
+		t.Fatalf("hub aggregate: %+v", agg)
+	}
+}
+
+func TestFleetCustomScriptAndMenu(t *testing.T) {
+	cfg := Config{
+		Devices: 3,
+		Seed:    5,
+		Menu:    func() *menu.Node { return menu.FlatMenu(8) },
+		Script: Script{
+			{Entry: 7, Glide: 300 * time.Millisecond, Dwell: 300 * time.Millisecond},
+			{Entry: 1, Glide: 300 * time.Millisecond, Dwell: 400 * time.Millisecond},
+		},
+	}
+	_, results := runFleet(t, cfg)
+	for _, res := range results {
+		if res.FinalCursor != 1 {
+			t.Fatalf("device %d cursor %d, want 1", res.Device, res.FinalCursor)
+		}
+	}
+}
+
+func TestFleetScriptErrorSurfaces(t *testing.T) {
+	cfg := Config{
+		Devices: 2,
+		Seed:    1,
+		Script:  Script{{Entry: 99, Glide: 100 * time.Millisecond}},
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunAll()
+	if err == nil {
+		t.Fatal("out-of-range script entry did not error")
+	}
+	for _, res := range results {
+		if res.Err == nil {
+			t.Fatalf("device %d missing error", res.Device)
+		}
+	}
+}
+
+func TestFleetPerDeviceHandlers(t *testing.T) {
+	r, err := New(Config{Devices: 3, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		i := i
+		r.Session(i).OnScroll(func(core.Event) { counts[i]++ })
+	}
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("device %d scroll handler never fired", i+1)
+		}
+	}
+}

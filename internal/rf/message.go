@@ -46,6 +46,10 @@ func (k MsgKind) String() string {
 // Message is a decoded telemetry message.
 type Message struct {
 	Kind MsgKind
+	// Device identifies the sending DistScroll when a host serves a fleet
+	// of them. Zero is the conventional single-device id; it is also what
+	// legacy v0 frames (which carry no device field) decode to.
+	Device uint32
 	// Seq is a wrapping sequence number, used to measure loss.
 	Seq uint16
 	// At is the firmware timestamp (virtual milliseconds, wrapping).
@@ -68,11 +72,41 @@ type Message struct {
 // ErrShortMessage is returned when decoding a truncated payload.
 var ErrShortMessage = errors.New("rf: short message")
 
-const msgLen = 1 + 2 + 4 + 2 + 2 + 2 + 1 + 1
+// Wire formats. The original (v0) payload starts directly with the kind
+// byte and carries no device id; the current (v1) payload is prefixed with
+// a version magic and a big-endian uint32 device id so a host hub can
+// demultiplex a fleet of devices sharing one receiver. The magic byte is
+// chosen well outside the valid kind range (1..5), so the two versions can
+// be told apart from the first payload byte.
+const (
+	// verMagicV1 marks a version-1 payload. It never collides with a v0
+	// payload, whose first byte is a MsgKind.
+	verMagicV1 = 0xD5
 
-// MarshalBinary encodes the message into a fixed-size payload.
+	msgLenV0 = 1 + 2 + 4 + 2 + 2 + 2 + 1 + 1
+	msgLenV1 = 1 + 4 + msgLenV0
+)
+
+// MarshalBinary encodes the message into a fixed-size v1 payload carrying
+// the device id.
 func (m Message) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, msgLen)
+	buf := make([]byte, msgLenV1)
+	buf[0] = verMagicV1
+	binary.BigEndian.PutUint32(buf[1:], m.Device)
+	m.putV0Body(buf[5:])
+	return buf, nil
+}
+
+// MarshalBinaryV0 encodes the message in the legacy v0 layout, which has no
+// version marker and no device id. It exists for compatibility tests and
+// for talking to pre-fleet firmware images.
+func (m Message) MarshalBinaryV0() ([]byte, error) {
+	buf := make([]byte, msgLenV0)
+	m.putV0Body(buf)
+	return buf, nil
+}
+
+func (m Message) putV0Body(buf []byte) {
 	buf[0] = byte(m.Kind)
 	binary.BigEndian.PutUint16(buf[1:], m.Seq)
 	binary.BigEndian.PutUint32(buf[3:], m.AtMillis)
@@ -81,14 +115,29 @@ func (m Message) MarshalBinary() ([]byte, error) {
 	binary.BigEndian.PutUint16(buf[11:], uint16(m.Island))
 	buf[13] = m.Button
 	buf[14] = m.Context
-	return buf, nil
 }
 
-// UnmarshalBinary decodes a payload produced by MarshalBinary.
+// UnmarshalBinary decodes a payload produced by MarshalBinary or
+// MarshalBinaryV0, selecting the version from the first byte. Legacy v0
+// payloads decode with Device zero.
 func (m *Message) UnmarshalBinary(data []byte) error {
-	if len(data) < msgLen {
-		return fmt.Errorf("%w: %d bytes, want %d", ErrShortMessage, len(data), msgLen)
+	if len(data) >= 1 && data[0] == verMagicV1 {
+		if len(data) < msgLenV1 {
+			return fmt.Errorf("%w: %d bytes, want %d (v1)", ErrShortMessage, len(data), msgLenV1)
+		}
+		m.Device = binary.BigEndian.Uint32(data[1:])
+		m.getV0Body(data[5:])
+		return nil
 	}
+	if len(data) < msgLenV0 {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrShortMessage, len(data), msgLenV0)
+	}
+	m.Device = 0
+	m.getV0Body(data)
+	return nil
+}
+
+func (m *Message) getV0Body(data []byte) {
 	m.Kind = MsgKind(data[0])
 	m.Seq = binary.BigEndian.Uint16(data[1:])
 	m.AtMillis = binary.BigEndian.Uint32(data[3:])
@@ -97,7 +146,6 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Island = int16(binary.BigEndian.Uint16(data[11:]))
 	m.Button = data[13]
 	m.Context = data[14]
-	return nil
 }
 
 // Timestamp converts the firmware millisecond counter to a duration.

@@ -1,0 +1,162 @@
+package rf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// realKind maps an arbitrary byte onto the firmware's kind range so
+// property inputs look like real telemetry (a v0 first byte is always a
+// small kind value, never the v1 magic).
+func realKind(b byte) MsgKind { return MsgKind(b%5) + MsgScroll }
+
+func TestMessageV1RoundTripCarriesDevice(t *testing.T) {
+	f := func(kind byte, dev uint32, seq uint16, at uint32, idx int16, mv uint16, isle int16, btn, ctx byte) bool {
+		m := Message{
+			Kind: realKind(kind), Device: dev, Seq: seq, AtMillis: at,
+			Index: idx, VoltageMV: mv, Island: isle, Button: btn, Context: ctx,
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		if len(data) != msgLenV1 || data[0] != verMagicV1 {
+			return false
+		}
+		var back Message
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return back == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageV0BackCompatDecode(t *testing.T) {
+	f := func(kind byte, seq uint16, at uint32, idx int16, mv uint16, isle int16, btn, ctx byte) bool {
+		m := Message{
+			Kind: realKind(kind), Seq: seq, AtMillis: at,
+			Index: idx, VoltageMV: mv, Island: isle, Button: btn, Context: ctx,
+		}
+		data, err := m.MarshalBinaryV0()
+		if err != nil {
+			return false
+		}
+		if len(data) != msgLenV0 {
+			return false
+		}
+		var back Message
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		// A legacy frame carries no device id: it must decode to device 0
+		// even if the decoder previously saw a v1 frame.
+		return back == m && back.Device == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageV0DecodeResetsStaleDevice(t *testing.T) {
+	v1 := Message{Kind: MsgScroll, Device: 42, Seq: 7}
+	data1, err := v1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := Message{Kind: MsgHeartbeat, Seq: 8}
+	data0, err := v0.MarshalBinaryV0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	if err := m.UnmarshalBinary(data1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Device != 42 {
+		t.Fatalf("device = %d, want 42", m.Device)
+	}
+	if err := m.UnmarshalBinary(data0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Device != 0 {
+		t.Fatalf("v0 decode kept stale device %d", m.Device)
+	}
+}
+
+func TestMessageTruncatedPayloads(t *testing.T) {
+	m := Message{Kind: MsgScroll, Device: 9, Seq: 3}
+	v1, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := m.MarshalBinaryV0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{},
+		v1[:1],          // just the magic
+		v1[:msgLenV1-1], // one byte short of a v1 frame
+		v0[:msgLenV0-1], // one byte short of a v0 frame
+		{verMagicV1, 1, 2},
+	}
+	for i, data := range cases {
+		var back Message
+		if err := back.UnmarshalBinary(data); !errors.Is(err, ErrShortMessage) {
+			t.Fatalf("case %d (%d bytes): err = %v, want ErrShortMessage", i, len(data), err)
+		}
+	}
+}
+
+func TestPipeDeliversLosslessly(t *testing.T) {
+	sched := sim.NewScheduler(sim.NewClock(0))
+	var got [][]byte
+	var arrivals []time.Duration
+	pipe, err := NewPipe(sched, 3*time.Millisecond, func(p []byte, at time.Duration) {
+		got = append(got, append([]byte(nil), p...))
+		arrivals = append(arrivals, at)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"a", "bb", "ccc"} {
+		if _, err := pipe.Send([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[2]) != "ccc" {
+		t.Fatalf("rx = %q", got)
+	}
+	if arrivals[0] != 3*time.Millisecond {
+		t.Fatalf("arrival %v, want 3ms", arrivals[0])
+	}
+	st := pipe.Stats()
+	if st.Sent != 3 || st.Delivered != 3 || st.Lost != 0 || st.Corrupted != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPipeValidation(t *testing.T) {
+	sched := sim.NewScheduler(sim.NewClock(0))
+	sink := func([]byte, time.Duration) {}
+	if _, err := NewPipe(nil, 0, sink); err == nil {
+		t.Fatal("want scheduler error")
+	}
+	if _, err := NewPipe(sched, 0, nil); err == nil {
+		t.Fatal("want sink error")
+	}
+	if _, err := NewPipe(sched, -time.Millisecond, sink); err == nil {
+		t.Fatal("want latency error")
+	}
+}
