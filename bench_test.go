@@ -23,6 +23,7 @@ import (
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/smartits"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
@@ -210,6 +211,41 @@ func BenchmarkHubDemux(b *testing.B) {
 		b.Fatalf("hub stats: %+v", st)
 	}
 	b.ReportMetric(float64(st.Devices), "devices")
+}
+
+// BenchmarkHubDemuxInstrumented is BenchmarkHubDemux with a telemetry
+// registry attached: every frame additionally lands in a per-device
+// end-to-end latency histogram. Compare the two to see the observability
+// tax on the hot path; the design budget is <10% (run both with
+// `go test -bench 'HubDemux' .`, or `distscroll-bench -bench-csv` for a
+// machine-readable comparison).
+func BenchmarkHubDemuxInstrumented(b *testing.B) {
+	const devices = 64
+	reg := telemetry.New()
+	hub := core.NewHubWithMetrics(false, reg)
+	frames := make([][]byte, devices)
+	for i := range frames {
+		m := rf.Message{
+			Device: uint32(i + 1), Kind: rf.MsgScroll,
+			Seq: 1, AtMillis: 40, Index: int16(i % 10),
+		}
+		payload, err := m.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = payload
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Handle(frames[i%devices], time.Duration(i)*time.Millisecond)
+	}
+	b.StopTimer()
+	s := reg.Snapshot()
+	lat, ok := s.Histogram(telemetry.MetricHubE2ELatency)
+	if !ok || lat.Count != uint64(b.N) {
+		b.Fatalf("latency observations %d, want %d", lat.Count, b.N)
+	}
+	b.ReportMetric(lat.P50, "p50ms")
 }
 
 // BenchmarkFleetScroll runs a full 16-device fleet — sensors, firmware,

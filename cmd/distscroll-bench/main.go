@@ -9,17 +9,23 @@
 //	distscroll-bench -seed 42        # change the master seed
 //	distscroll-bench -o report.txt   # also write the report to a file
 //	distscroll-bench -fleet 64       # simulate a 64-device fleet instead
+//	distscroll-bench -fleet 64 -metrics              # + Prometheus dump
+//	distscroll-bench -fleet 64 -metrics-out rep.json # + JSON telemetry
+//	distscroll-bench -bench-csv bench.csv            # demux overhead CSV
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 func main() {
@@ -38,13 +44,33 @@ func run(args []string, stdout io.Writer) error {
 		csvDir   = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
 		fleetN   = fs.Int("fleet", 0, "simulate a fleet of N devices against one hub instead of the experiments")
 		fleetWrk = fs.Int("workers", 0, "bound on concurrently simulating fleet devices (0 = one goroutine per device)")
+		metrics  = fs.Bool("metrics", false, "instrument the fleet and append a Prometheus-format metrics dump to the report")
+		metOut   = fs.String("metrics-out", "", "write a JSON telemetry report (per-device counters, latency histograms) to this file")
+		benchCSV = fs.String("bench-csv", "", "measure the hub demux hot path plain vs instrumented and write the overhead CSV to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *benchCSV != "" {
+		if err := writeBenchCSV(*benchCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote demux overhead benchmarks to %s\n", *benchCSV)
+		if *fleetN <= 0 {
+			return nil
+		}
+	}
+
 	if *fleetN > 0 {
-		return runFleet(*fleetN, *fleetWrk, *seed, *outPath, stdout)
+		return runFleet(fleetOpts{
+			devices:    *fleetN,
+			workers:    *fleetWrk,
+			seed:       *seed,
+			outPath:    *outPath,
+			metrics:    *metrics,
+			metricsOut: *metOut,
+		}, stdout)
 	}
 
 	if *csvDir != "" {
@@ -90,10 +116,31 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// fleetOpts parameterises a fleet invocation.
+type fleetOpts struct {
+	devices, workers int
+	seed             uint64
+	outPath          string
+	metrics          bool
+	metricsOut       string
+}
+
 // runFleet simulates n devices concurrently against one hub and prints the
-// per-device and aggregate accounting.
-func runFleet(n, workers int, seed uint64, outPath string, stdout io.Writer) error {
-	r, err := fleet.New(fleet.Config{Devices: n, Seed: seed, Workers: workers})
+// per-device and aggregate accounting, optionally with full telemetry.
+func runFleet(o fleetOpts, stdout io.Writer) error {
+	cfg := fleet.Config{Devices: o.devices, Seed: o.seed, Workers: o.workers}
+	var reg *telemetry.Registry
+	if o.metrics || o.metricsOut != "" {
+		reg = telemetry.New()
+		cfg.Metrics = reg
+		// Heartbeat progress on stderr while the run is in flight.
+		cfg.ReportEvery = 2 * time.Second
+		cfg.OnReport = func(s *telemetry.Snapshot) {
+			fmt.Fprintf(os.Stderr, "fleet: %d frames decoded, %d sent\n",
+				s.Counters[telemetry.MetricHubDecoded], s.Counters[telemetry.MetricRFSent])
+		}
+	}
+	r, err := fleet.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -103,29 +150,106 @@ func runFleet(n, workers int, seed uint64, outPath string, stdout io.Writer) err
 	}
 
 	var report strings.Builder
-	fmt.Fprintf(&report, "DistScroll fleet report (%d devices, seed %d)\n", n, seed)
-	fmt.Fprintf(&report, "%s\n", strings.Repeat("=", 60))
-	fmt.Fprintf(&report, "%6s %8s %10s %8s %8s %8s\n",
-		"device", "sent", "delivered", "lost", "events", "missed")
+	fmt.Fprintf(&report, "DistScroll fleet report (%d devices, seed %d)\n", o.devices, o.seed)
+	fmt.Fprintf(&report, "%s\n", strings.Repeat("=", 76))
+	fmt.Fprintf(&report, "%6s %8s %10s %8s %8s %8s %6s %6s\n",
+		"device", "sent", "delivered", "lost", "events", "missed", "dup", "reord")
 	for _, res := range results {
-		fmt.Fprintf(&report, "%6d %8d %10d %8d %8d %8d\n",
+		fmt.Fprintf(&report, "%6d %8d %10d %8d %8d %8d %6d %6d\n",
 			res.Device, res.Link.Sent, res.Link.Delivered, res.Link.Lost,
-			res.Host.Events, res.Host.MissedSeq)
+			res.Host.Events, res.Host.MissedSeq, res.Host.Duplicates, res.Host.Reordered)
 	}
 	tot := r.Total(results)
-	fmt.Fprintf(&report, "%s\n", strings.Repeat("-", 60))
+	fmt.Fprintf(&report, "%s\n", strings.Repeat("-", 76))
 	fmt.Fprintf(&report, "frames sent %d, delivered %d, lost %d, corrupted %d, events %d, seq gaps %d\n",
 		tot.Sent, tot.Delivered, tot.Lost, tot.Corrupted, tot.Events, tot.MissedSeq)
 	fmt.Fprintf(&report, "virtual time %.1f s, decode throughput %.1f frames/s\n",
 		tot.VirtualSeconds, tot.FramesPerSecond)
 
+	var snap *telemetry.Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
+	if o.metrics {
+		fmt.Fprintf(&report, "\nTelemetry (Prometheus exposition)\n%s\n", strings.Repeat("-", 76))
+		if lat, ok := snap.Histogram(telemetry.MetricHubE2ELatency); ok {
+			fmt.Fprintf(&report, "# e2e latency: p50=%.2fms p90=%.2fms p99=%.2fms over %d frames\n",
+				lat.P50, lat.P90, lat.P99, lat.Count)
+		}
+		if err := snap.WritePrometheus(&report); err != nil {
+			return err
+		}
+	}
+	if o.metricsOut != "" {
+		if err := writeTelemetryJSON(o.metricsOut, o.seed, results, tot, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(&report, "wrote telemetry report to %s\n", o.metricsOut)
+	}
+
 	if _, err := io.WriteString(stdout, report.String()); err != nil {
 		return err
 	}
-	if outPath != "" {
-		if err := os.WriteFile(outPath, []byte(report.String()), 0o644); err != nil {
+	if o.outPath != "" {
+		if err := os.WriteFile(o.outPath, []byte(report.String()), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
+	}
+	return nil
+}
+
+// deviceCounters is one device's frame accounting in the JSON report.
+type deviceCounters struct {
+	Device     uint32 `json:"device"`
+	Sent       uint64 `json:"sent"`
+	Delivered  uint64 `json:"delivered"`
+	Lost       uint64 `json:"lost"`
+	Corrupted  uint64 `json:"corrupted"`
+	Events     uint64 `json:"events"`
+	MissedSeq  uint64 `json:"missedSeq"`
+	Duplicates uint64 `json:"duplicates"`
+	Reordered  uint64 `json:"reordered"`
+}
+
+// telemetryReport is the -metrics-out document: per-device counters, fleet
+// totals and the full metrics snapshot with latency histograms.
+type telemetryReport struct {
+	Devices   int                 `json:"devices"`
+	Seed      uint64              `json:"seed"`
+	PerDevice []deviceCounters    `json:"perDevice"`
+	Totals    fleet.Totals        `json:"totals"`
+	Metrics   *telemetry.Snapshot `json:"metrics"`
+}
+
+func writeTelemetryJSON(path string, seed uint64, results []fleet.Result, tot fleet.Totals, snap *telemetry.Snapshot) error {
+	rep := telemetryReport{
+		Devices: len(results),
+		Seed:    seed,
+		Totals:  tot,
+		Metrics: snap,
+	}
+	for _, res := range results {
+		rep.PerDevice = append(rep.PerDevice, deviceCounters{
+			Device:     res.Device,
+			Sent:       res.Link.Sent,
+			Delivered:  res.Link.Delivered,
+			Lost:       res.Link.Lost,
+			Corrupted:  res.Link.Corrupted,
+			Events:     res.Host.Events,
+			MissedSeq:  res.Host.MissedSeq,
+			Duplicates: res.Host.Duplicates,
+			Reordered:  res.Host.Reordered,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry report: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("telemetry report: %w", err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -109,5 +110,97 @@ func TestFleetModeWritesFile(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "fleet report (2 devices") {
 		t.Fatalf("file report:\n%s", data)
+	}
+}
+
+func TestFleetMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fleet", "6", "-seed", "2", "-metrics-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetryReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%.300s", err, data)
+	}
+	if rep.Devices != 6 || len(rep.PerDevice) != 6 {
+		t.Fatalf("device counts: %+v", rep)
+	}
+	var delivered uint64
+	for _, d := range rep.PerDevice {
+		if d.Sent == 0 {
+			t.Fatalf("device %d sent no frames", d.Device)
+		}
+		if d.Sent != d.Delivered+d.Lost+d.Corrupted {
+			t.Fatalf("device %d loss accounting: %+v", d.Device, d)
+		}
+		delivered += d.Delivered
+	}
+	if rep.Metrics == nil {
+		t.Fatal("no metrics snapshot in report")
+	}
+	// Acceptance: the e2e latency histogram holds exactly one observation
+	// per delivered frame.
+	lat, ok := rep.Metrics.Histogram("hub_e2e_latency_ms")
+	if !ok {
+		t.Fatal("no e2e latency histogram")
+	}
+	if lat.Count != delivered {
+		t.Fatalf("latency observations %d != delivered frames %d", lat.Count, delivered)
+	}
+	var bucketSum uint64
+	for _, c := range lat.Counts {
+		bucketSum += c
+	}
+	if bucketSum != delivered {
+		t.Fatalf("bucket counts sum %d != delivered frames %d", bucketSum, delivered)
+	}
+}
+
+func TestFleetMetricsExposition(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fleet", "3", "-seed", "8", "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Telemetry (Prometheus exposition)",
+		"# TYPE rf_frames_sent_total counter",
+		"hub_e2e_latency_ms_bucket",
+		`hub_e2e_latency_ms_count{device="1"}`,
+		"fw_cycles_total",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%.2000s", want, s)
+		}
+	}
+}
+
+func TestBenchCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real wall-clock benchmarks")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-bench-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "HubDemux,") || !strings.Contains(s, "HubDemuxInstrumented,") {
+		t.Fatalf("bench.csv:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 || lines[0] != "benchmark,iterations,ns_per_op,overhead_pct" {
+		t.Fatalf("bench.csv shape:\n%s", s)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/menu"
 	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Fleet is a population of simulated DistScroll devices served by one
@@ -22,7 +23,8 @@ import (
 //	report, err := f.RunAll()
 //	fmt.Println(report.Frames, report.Lost)
 type Fleet struct {
-	runner *fleet.Runner
+	runner  *fleet.Runner
+	metrics *telemetry.Registry
 
 	onScroll func(device int, e Event)
 	onSelect func(device int, e Event)
@@ -51,11 +53,12 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		Seed:    cfg.core.Seed,
 		Core:    cfg.core,
 		Menu:    func() *menu.Node { return cfg.root.toNode() },
+		Metrics: cfg.core.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Fleet{runner: runner}, nil
+	return &Fleet{runner: runner, metrics: cfg.core.Metrics}, nil
 }
 
 // Size returns the number of devices in the fleet.
@@ -100,6 +103,9 @@ type FleetReport struct {
 	// FramesPerSecond the aggregate decode throughput against it.
 	VirtualSeconds  float64
 	FramesPerSecond float64
+	// Telemetry is the end-of-run metrics snapshot, nil unless the fleet
+	// was built with WithMetrics.
+	Telemetry *MetricsSnapshot
 }
 
 // RunAll simulates every device through the scripted menu workload
@@ -132,6 +138,9 @@ func (f *Fleet) RunAll() (FleetReport, error) {
 	rep.MissedFrames = tot.MissedSeq
 	rep.VirtualSeconds = tot.VirtualSeconds
 	rep.FramesPerSecond = tot.FramesPerSecond
+	if f.metrics != nil {
+		rep.Telemetry = f.metrics.Snapshot()
+	}
 	return rep, runErr
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/smartits"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Config assembles a complete system.
@@ -35,6 +36,11 @@ type Config struct {
 	// default lossy rf.Link — e.g. an rf.Pipe for an ideal in-process
 	// channel, or a real network backend.
 	Transport func(sched *sim.Scheduler, rng *sim.Rand, sink func(payload []byte, at time.Duration)) (rf.Transport, error)
+	// Metrics, when set, instruments the assembled device: the firmware
+	// and link register pull collectors, and — for the classic wiring
+	// where the device's own Host consumes frames — the host records
+	// receive counters and end-to-end latency. Nil costs nothing.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig is the prototype system.
@@ -92,7 +98,14 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 		Rand:      rng,
 		Board:     board,
 		Menu:      m,
-		Host:      NewHost(cfg.KeepEventLog),
+	}
+	if cfg.Metrics != nil && cfg.Sink == nil {
+		// Classic wiring: this device's own Host consumes the frames, so
+		// it owns the receive-side instrumentation. In a fleet the shared
+		// Hub does, and the per-device Host stays plain.
+		d.Host = NewHostWithMetrics(cfg.KeepEventLog, cfg.Metrics)
+	} else {
+		d.Host = NewHost(cfg.KeepEventLog)
 	}
 
 	sink := cfg.Sink
@@ -129,6 +142,12 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	d.Firmware = fw
+	if cfg.Metrics != nil {
+		cfg.Metrics.RegisterCollector(fw.Collect)
+		if d.Link != nil {
+			cfg.Metrics.RegisterCollector(d.Link.Collect)
+		}
+	}
 
 	// Drive the firmware loop on the scheduler. The period is asked from
 	// the firmware after every cycle so power-save can slow the cadence.

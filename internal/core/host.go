@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Event is a host-side application event decoded from device telemetry.
@@ -42,6 +43,11 @@ type HostStats struct {
 	BadFrames uint64
 	// MissedSeq counts sequence-number gaps, i.e. frames lost on air.
 	MissedSeq uint64
+	// Duplicates counts frames that repeated the previous sequence number.
+	Duplicates uint64
+	// Reordered counts frames arriving with an older sequence number (a
+	// wrapping gap of 0x8000 or more), which are late, not lost.
+	Reordered uint64
 }
 
 // Host is the PC side of a single-device link: a thin wrapper around one
@@ -55,5 +61,19 @@ type Host struct {
 // NewHost returns a host driver. With keepLog set every event is retained
 // and retrievable via Events.
 func NewHost(keepLog bool) *Host {
-	return &Host{Session: NewSession(0, keepLog)}
+	return NewHostWithMetrics(keepLog, nil)
+}
+
+// NewHostWithMetrics returns a host driver that contributes its receive
+// counters and an end-to-end latency histogram to the registry. A nil
+// registry yields a plain uninstrumented host.
+func NewHostWithMetrics(keepLog bool, reg *telemetry.Registry) *Host {
+	s := NewSession(0, keepLog)
+	if reg != nil {
+		s.attachMetrics(reg)
+		reg.RegisterCollector(func(snap *telemetry.Snapshot) {
+			collectSession(s, snap)
+		})
+	}
+	return &Host{Session: s}
 }

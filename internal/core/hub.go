@@ -6,16 +6,20 @@ import (
 	"time"
 
 	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // HubStats aggregates receive activity across every device a hub serves.
 type HubStats struct {
 	// Devices is the number of known device sessions.
 	Devices int
-	// Decoded, Events and MissedSeq sum the per-device session counters.
-	Decoded   uint64
-	Events    uint64
-	MissedSeq uint64
+	// Decoded, Events, MissedSeq, Duplicates and Reordered sum the
+	// per-device session counters.
+	Decoded    uint64
+	Events     uint64
+	MissedSeq  uint64
+	Duplicates uint64
+	Reordered  uint64
 	// BadFrames counts payloads that failed to decode; they carry no
 	// readable device id, so they are attributed to the hub itself.
 	BadFrames uint64
@@ -31,6 +35,7 @@ type HubStats struct {
 // any single device must arrive in order.
 type Hub struct {
 	keepLogs bool
+	metrics  *telemetry.Registry
 
 	mu        sync.Mutex
 	sessions  map[uint32]*Session
@@ -41,7 +46,37 @@ type Hub struct {
 // NewHub returns an empty hub. With keepLogs set every session retains its
 // event log (see Session.Events).
 func NewHub(keepLogs bool) *Hub {
-	return &Hub{keepLogs: keepLogs, sessions: make(map[uint32]*Session)}
+	return NewHubWithMetrics(keepLogs, nil)
+}
+
+// NewHubWithMetrics returns a hub whose sessions record per-device receive
+// counters and end-to-end latency histograms into the registry. The hub
+// registers one pull collector: snapshots read the session counters under
+// their own locks, so the demux hot path pays nothing beyond the per-frame
+// latency bucket increment. A nil registry yields a plain hub.
+func NewHubWithMetrics(keepLogs bool, reg *telemetry.Registry) *Hub {
+	h := &Hub{keepLogs: keepLogs, metrics: reg, sessions: make(map[uint32]*Session)}
+	if reg != nil {
+		reg.RegisterCollector(h.collect)
+	}
+	return h
+}
+
+// collect contributes every session's counters, the per-device and
+// aggregate latency histograms, and the hub-level gauges to a snapshot.
+func (h *Hub) collect(snap *telemetry.Snapshot) {
+	h.mu.Lock()
+	sessions := make([]*Session, 0, len(h.order))
+	for _, id := range h.order {
+		sessions = append(sessions, h.sessions[id])
+	}
+	bad := h.badFrames
+	h.mu.Unlock()
+	snap.SetGauge(telemetry.MetricHubDevices, float64(len(sessions)))
+	snap.AddCounter(telemetry.MetricHubBadFrames, bad)
+	for _, s := range sessions {
+		collectSession(s, snap)
+	}
 }
 
 // Session returns the session for the given device id, creating it if the
@@ -57,6 +92,9 @@ func (h *Hub) sessionLocked(id uint32) *Session {
 		return s
 	}
 	s := NewSession(id, h.keepLogs)
+	if h.metrics != nil {
+		s.attachMetrics(h.metrics)
+	}
 	h.sessions[id] = s
 	h.order = append(h.order, id)
 	return s
@@ -111,6 +149,8 @@ func (h *Hub) Stats() HubStats {
 		agg.Decoded += st.Decoded
 		agg.Events += st.Events
 		agg.MissedSeq += st.MissedSeq
+		agg.Duplicates += st.Duplicates
+		agg.Reordered += st.Reordered
 		agg.BadFrames += st.BadFrames
 	}
 	return agg

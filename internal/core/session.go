@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Session is the host-side receive state for ONE device: sequence-number
@@ -30,6 +31,16 @@ type Session struct {
 	haveSeq bool
 	events  []Event // retained log for tests, replay and the study harness
 	keepLog bool
+
+	// lat records per-frame end-to-end pipeline latency (device stamp →
+	// host arrival, milliseconds). It is a LocalHistogram synchronised by
+	// s.mu — which Consume already holds — so the instrumented hot path
+	// pays only the bucket increment, no extra atomics. Nil when the
+	// session is uninstrumented; Observe on nil is a no-op.
+	lat *telemetry.LocalHistogram
+	// dispatch records handler+tap dispatch wall time. It is only sampled
+	// when a handler or tap is actually registered.
+	dispatch *telemetry.Histogram
 }
 
 // NewSession returns a session for the given device id. With keepLog set
@@ -40,6 +51,46 @@ func NewSession(device uint32, keepLog bool) *Session {
 
 // Device returns the device id this session tracks.
 func (s *Session) Device() uint32 { return s.device }
+
+// attachMetrics equips the session with a latency histogram and a shared
+// dispatch-time histogram from the registry. Call before frames flow.
+func (s *Session) attachMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.lat = telemetry.NewLocalHistogram(telemetry.LatencyBucketsMs)
+	s.dispatch = reg.Histogram(telemetry.MetricHubDispatch, telemetry.DispatchBucketsSec)
+	s.mu.Unlock()
+}
+
+// latencySnapshot returns the end-to-end latency histogram, or false when
+// the session is uninstrumented.
+func (s *Session) latencySnapshot() (telemetry.HistogramSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lat == nil {
+		return telemetry.HistogramSnapshot{}, false
+	}
+	return s.lat.Snapshot(), true
+}
+
+// collectSession contributes one session's receive counters and latency
+// histogram to a telemetry snapshot, under both the per-device series and
+// the fleet aggregate. Shared by the Hub collector and instrumented Hosts.
+func collectSession(s *Session, snap *telemetry.Snapshot) {
+	st := s.Stats()
+	snap.AddCounter(telemetry.MetricHubDecoded, st.Decoded)
+	snap.AddCounter(telemetry.MetricHubEvents, st.Events)
+	snap.AddCounter(telemetry.MetricHubBadFrames, st.BadFrames)
+	snap.AddCounter(telemetry.MetricHubSeqGaps, st.MissedSeq)
+	snap.AddCounter(telemetry.MetricHubDuplicates, st.Duplicates)
+	snap.AddCounter(telemetry.MetricHubReordered, st.Reordered)
+	if h, ok := s.latencySnapshot(); ok {
+		snap.MergeHistogram(telemetry.DeviceLatencyName(s.Device()), h)
+		snap.MergeHistogram(telemetry.MetricHubE2ELatency, h)
+	}
+}
 
 // OnScroll registers the scroll handler.
 func (s *Session) OnScroll(fn func(Event)) { s.mu.Lock(); s.onScroll = fn; s.mu.Unlock() }
@@ -102,12 +153,23 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 	if s.haveSeq {
 		// Wrapping diff: a gap below 0x8000 is frames lost on air; at or
 		// above it the frame is a late reordering, not a loss.
-		if gap := m.Seq - s.lastSeq; gap > 1 && gap < 0x8000 {
+		switch gap := m.Seq - s.lastSeq; {
+		case gap == 0:
+			s.stats.Duplicates++
+		case gap == 1:
+			// In order.
+		case gap < 0x8000:
 			s.stats.MissedSeq += uint64(gap - 1)
+		default:
+			s.stats.Reordered++
 		}
 	}
 	s.lastSeq = m.Seq
 	s.haveSeq = true
+	if s.lat != nil {
+		const perMs = 1.0 / float64(time.Millisecond)
+		s.lat.Observe(float64(at-m.Timestamp()) * perMs)
+	}
 
 	ev := Event{
 		Kind:       m.Kind,
@@ -124,6 +186,7 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 		s.events = append(s.events, ev)
 	}
 	taps := s.taps
+	dispatch := s.dispatch
 	var handler func(Event)
 	switch m.Kind {
 	case rf.MsgScroll:
@@ -138,11 +201,23 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 	s.mu.Unlock()
 
 	// Handlers run outside the lock so they may call back into the
-	// session (Stats, Events) without deadlocking.
+	// session (Stats, Events) without deadlocking. Dispatch time is only
+	// sampled when there is something to dispatch to, so the bare demux
+	// path never touches the wall clock.
+	if handler == nil && len(taps) == 0 {
+		return
+	}
+	var start time.Time
+	if dispatch != nil {
+		start = time.Now()
+	}
 	for _, tap := range taps {
 		tap(ev)
 	}
 	if handler != nil {
 		handler(ev)
+	}
+	if dispatch != nil {
+		dispatch.Observe(time.Since(start).Seconds())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/hcilab/distscroll/internal/buttons"
@@ -13,6 +14,7 @@ import (
 	"github.com/hcilab/distscroll/internal/menu"
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/smartits"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Config parameterises the firmware build.
@@ -89,6 +91,40 @@ type Stats struct {
 	IslandFlicker uint64 // cursor changes that immediately reverted
 	TxErrors      uint64
 	DisplayWrites uint64
+	// ADCReads counts analog conversions (distance channels + battery).
+	ADCReads uint64
+	// IslandSwitches counts active-island changes at the mapper;
+	// HysteresisHolds counts selections the hysteresis band retained after
+	// the voltage left the strict island bounds (rejected flickers).
+	IslandSwitches  uint64
+	HysteresisHolds uint64
+	// FramesSent counts telemetry payloads handed to the transmitter.
+	FramesSent uint64
+}
+
+// counters are the firmware's internal counters. They are atomic so a
+// telemetry reporter may snapshot a running fleet from another goroutine;
+// the firmware itself is single-goroutine, so every add is uncontended.
+type counters struct {
+	cycles, scrollEvents, selectEvents, levelChanges atomic.Uint64
+	islandFlicker, txErrors, displayWrites           atomic.Uint64
+	adcReads, islandSwitches, hystHolds, framesSent  atomic.Uint64
+}
+
+func (c *counters) stats() Stats {
+	return Stats{
+		Cycles:          c.cycles.Load(),
+		ScrollEvents:    c.scrollEvents.Load(),
+		SelectEvents:    c.selectEvents.Load(),
+		LevelChanges:    c.levelChanges.Load(),
+		IslandFlicker:   c.islandFlicker.Load(),
+		TxErrors:        c.txErrors.Load(),
+		DisplayWrites:   c.displayWrites.Load(),
+		ADCReads:        c.adcReads.Load(),
+		IslandSwitches:  c.islandSwitches.Load(),
+		HysteresisHolds: c.hystHolds.Load(),
+		FramesSent:      c.framesSent.Load(),
+	}
 }
 
 // Firmware is the device control loop.
@@ -100,7 +136,8 @@ type Firmware struct {
 	filter Filter
 	tx     Sender
 
-	stats      Stats
+	stats      counters
+	lastMap    mapping.MapStats // last mirrored mapper counters
 	ctx        contextState
 	health     health
 	power      powerState
@@ -168,7 +205,25 @@ func New(cfg Config, board *smartits.Board, m *menu.Menu, tx Sender) (*Firmware,
 }
 
 // Stats returns a snapshot of the firmware counters.
-func (fw *Firmware) Stats() Stats { return fw.stats }
+func (fw *Firmware) Stats() Stats { return fw.stats.stats() }
+
+// Collect contributes the firmware counters to a telemetry snapshot. In a
+// fleet every device collects into the same fleet-wide names, so the
+// snapshot carries aggregates.
+func (fw *Firmware) Collect(s *telemetry.Snapshot) {
+	st := fw.Stats()
+	s.AddCounter(telemetry.MetricFwCycles, st.Cycles)
+	s.AddCounter(telemetry.MetricFwADCReads, st.ADCReads)
+	s.AddCounter(telemetry.MetricFwScrollEvents, st.ScrollEvents)
+	s.AddCounter(telemetry.MetricFwSelectEvents, st.SelectEvents)
+	s.AddCounter(telemetry.MetricFwLevelChanges, st.LevelChanges)
+	s.AddCounter(telemetry.MetricFwIslandSwitches, st.IslandSwitches)
+	s.AddCounter(telemetry.MetricFwHysteresisHolds, st.HysteresisHolds)
+	s.AddCounter(telemetry.MetricFwIslandFlicker, st.IslandFlicker)
+	s.AddCounter(telemetry.MetricFwFramesSent, st.FramesSent)
+	s.AddCounter(telemetry.MetricFwTxErrors, st.TxErrors)
+	s.AddCounter(telemetry.MetricFwDisplayWrites, st.DisplayWrites)
+}
 
 // Mapper returns the active island mapper (rebuilt on level changes).
 func (fw *Firmware) Mapper() *mapping.Mapper { return fw.mapper }
@@ -191,11 +246,26 @@ func (fw *Firmware) rebuildMapper() error {
 		return fmt.Errorf("firmware: rebuild mapper: %w", err)
 	}
 	fw.mapper = m
+	fw.lastMap = mapping.MapStats{}
 	fw.filter.Reset()
 	fw.resetRelative()
 	fw.lastIndex = -1
 	fw.prevIndex = -1
 	return nil
+}
+
+// mirrorMapStats folds the mapper's counter deltas since the last cycle
+// into the firmware counters (the mapper itself is reset on level changes,
+// the firmware counters are not).
+func (fw *Firmware) mirrorMapStats() {
+	st := fw.mapper.Stats()
+	if d := st.Switches - fw.lastMap.Switches; d != 0 {
+		fw.stats.islandSwitches.Add(d)
+	}
+	if d := st.Holds - fw.lastMap.Holds; d != 0 {
+		fw.stats.hystHolds.Add(d)
+	}
+	fw.lastMap = st
 }
 
 func clampIndex(i, n int) int {
@@ -212,7 +282,7 @@ func clampIndex(i, n int) int {
 // the caller (the scheduler in the assembled device, a plain loop in
 // tests and benchmarks).
 func (fw *Firmware) Step(now time.Duration) error {
-	fw.stats.Cycles++
+	fw.stats.cycles.Add(1)
 
 	// 1. Sample the distance channel (averaging the second sensor in
 	// dual mode).
@@ -220,12 +290,14 @@ func (fw *Firmware) Step(now time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("firmware: sample: %w", err)
 	}
+	fw.stats.adcReads.Add(1)
 	raw := fw.board.ADC.Voltage(code)
 	if fw.cfg.DualSensor && fw.board.Sensor2 != nil {
 		code2, err := fw.board.ADC.Read(smartits.ChanDistance2)
 		if err != nil {
 			return fmt.Errorf("firmware: sample 2: %w", err)
 		}
+		fw.stats.adcReads.Add(1)
 		raw = (raw + fw.board.ADC.Voltage(code2)) / 2
 	}
 	v := fw.filter.Apply(raw)
@@ -250,17 +322,18 @@ func (fw *Firmware) Step(now time.Duration) error {
 			}
 		default:
 			index, active = fw.mapper.Map(v)
+			fw.mirrorMapStats()
 		}
 	} else {
 		fw.resetRelative()
 	}
 	if active && index != fw.menu.Cursor() {
 		if index == fw.prevIndex {
-			fw.stats.IslandFlicker++
+			fw.stats.islandFlicker.Add(1)
 		}
 		fw.prevIndex = fw.menu.Cursor()
 		fw.menu.MoveTo(index)
-		fw.stats.ScrollEvents++
+		fw.stats.scrollEvents.Add(1)
 		fw.noteActivity(now)
 		fw.send(rf.Message{Kind: rf.MsgScroll, Index: int16(index)}, now)
 	}
@@ -298,7 +371,7 @@ func (fw *Firmware) Step(now time.Duration) error {
 	// 5. Debug display and heartbeat on their own cadences.
 	if now-fw.lastDebug >= fw.cfg.DebugPeriod || !fw.started {
 		fw.lastDebug = now
-		if err := fw.drawDebug(v, index); err != nil {
+		if err := fw.drawDebug(v, index, now); err != nil {
 			return err
 		}
 	}
@@ -318,7 +391,7 @@ func (fw *Firmware) handleSelect(now time.Duration, b buttons.ID) error {
 	case err == nil:
 		// Descended into a submenu: the level size changed, so the island
 		// mapping is rebuilt for the new entry count.
-		fw.stats.LevelChanges++
+		fw.stats.levelChanges.Add(1)
 		fw.send(rf.Message{Kind: rf.MsgLevel, Index: int16(fw.menu.Depth())}, now)
 		if err := fw.rebuildMapper(); err != nil {
 			return err
@@ -326,7 +399,7 @@ func (fw *Firmware) handleSelect(now time.Duration, b buttons.ID) error {
 		fw.lastTopWin = nil
 		return fw.drawTop()
 	case errors.Is(err, menu.ErrLeaf):
-		fw.stats.SelectEvents++
+		fw.stats.selectEvents.Add(1)
 		fw.send(rf.Message{
 			Kind:   rf.MsgSelect,
 			Index:  int16(fw.menu.Cursor()),
@@ -347,7 +420,7 @@ func (fw *Firmware) handleBack(now time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("firmware: back: %w", err)
 	}
-	fw.stats.LevelChanges++
+	fw.stats.levelChanges.Add(1)
 	fw.send(rf.Message{Kind: rf.MsgLevel, Index: int16(fw.menu.Depth())}, now)
 	if err := fw.rebuildMapper(); err != nil {
 		return err
@@ -365,7 +438,7 @@ func (fw *Firmware) drawTop() error {
 	if equalLines(win, fw.lastTopWin) {
 		return nil
 	}
-	fw.stats.DisplayWrites++
+	fw.stats.displayWrites.Add(1)
 	if err := fw.board.Bus.Write(smartits.AddrTopDisplay, []byte{display.CmdClear}); err != nil {
 		fw.health.displayErrs++
 		fw.lastTopWin = nil
@@ -386,11 +459,12 @@ func (fw *Firmware) drawTop() error {
 // drawDebug writes "additional state information" to the bottom display
 // (paper Figure 1), as the study used it: filtered voltage, island index,
 // menu depth/cursor and battery level.
-func (fw *Firmware) drawDebug(v float64, island int) error {
+func (fw *Firmware) drawDebug(v float64, island int, now time.Duration) error {
 	battCode, err := fw.board.ADC.Read(smartits.ChanBattery)
 	if err != nil {
 		return fmt.Errorf("firmware: battery: %w", err)
 	}
+	fw.stats.adcReads.Add(1)
 	batt := fw.board.ADC.Voltage(battCode) * 2 // undo divider
 	fw.updateBattery(batt)
 	statusLine := "bat=" + strconv.FormatFloat(batt, 'f', 1, 64) + "V"
@@ -415,7 +489,7 @@ func (fw *Firmware) drawDebug(v float64, island int) error {
 		"lvl=" + strconv.Itoa(fw.menu.Depth()) + " cur=" + strconv.Itoa(fw.menu.Cursor()),
 		statusLine,
 	}
-	fw.stats.DisplayWrites++
+	fw.stats.displayWrites.Add(1)
 	for i, line := range lines {
 		cmd := append([]byte{display.CmdSetLine, byte(i)}, line...)
 		if err := fw.board.Bus.Write(smartits.AddrBottomDisplay, cmd); err != nil {
@@ -423,13 +497,15 @@ func (fw *Firmware) drawDebug(v float64, island int) error {
 			break
 		}
 	}
+	// The state frame carries the real cycle tick like every other message
+	// so the host can measure end-to-end pipeline latency from it.
 	fw.send(rf.Message{
 		Kind:      rf.MsgState,
 		VoltageMV: uint16(v * 1000),
 		Island:    int16(island),
 		Index:     int16(fw.menu.Cursor()),
 		Context:   fw.contextByte(),
-	}, 0)
+	}, now)
 	return nil
 }
 
@@ -443,12 +519,14 @@ func (fw *Firmware) send(m rf.Message, now time.Duration) {
 	m.AtMillis = uint32(now / time.Millisecond)
 	payload, err := m.MarshalBinary()
 	if err != nil {
-		fw.stats.TxErrors++
+		fw.stats.txErrors.Add(1)
 		return
 	}
 	if _, err := fw.tx.Send(payload); err != nil {
-		fw.stats.TxErrors++
+		fw.stats.txErrors.Add(1)
+		return
 	}
+	fw.stats.framesSent.Add(1)
 }
 
 func equalLines(a, b []string) bool {

@@ -86,7 +86,7 @@ func (fw *Firmware) updatePower(now time.Duration) {
 // DutyFactor estimates the sensing duty relative to always-active
 // operation, from the cycle counters — the power-budget input.
 func (fw *Firmware) DutyFactor() float64 {
-	total := fw.stats.Cycles
+	total := fw.stats.cycles.Load()
 	if total == 0 {
 		return 1
 	}

@@ -21,6 +21,7 @@ import (
 	"github.com/hcilab/distscroll/internal/menu"
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Step is one scripted action a device performs: reach for a menu entry
@@ -73,6 +74,18 @@ type Config struct {
 	// Workers bounds how many devices simulate concurrently; <= 0 runs
 	// one goroutine per device.
 	Workers int
+	// Metrics instruments the whole fleet: every device's firmware and
+	// link register collectors and the shared hub records per-device
+	// receive counters and end-to-end latency histograms. Nil disables
+	// telemetry at zero cost.
+	Metrics *telemetry.Registry
+	// ReportEvery, with Metrics and OnReport set, emits a registry
+	// snapshot to OnReport on that wall-clock period while RunAll is in
+	// flight, plus one final snapshot when the run completes. Metrics do
+	// not perturb the simulation: device behaviour stays a pure function
+	// of the fleet seed.
+	ReportEvery time.Duration
+	OnReport    func(*telemetry.Snapshot)
 }
 
 // Result is one device's outcome, deterministic given the fleet seed.
@@ -99,10 +112,12 @@ type Totals struct {
 	Delivered uint64
 	Lost      uint64
 	Corrupted uint64
-	Decoded   uint64
-	Events    uint64
-	MissedSeq uint64
-	BadFrames uint64
+	Decoded    uint64
+	Events     uint64
+	MissedSeq  uint64
+	Duplicates uint64
+	Reordered  uint64
+	BadFrames  uint64
 	// VirtualSeconds sums per-device simulated time; FramesPerSecond is
 	// the aggregate decode throughput against that budget.
 	VirtualSeconds  float64
@@ -132,7 +147,7 @@ func New(cfg Config) (*Runner, error) {
 		cfg.Core = core.DefaultConfig()
 	}
 
-	r := &Runner{cfg: cfg, hub: core.NewHub(true)}
+	r := &Runner{cfg: cfg, hub: core.NewHubWithMetrics(true, cfg.Metrics)}
 	master := sim.NewRand(cfg.Seed)
 	for i := 0; i < cfg.Devices; i++ {
 		id := uint32(i + 1)
@@ -140,6 +155,7 @@ func New(cfg Config) (*Runner, error) {
 		c.Seed = master.Uint64()
 		c.DeviceID = id
 		c.Sink = r.hub.Handle
+		c.Metrics = cfg.Metrics
 		// The hub keeps the logs; the per-device host would be a second,
 		// unused copy.
 		c.KeepEventLog = false
@@ -184,6 +200,10 @@ func (r *Runner) RunAll() ([]Result, error) {
 	if workers <= 0 || workers > len(r.devices) {
 		workers = len(r.devices)
 	}
+	var rep *telemetry.Reporter
+	if r.cfg.Metrics != nil && r.cfg.OnReport != nil && r.cfg.ReportEvery > 0 {
+		rep = telemetry.StartReporter(r.cfg.Metrics, r.cfg.ReportEvery, r.cfg.OnReport)
+	}
 	sem := make(chan struct{}, workers)
 	results := make([]Result, len(r.devices))
 	var wg sync.WaitGroup
@@ -197,6 +217,9 @@ func (r *Runner) RunAll() ([]Result, error) {
 		}(i)
 	}
 	wg.Wait()
+	// Stop emits one final snapshot after every device has drained, so the
+	// last report is the complete run.
+	rep.Stop()
 	for _, res := range results {
 		if res.Err != nil {
 			return results, fmt.Errorf("fleet: device %d: %w", res.Device, res.Err)
@@ -249,6 +272,14 @@ func (r *Runner) runDevice(i int) Result {
 		return fail(err)
 	}
 	r.collect(dev, id, &res)
+	// With the channel drained, every frame must be accounted for exactly
+	// once: delivered to the hub, lost on air, or corrupted and rejected
+	// by CRC. A violation means the link or decoder is double- or
+	// under-counting, so surface it as a device error.
+	if s := res.Link; s.Sent != s.Delivered+s.Lost+s.Corrupted {
+		res.Err = fmt.Errorf("loss accounting: sent %d != delivered %d + lost %d + corrupted %d",
+			s.Sent, s.Delivered, s.Lost, s.Corrupted)
+	}
 	return res
 }
 
@@ -281,6 +312,8 @@ func (r *Runner) Total(results []Result) Totals {
 		t.Decoded += res.Host.Decoded
 		t.Events += res.Host.Events
 		t.MissedSeq += res.Host.MissedSeq
+		t.Duplicates += res.Host.Duplicates
+		t.Reordered += res.Host.Reordered
 		t.BadFrames += res.Host.BadFrames
 		t.VirtualSeconds += res.Elapsed.Seconds()
 	}

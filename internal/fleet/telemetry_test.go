@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// TestFleetTelemetrySnapshot runs an instrumented fleet and checks the
+// acceptance contract: per-device frame counters are present and the
+// aggregate end-to-end latency histogram holds exactly one observation per
+// delivered frame.
+func TestFleetTelemetrySnapshot(t *testing.T) {
+	reg := telemetry.New()
+	var (
+		mu      sync.Mutex
+		reports int
+	)
+	r, results := runFleet(t, Config{
+		Devices:     6,
+		Seed:        99,
+		Workers:     3,
+		Metrics:     reg,
+		ReportEvery: time.Millisecond,
+		OnReport: func(*telemetry.Snapshot) {
+			mu.Lock()
+			reports++
+			mu.Unlock()
+		},
+	})
+	totals := r.Total(results)
+
+	mu.Lock()
+	if reports == 0 {
+		t.Fatal("reporter never emitted")
+	}
+	mu.Unlock()
+
+	s := reg.Snapshot()
+	if got := s.Counters[telemetry.MetricRFSent]; got != totals.Sent {
+		t.Fatalf("rf sent %d != totals %d", got, totals.Sent)
+	}
+	if got := s.Counters[telemetry.MetricRFDelivered]; got != totals.Delivered {
+		t.Fatalf("rf delivered %d != totals %d", got, totals.Delivered)
+	}
+	if got := s.Counters[telemetry.MetricHubDecoded]; got != totals.Decoded {
+		t.Fatalf("hub decoded %d != totals %d", got, totals.Decoded)
+	}
+	if got := s.Counters[telemetry.MetricFwCycles]; got == 0 {
+		t.Fatal("firmware cycles not collected")
+	}
+	if got := s.Gauges[telemetry.MetricHubDevices]; got != 6 {
+		t.Fatalf("devices gauge %g, want 6", got)
+	}
+
+	lat, ok := s.Histogram(telemetry.MetricHubE2ELatency)
+	if !ok {
+		t.Fatal("no aggregate latency histogram")
+	}
+	if lat.Count != totals.Delivered {
+		t.Fatalf("latency observations %d != delivered frames %d", lat.Count, totals.Delivered)
+	}
+	// Every device contributed its own series, and they sum to the
+	// aggregate.
+	var perDevice uint64
+	for i := 0; i < r.Len(); i++ {
+		h, ok := s.Histogram(telemetry.DeviceLatencyName(r.ID(i)))
+		if !ok {
+			t.Fatalf("device %d has no latency series", r.ID(i))
+		}
+		perDevice += h.Count
+	}
+	if perDevice != lat.Count {
+		t.Fatalf("per-device observations %d != aggregate %d", perDevice, lat.Count)
+	}
+}
+
+// TestFleetLossAccountingPerDevice pins the drained-channel invariant on
+// every device of a lossy fleet: sent == delivered + lost + corrupted.
+func TestFleetLossAccountingPerDevice(t *testing.T) {
+	_, results := runFleet(t, Config{Devices: 8, Seed: 3, Workers: 4})
+	for _, res := range results {
+		s := res.Link
+		if s.Sent != s.Delivered+s.Lost+s.Corrupted {
+			t.Fatalf("device %d: sent %d != delivered %d + lost %d + corrupted %d",
+				res.Device, s.Sent, s.Delivered, s.Lost, s.Corrupted)
+		}
+		if s.Delivered != res.Host.Decoded {
+			t.Fatalf("device %d: delivered %d != decoded %d", res.Device, s.Delivered, res.Host.Decoded)
+		}
+	}
+}
+
+// TestFleetMetricsPreserveDeterminism re-runs the same seed with and
+// without a registry: the event streams must be identical.
+func TestFleetMetricsPreserveDeterminism(t *testing.T) {
+	cfg := Config{Devices: 4, Seed: 42, Workers: 2}
+	run := func(reg *telemetry.Registry) []string {
+		c := cfg
+		c.Metrics = reg
+		r, _ := runFleet(t, c)
+		keys := make([]string, r.Len())
+		for i := range keys {
+			keys[i] = streamKey(r.Session(i).Events())
+		}
+		return keys
+	}
+	plain := run(nil)
+	instrumented := run(telemetry.New())
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("device %d event stream differs with metrics on", i+1)
+		}
+	}
+}

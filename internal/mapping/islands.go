@@ -78,11 +78,29 @@ type Island struct {
 // Contains reports whether v lies inside the island.
 func (is Island) Contains(v float64) bool { return v >= is.Lo && v <= is.Hi }
 
+// MapStats counts mapping activity. The mapper is single-goroutine (it
+// lives inside one device's firmware), so the counters are plain; the
+// firmware mirrors them into its telemetry registry.
+type MapStats struct {
+	// Lookups counts Map calls.
+	Lookups uint64
+	// Holds counts hysteresis retentions: the voltage left the strict
+	// island bounds but stayed within the widened band, so the selection
+	// held instead of flickering.
+	Holds uint64
+	// Switches counts active-island changes (including entering an island
+	// from the gap).
+	Switches uint64
+	// Misses counts lookups that landed between islands with no selection.
+	Misses uint64
+}
+
 // Mapper maps filtered sensor voltages to entry indices.
 type Mapper struct {
 	cfg     Config
 	islands []Island // sorted by ascending voltage
 	current int      // active island index into islands, -1 when none
+	stats   MapStats
 }
 
 // Validation errors.
@@ -207,11 +225,15 @@ func (m *Mapper) Current() int {
 // "No selection or change happens if the device is held in a distance
 // between two of those islands").
 func (m *Mapper) Map(v float64) (index int, active bool) {
+	m.stats.Lookups++
 	// Hysteresis: stay in the current island while close to it.
 	if m.current >= 0 {
 		is := m.islands[m.current]
 		h := m.cfg.Hysteresis * (is.Hi - is.Lo) / 2
 		if v >= is.Lo-h && v <= is.Hi+h {
+			if v < is.Lo || v > is.Hi {
+				m.stats.Holds++
+			}
 			return is.Index, true
 		}
 	}
@@ -226,13 +248,20 @@ func (m *Mapper) Map(v float64) (index int, active bool) {
 		case v > is.Hi:
 			lo = mid + 1
 		default:
+			if mid != m.current {
+				m.stats.Switches++
+			}
 			m.current = mid
 			return is.Index, true
 		}
 	}
 	m.current = -1
+	m.stats.Misses++
 	return -1, false
 }
+
+// Stats returns the mapping activity counters.
+func (m *Mapper) Stats() MapStats { return m.stats }
 
 // IslandFor returns the island belonging to an entry index.
 func (m *Mapper) IslandFor(index int) (Island, bool) {

@@ -2,9 +2,11 @@ package rf
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // LinkConfig parameterises the channel model.
@@ -40,6 +42,29 @@ type LinkStats struct {
 	Lost      uint64
 	Corrupted uint64
 	Delivered uint64
+	// SentV0 and SentV1 split Sent by payload wire-format version (legacy
+	// device-less v0 vs the fleet's device-tagged v1).
+	SentV0 uint64
+	SentV1 uint64
+}
+
+// linkCounters are the Link's internal counters. They are atomic so a
+// telemetry reporter may snapshot a link mid-run from another goroutine
+// while the owning device goroutine keeps transmitting.
+type linkCounters struct {
+	sent, lost, corrupted, delivered atomic.Uint64
+	sentV0, sentV1                   atomic.Uint64
+}
+
+func (c *linkCounters) stats() LinkStats {
+	return LinkStats{
+		Sent:      c.sent.Load(),
+		Lost:      c.lost.Load(),
+		Corrupted: c.corrupted.Load(),
+		Delivered: c.delivered.Load(),
+		SentV0:    c.sentV0.Load(),
+		SentV1:    c.sentV1.Load(),
+	}
 }
 
 // Link is a unidirectional device→host channel that delivers framed
@@ -51,7 +76,7 @@ type Link struct {
 	rng   *sim.Rand
 	dec   *Decoder
 	sink  func(payload []byte, at time.Duration)
-	stats LinkStats
+	cnt   linkCounters
 	// busyUntil models the half-duplex serialisation of the radio.
 	busyUntil time.Duration
 }
@@ -72,7 +97,19 @@ func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payl
 }
 
 // Stats returns the channel statistics.
-func (l *Link) Stats() LinkStats { return l.stats }
+func (l *Link) Stats() LinkStats { return l.cnt.stats() }
+
+// Collect contributes the link counters to a telemetry snapshot. Many
+// links (one per fleet device) collect into the same fleet-wide names.
+func (l *Link) Collect(s *telemetry.Snapshot) {
+	st := l.Stats()
+	s.AddCounter(telemetry.MetricRFSent, st.Sent)
+	s.AddCounter(telemetry.MetricRFSentV0, st.SentV0)
+	s.AddCounter(telemetry.MetricRFSentV1, st.SentV1)
+	s.AddCounter(telemetry.MetricRFLost, st.Lost)
+	s.AddCounter(telemetry.MetricRFCorrupted, st.Corrupted)
+	s.AddCounter(telemetry.MetricRFDelivered, st.Delivered)
+}
 
 // DecoderStats returns the receive-side decoder statistics.
 func (l *Link) DecoderStats() DecoderStats { return l.dec.Stats() }
@@ -84,7 +121,12 @@ func (l *Link) Send(payload []byte) (time.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("rf: send: %w", err)
 	}
-	l.stats.Sent++
+	l.cnt.sent.Add(1)
+	if len(payload) > 0 && payload[0] == verMagicV1 {
+		l.cnt.sentV1.Add(1)
+	} else {
+		l.cnt.sentV0.Add(1)
+	}
 
 	now := l.sched.Clock().Now()
 	start := now
@@ -105,11 +147,11 @@ func (l *Link) Send(payload []byte) (time.Duration, error) {
 	arrive := l.busyUntil + delay
 
 	if l.rng != nil && l.rng.Bool(l.cfg.LossProb) {
-		l.stats.Lost++
+		l.cnt.lost.Add(1)
 		return arrive, nil
 	}
 	if l.rng != nil && l.rng.Bool(l.cfg.CorruptProb) && len(frame) > 3 {
-		l.stats.Corrupted++
+		l.cnt.corrupted.Add(1)
 		i := 3 + l.rng.Intn(len(frame)-3)
 		frame = append([]byte(nil), frame...)
 		frame[i] ^= 1 << uint(l.rng.Intn(8))
@@ -118,7 +160,7 @@ func (l *Link) Send(payload []byte) (time.Duration, error) {
 	frameCopy := append([]byte(nil), frame...)
 	l.sched.At(arrive, func(at time.Duration) {
 		for _, p := range l.dec.Feed(frameCopy) {
-			l.stats.Delivered++
+			l.cnt.delivered.Add(1)
 			l.sink(p, at)
 		}
 	})

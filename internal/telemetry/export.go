@@ -1,0 +1,313 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Canonical metric names. Units are encoded in the name suffix; histogram
+// bucket bounds are documented next to their default bucket sets below.
+const (
+	// Firmware stage counters (aggregated across every device sharing a
+	// registry).
+	MetricFwCycles          = "fw_cycles_total"
+	MetricFwADCReads        = "fw_adc_reads_total"
+	MetricFwScrollEvents    = "fw_scroll_events_total"
+	MetricFwSelectEvents    = "fw_select_events_total"
+	MetricFwLevelChanges    = "fw_level_changes_total"
+	MetricFwIslandSwitches  = "fw_island_switches_total"
+	MetricFwHysteresisHolds = "fw_hysteresis_holds_total"
+	MetricFwIslandFlicker   = "fw_island_flicker_total"
+	MetricFwFramesSent      = "fw_frames_sent_total"
+	MetricFwTxErrors        = "fw_tx_errors_total"
+	MetricFwDisplayWrites   = "fw_display_writes_total"
+
+	// RF channel counters. The *_v0/_v1 variants split sent frames by wire
+	// format version.
+	MetricRFSent      = "rf_frames_sent_total"
+	MetricRFSentV0    = "rf_frames_sent_v0_total"
+	MetricRFSentV1    = "rf_frames_sent_v1_total"
+	MetricRFLost      = "rf_frames_lost_total"
+	MetricRFCorrupted = "rf_frames_corrupted_total"
+	MetricRFDelivered = "rf_frames_delivered_total"
+
+	// Host hub / session counters.
+	MetricHubDecoded    = "hub_frames_decoded_total"
+	MetricHubEvents     = "hub_events_total"
+	MetricHubBadFrames  = "hub_bad_frames_total"
+	MetricHubSeqGaps    = "hub_seq_gap_frames_total"
+	MetricHubDuplicates = "hub_seq_duplicates_total"
+	MetricHubReordered  = "hub_seq_reordered_total"
+	MetricHubDevices    = "hub_devices"
+
+	// MetricHubE2ELatency is the end-to-end pipeline latency histogram
+	// (firmware sample tick → hub handler dispatch) in milliseconds.
+	// Per-device series carry a {device="N"} label suffix.
+	MetricHubE2ELatency = "hub_e2e_latency_ms"
+	// MetricHubDispatch is the wall-clock handler dispatch time in seconds
+	// (only observed when handlers or taps are registered).
+	MetricHubDispatch = "hub_dispatch_seconds"
+)
+
+// LatencyBucketsMs are the default end-to-end latency bucket bounds in
+// milliseconds, spanning the RF model's base latency (4 ms) plus jitter
+// and 19.2 kbit/s serialisation through retransmission-scale tails.
+var LatencyBucketsMs = []float64{
+	1, 2, 3, 4, 5, 6, 8, 10, 13, 16, 20, 25, 32, 40, 50, 65, 80, 100, 150, 250, 500, 1000,
+}
+
+// DispatchBucketsSec are the default handler dispatch bucket bounds in
+// wall-clock seconds.
+var DispatchBucketsSec = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2,
+}
+
+// DeviceLatencyName returns the per-device end-to-end latency series name,
+// e.g. `hub_e2e_latency_ms{device="7"}`.
+func DeviceLatencyName(device uint32) string {
+	return fmt.Sprintf("%s{device=%q}", MetricHubE2ELatency, fmt.Sprint(device))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket bounds; Counts has one extra
+	// trailing overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Mean returns the mean observed value, 0 when empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the containing bucket, Prometheus-style: the first bucket
+// interpolates from 0, the overflow bucket clamps to the last bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	for i, c := range h.Counts {
+		prev := float64(cum)
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i == len(h.Bounds) {
+			// Overflow bucket: no upper bound to interpolate towards.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - prev) / float64(c)
+		}
+		return lo + (h.Bounds[i]-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// merge folds another snapshot of the same shape into this one.
+func (h *HistogramSnapshot) merge(o HistogramSnapshot) error {
+	if len(h.Bounds) == 0 {
+		*h = o
+		h.Bounds = append([]float64(nil), o.Bounds...)
+		h.Counts = append([]uint64(nil), o.Counts...)
+		return nil
+	}
+	if len(o.Bounds) != len(h.Bounds) || len(o.Counts) != len(h.Counts) {
+		return fmt.Errorf("telemetry: merging histograms with different bucket shapes (%d vs %d bounds)",
+			len(h.Bounds), len(o.Bounds))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	return nil
+}
+
+// Snapshot is a point-in-time, JSON-serialisable view of every instrument
+// in a registry plus everything its collectors contributed.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot ready for collector contributions.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+}
+
+// AddCounter accumulates v onto the named counter (collector API: many
+// devices contribute to one fleet-wide name).
+func (s *Snapshot) AddCounter(name string, v uint64) {
+	s.Counters[name] += v
+}
+
+// SetGauge stores v as the named gauge.
+func (s *Snapshot) SetGauge(name string, v float64) {
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	s.Gauges[name] = v
+}
+
+// MergeHistogram folds a histogram snapshot into the named series, summing
+// bucket counts when the series already exists. Shape mismatches are
+// ignored rather than corrupting the series (they indicate a programming
+// error caught by tests, not a runtime condition worth a panic).
+func (s *Snapshot) MergeHistogram(name string, h HistogramSnapshot) {
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	cur := s.Histograms[name]
+	if err := cur.merge(h); err != nil {
+		return
+	}
+	s.Histograms[name] = cur
+}
+
+// Histogram returns the named histogram series.
+func (s *Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	h, ok := s.Histograms[name]
+	return h, ok
+}
+
+// finalize computes the derived quantiles of every histogram. Called once
+// after all collectors ran, so merged bucket counts are final.
+func (s *Snapshot) finalize() {
+	for name, h := range s.Histograms {
+		h.P50 = h.Quantile(0.50)
+		h.P90 = h.Quantile(0.90)
+		h.P99 = h.Quantile(0.99)
+		s.Histograms[name] = h
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("telemetry: write json: %w", err)
+	}
+	return nil
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, with names sorted for stable output. Series names may embed a
+// label set (`name{device="7"}`); histogram suffixes splice their `le`
+// label into it.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitLabels(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s%s %d\n", base, base, wrapLabels(labels), s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitLabels(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s %g\n", base, base, wrapLabels(labels), s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		base, labels := splitLabels(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = trimFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, wrapLabels(joinLabels(labels, `le="`+le+`"`)), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %g\n", base, wrapLabels(labels), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, wrapLabels(labels), h.Count)
+	}
+
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("telemetry: write prometheus: %w", err)
+	}
+	return nil
+}
+
+// splitLabels splits `name{a="b"}` into base name and inner label list.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}
+
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

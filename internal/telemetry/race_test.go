@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentWriters hammers one registry from 64 goroutines —
+// the fleet's device count — mixing instrument creation, counter/gauge/
+// histogram writes, collector registration and snapshots. Run under -race
+// in CI; the count assertions also catch lost updates.
+func TestRegistryConcurrentWriters(t *testing.T) {
+	const (
+		devices = 64
+		perDev  = 1000
+	)
+	r := New()
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			c := r.Counter("frames_total")
+			h := r.Histogram("lat_ms", LatencyBucketsMs)
+			g := r.Gauge("last_device")
+			for i := 0; i < perDev; i++ {
+				c.Inc()
+				h.Observe(float64(i % 40))
+				g.Set(float64(d))
+				if i%100 == 0 {
+					// Interleave snapshots with writes.
+					_ = r.Snapshot()
+				}
+			}
+			r.RegisterCollector(func(s *Snapshot) { s.AddCounter("collected_total", 1) })
+		}(d)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counters["frames_total"]; got != devices*perDev {
+		t.Fatalf("lost counter updates: %d, want %d", got, devices*perDev)
+	}
+	h := s.Histograms["lat_ms"]
+	if h.Count != devices*perDev {
+		t.Fatalf("lost histogram updates: %d, want %d", h.Count, devices*perDev)
+	}
+	// Sum of 0..39 repeated: 64 devices * 25 reps * 780.
+	if want := float64(devices * perDev / 40 * 780); h.Sum != want {
+		t.Fatalf("histogram sum %g, want %g (CAS races)", h.Sum, want)
+	}
+	if got := s.Counters["collected_total"]; got != devices {
+		t.Fatalf("collectors ran %d times, want %d", got, devices)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // Sample is one distance observation.
@@ -35,6 +36,12 @@ type Trace struct {
 	SamplePeriodMs int64    `json:"samplePeriodMs"`
 	Samples        []Sample `json:"samples"`
 	Events         []Event  `json:"events"`
+	// Telemetry is the metrics snapshot taken when the recording stopped,
+	// nil for uninstrumented sessions. Persisting it beside the samples
+	// lets two recordings of the same scenario — say, before and after a
+	// firmware change — be compared counter by counter and latency
+	// distribution by latency distribution.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // Validation errors.
@@ -92,10 +99,16 @@ func Load(r io.Reader) (*Trace, error) {
 
 // Recorder captures a live session from a device.
 type Recorder struct {
-	trace  *Trace
-	cancel func()
-	done   bool
+	trace   *Trace
+	cancel  func()
+	done    bool
+	metrics *telemetry.Registry
 }
+
+// AttachMetrics makes Stop embed a snapshot of the registry in the trace.
+// Call it before Stop, typically right after Record with the same registry
+// the device was assembled with.
+func (r *Recorder) AttachMetrics(reg *telemetry.Registry) { r.metrics = reg }
 
 // Record starts recording the device's distance signal at the given period
 // and taps every host event. Stop finishes the recording.
@@ -147,6 +160,9 @@ func (r *Recorder) Stop() *Trace {
 		if r.cancel != nil {
 			r.cancel()
 		}
+		if r.metrics != nil {
+			r.trace.Telemetry = r.metrics.Snapshot()
+		}
 	}
 	return r.trace
 }
@@ -182,4 +198,34 @@ func (t *Trace) CountKind(kind string) int {
 		}
 	}
 	return n
+}
+
+// LatencyShift compares the named latency histogram between two recorded
+// sessions — typically the same scenario on two firmware builds — and
+// returns the p50 difference (b minus a) in the histogram's unit. It
+// returns false when either trace lacks telemetry or the series.
+func LatencyShift(a, b *Trace, name string) (float64, bool) {
+	ha, okA := histogramOf(a, name)
+	hb, okB := histogramOf(b, name)
+	if !okA || !okB {
+		return 0, false
+	}
+	return hb.P50 - ha.P50, true
+}
+
+// CounterShift compares a named counter between two recorded sessions and
+// returns the difference (b minus a). Missing telemetry reports false; a
+// missing counter reads as zero, so a counter new in build b still diffs.
+func CounterShift(a, b *Trace, name string) (int64, bool) {
+	if a.Telemetry == nil || b.Telemetry == nil {
+		return 0, false
+	}
+	return int64(b.Telemetry.Counters[name]) - int64(a.Telemetry.Counters[name]), true
+}
+
+func histogramOf(t *Trace, name string) (telemetry.HistogramSnapshot, bool) {
+	if t.Telemetry == nil {
+		return telemetry.HistogramSnapshot{}, false
+	}
+	return t.Telemetry.Histogram(name)
 }

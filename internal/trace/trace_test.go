@@ -9,6 +9,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 func newDev(t *testing.T, seed uint64) *core.Device {
@@ -155,5 +156,96 @@ func TestReplayValidatesTrace(t *testing.T) {
 func TestRecordValidation(t *testing.T) {
 	if _, err := Record(nil, "x", 1, 0); err == nil {
 		t.Fatal("nil device accepted")
+	}
+}
+
+// recordInstrumented captures a session from a metrics-equipped device and
+// embeds the telemetry snapshot in the trace.
+func recordInstrumented(t *testing.T, seed uint64) *Trace {
+	t.Helper()
+	reg := telemetry.New()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Metrics = reg
+	dev, err := core.NewDevice(cfg, menu.FlatMenu(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dev.Stop)
+	rec, err := Record(dev, "instrumented", seed, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.AttachMetrics(reg)
+	dev.SetDistance(26)
+	if err := dev.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDistance(8)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Stop()
+}
+
+func TestRecorderEmbedsTelemetrySnapshot(t *testing.T) {
+	tr := recordInstrumented(t, 5)
+	if tr.Telemetry == nil {
+		t.Fatal("no telemetry in trace")
+	}
+	if tr.Telemetry.Counters[telemetry.MetricFwCycles] == 0 {
+		t.Fatal("telemetry snapshot empty")
+	}
+	if _, ok := tr.Telemetry.Histogram(telemetry.MetricHubE2ELatency); !ok {
+		t.Fatal("no latency histogram in trace telemetry")
+	}
+
+	// The snapshot must survive the JSON round trip with its quantiles.
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := back.Telemetry.Histogram(telemetry.MetricHubE2ELatency)
+	if !ok || h.Count == 0 || h.P50 <= 0 {
+		t.Fatalf("telemetry lost in round trip: ok=%v %+v", ok, h)
+	}
+
+	// An uninstrumented trace omits the field entirely.
+	plain := record(t, 5)
+	buf.Reset()
+	if err := plain.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"telemetry"`) {
+		t.Fatal("uninstrumented trace serialised a telemetry field")
+	}
+}
+
+func TestLatencyAndCounterShiftAcrossBuilds(t *testing.T) {
+	a := recordInstrumented(t, 5)
+	b := recordInstrumented(t, 6)
+	shift, ok := LatencyShift(a, b, telemetry.MetricHubE2ELatency)
+	if !ok {
+		t.Fatal("latency shift unavailable on instrumented traces")
+	}
+	ha, _ := a.Telemetry.Histogram(telemetry.MetricHubE2ELatency)
+	hb, _ := b.Telemetry.Histogram(telemetry.MetricHubE2ELatency)
+	if want := hb.P50 - ha.P50; shift != want {
+		t.Fatalf("shift %g, want %g", shift, want)
+	}
+	if d, ok := CounterShift(a, b, telemetry.MetricFwCycles); !ok || d == 0 && a.Telemetry.Counters[telemetry.MetricFwCycles] != b.Telemetry.Counters[telemetry.MetricFwCycles] {
+		t.Fatalf("counter shift: ok=%v d=%d", ok, d)
+	}
+
+	plain := record(t, 5)
+	if _, ok := LatencyShift(plain, b, telemetry.MetricHubE2ELatency); ok {
+		t.Fatal("latency shift reported without telemetry")
+	}
+	if _, ok := CounterShift(plain, b, telemetry.MetricFwCycles); ok {
+		t.Fatal("counter shift reported without telemetry")
 	}
 }

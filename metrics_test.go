@@ -1,0 +1,107 @@
+package distscroll
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWithMetricsSingleDevice(t *testing.T) {
+	m := NewMetrics()
+	dev, err := New(WithEntries(10), WithSeed(3), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	s := m.Snapshot()
+	if s.Counters["fw_cycles_total"] == 0 {
+		t.Fatal("no firmware cycles recorded")
+	}
+	sent, delivered, _ := dev.LinkStats()
+	if got := s.Counters["rf_frames_sent_total"]; got != sent {
+		t.Fatalf("rf sent %d != link stats %d", got, sent)
+	}
+	lat, ok := s.Histogram("hub_e2e_latency_ms")
+	if !ok || lat.Count != delivered {
+		t.Fatalf("latency count %d, want %d delivered", lat.Count, delivered)
+	}
+	if lat.P50 <= 0 {
+		t.Fatalf("p50 %g, want > 0", lat.P50)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["fw_cycles_total"] != s.Counters["fw_cycles_total"] {
+		t.Fatal("JSON round trip lost counters")
+	}
+
+	buf.Reset()
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hub_e2e_latency_ms_bucket") {
+		t.Fatalf("exposition missing latency buckets:\n%s", buf.String())
+	}
+}
+
+func TestWithMetricsFleetReport(t *testing.T) {
+	m := NewMetrics()
+	f, err := NewFleet(4, WithEntries(8), WithSeed(11), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry == nil {
+		t.Fatal("fleet report has no telemetry snapshot")
+	}
+	if got := rep.Telemetry.Counters["rf_frames_sent_total"]; got != rep.Frames {
+		t.Fatalf("telemetry sent %d != report frames %d", got, rep.Frames)
+	}
+	lat, ok := rep.Telemetry.Histogram("hub_e2e_latency_ms")
+	if !ok || lat.Count != rep.Delivered {
+		t.Fatalf("latency count %d, want %d delivered", lat.Count, rep.Delivered)
+	}
+	// Every device contributed a per-device series.
+	for id := uint32(1); id <= 4; id++ {
+		if _, ok := rep.Telemetry.Histogram(`hub_e2e_latency_ms{device="` + string(rune('0'+id)) + `"}`); !ok {
+			t.Fatalf("no latency series for device %d", id)
+		}
+	}
+
+	// A fleet without metrics reports none.
+	f2, err := NewFleet(2, WithEntries(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := f2.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Telemetry != nil {
+		t.Fatal("uninstrumented fleet produced telemetry")
+	}
+}
+
+func TestWithMetricsRejectsNil(t *testing.T) {
+	if _, err := New(WithEntries(5), WithMetrics(nil)); err == nil {
+		t.Fatal("nil metrics accepted")
+	}
+}
