@@ -11,6 +11,7 @@
 //	distscroll-bench -fleet 64       # simulate a 64-device fleet instead
 //	distscroll-bench -fleet 64 -metrics              # + Prometheus dump
 //	distscroll-bench -fleet 64 -metrics-out rep.json # + JSON telemetry
+//	distscroll-bench -fleet 64 -reliable -loss 0.05  # ARQ on a 5%-loss link
 //	distscroll-bench -bench-csv bench.csv            # demux overhead CSV
 package main
 
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/telemetry"
@@ -47,6 +49,11 @@ func run(args []string, stdout io.Writer) error {
 		metrics  = fs.Bool("metrics", false, "instrument the fleet and append a Prometheus-format metrics dump to the report")
 		metOut   = fs.String("metrics-out", "", "write a JSON telemetry report (per-device counters, latency histograms) to this file")
 		benchCSV = fs.String("bench-csv", "", "measure the hub demux hot path plain vs instrumented and write the overhead CSV to this file")
+		reliable = fs.Bool("reliable", false, "wrap every fleet device's RF channel in the ARQ retransmission layer (guaranteed in-order delivery)")
+		loss     = fs.Float64("loss", -1, "override the fleet link loss probability (default: the model's stock loss)")
+		burst    = fs.Float64("burst", 0, "per-frame probability of a burst dropping several consecutive frames")
+		burstLen = fs.Int("burst-len", 0, "frames dropped per burst (0 = model default)")
+		ackLoss  = fs.Float64("ack-loss", 0, "loss probability of the reliable-mode ack back-channel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +77,11 @@ func run(args []string, stdout io.Writer) error {
 			outPath:    *outPath,
 			metrics:    *metrics,
 			metricsOut: *metOut,
+			reliable:   *reliable,
+			loss:       *loss,
+			burst:      *burst,
+			burstLen:   *burstLen,
+			ackLoss:    *ackLoss,
 		}, stdout)
 	}
 
@@ -123,12 +135,26 @@ type fleetOpts struct {
 	outPath          string
 	metrics          bool
 	metricsOut       string
+	reliable         bool
+	loss             float64
+	burst            float64
+	burstLen         int
+	ackLoss          float64
 }
 
 // runFleet simulates n devices concurrently against one hub and prints the
 // per-device and aggregate accounting, optionally with full telemetry.
 func runFleet(o fleetOpts, stdout io.Writer) error {
-	cfg := fleet.Config{Devices: o.devices, Seed: o.seed, Workers: o.workers}
+	cfg := fleet.Config{Devices: o.devices, Seed: o.seed, Workers: o.workers, Reliable: o.reliable}
+	if o.loss >= 0 || o.burst > 0 || o.ackLoss > 0 {
+		cfg.Core = core.DefaultConfig()
+		if o.loss >= 0 {
+			cfg.Core.Link.LossProb = o.loss
+		}
+		cfg.Core.Link.BurstLossProb = o.burst
+		cfg.Core.Link.BurstLossLen = o.burstLen
+		cfg.Core.Link.AckLossProb = o.ackLoss
+	}
 	var reg *telemetry.Registry
 	if o.metrics || o.metricsOut != "" {
 		reg = telemetry.New()
@@ -163,6 +189,10 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 	fmt.Fprintf(&report, "%s\n", strings.Repeat("-", 76))
 	fmt.Fprintf(&report, "frames sent %d, delivered %d, lost %d, corrupted %d, events %d, seq gaps %d\n",
 		tot.Sent, tot.Delivered, tot.Lost, tot.Corrupted, tot.Events, tot.MissedSeq)
+	if o.reliable {
+		fmt.Fprintf(&report, "reliable: retransmits %d, timeouts %d, queue drops %d, acks sent %d (lost %d), stale %d, resyncs %d\n",
+			tot.Retransmits, tot.Timeouts, tot.QueueDrops, tot.AcksSent, tot.AcksLost, tot.Stale, tot.Resyncs)
+	}
 	fmt.Fprintf(&report, "virtual time %.1f s, decode throughput %.1f frames/s\n",
 		tot.VirtualSeconds, tot.FramesPerSecond)
 
@@ -209,6 +239,10 @@ type deviceCounters struct {
 	MissedSeq  uint64 `json:"missedSeq"`
 	Duplicates uint64 `json:"duplicates"`
 	Reordered  uint64 `json:"reordered"`
+	// Reliable-delivery counters, zero without -reliable.
+	Retransmits uint64 `json:"retransmits,omitempty"`
+	AcksSent    uint64 `json:"acksSent,omitempty"`
+	AcksLost    uint64 `json:"acksLost,omitempty"`
 }
 
 // telemetryReport is the -metrics-out document: per-device counters, fleet
@@ -230,15 +264,18 @@ func writeTelemetryJSON(path string, seed uint64, results []fleet.Result, tot fl
 	}
 	for _, res := range results {
 		rep.PerDevice = append(rep.PerDevice, deviceCounters{
-			Device:     res.Device,
-			Sent:       res.Link.Sent,
-			Delivered:  res.Link.Delivered,
-			Lost:       res.Link.Lost,
-			Corrupted:  res.Link.Corrupted,
-			Events:     res.Host.Events,
-			MissedSeq:  res.Host.MissedSeq,
-			Duplicates: res.Host.Duplicates,
-			Reordered:  res.Host.Reordered,
+			Device:      res.Device,
+			Sent:        res.Link.Sent,
+			Delivered:   res.Link.Delivered,
+			Lost:        res.Link.Lost,
+			Corrupted:   res.Link.Corrupted,
+			Events:      res.Host.Events,
+			MissedSeq:   res.Host.MissedSeq,
+			Duplicates:  res.Host.Duplicates,
+			Reordered:   res.Host.Reordered,
+			Retransmits: res.ARQ.Retransmits,
+			AcksSent:    res.Acks.AcksSent,
+			AcksLost:    res.Acks.AcksLost,
 		})
 	}
 	f, err := os.Create(path)

@@ -186,6 +186,41 @@ func WithRadioLink(lossProb float64, latency time.Duration) Option {
 	}
 }
 
+// WithReliableDelivery wraps the RF channel in the ARQ retransmission
+// layer: the host answers every frame with a cumulative ack over a
+// host→device back-channel, unacknowledged frames are retransmitted with
+// exponential backoff, and the event stream arrives complete and in order
+// even on a lossy link. Ignored with WithoutRadio.
+func WithReliableDelivery() Option {
+	return func(c *config) error {
+		c.core.Reliable = true
+		return nil
+	}
+}
+
+// WithLinkFaults injects correlated channel faults on top of the
+// independent per-frame loss of WithRadioLink: burstProb is the per-frame
+// chance to start a burst that drops burstLen consecutive frames (pass 0
+// to disable; burstLen 0 takes the default length), and ackLossProb drops
+// acks on the reverse channel of WithReliableDelivery.
+func WithLinkFaults(burstProb float64, burstLen int, ackLossProb float64) Option {
+	return func(c *config) error {
+		if burstProb < 0 || burstProb > 1 {
+			return fmt.Errorf("distscroll: burst probability %g not in [0,1]", burstProb)
+		}
+		if ackLossProb < 0 || ackLossProb > 1 {
+			return fmt.Errorf("distscroll: ack loss probability %g not in [0,1]", ackLossProb)
+		}
+		if burstLen < 0 {
+			return fmt.Errorf("distscroll: negative burst length %d", burstLen)
+		}
+		c.core.Link.BurstLossProb = burstProb
+		c.core.Link.BurstLossLen = burstLen
+		c.core.Link.AckLossProb = ackLossProb
+		return nil
+	}
+}
+
 // WithoutRadio removes the RF link (pure on-device operation).
 func WithoutRadio() Option {
 	return func(c *config) error {

@@ -49,11 +49,13 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		return nil, errors.New("distscroll: a menu is required (WithMenu or WithEntries)")
 	}
 	runner, err := fleet.New(fleet.Config{
-		Devices: n,
-		Seed:    cfg.core.Seed,
-		Core:    cfg.core,
-		Menu:    func() *menu.Node { return cfg.root.toNode() },
-		Metrics: cfg.core.Metrics,
+		Devices:  n,
+		Seed:     cfg.core.Seed,
+		Core:     cfg.core,
+		Menu:     func() *menu.Node { return cfg.root.toNode() },
+		Metrics:  cfg.core.Metrics,
+		Reliable: cfg.core.Reliable,
+		ARQ:      cfg.core.ARQ,
 	})
 	if err != nil {
 		return nil, err
@@ -86,6 +88,9 @@ type DeviceReport struct {
 	MissedFrames uint64
 	// Sent and Delivered are the device's link-level counters.
 	Sent, Delivered uint64
+	// Retransmits counts extra ARQ transmissions; zero without
+	// WithReliableDelivery.
+	Retransmits uint64
 	// Err is the device's first error, nil on success.
 	Err error
 }
@@ -99,6 +104,11 @@ type FleetReport struct {
 	Frames, Delivered, Lost, Corrupted uint64
 	// Events and MissedFrames sum the hub-side accounting.
 	Events, MissedFrames uint64
+	// Retransmits, Timeouts, QueueDrops, AcksSent, AcksLost and Resyncs
+	// sum the reliable-delivery counters; all zero without
+	// WithReliableDelivery.
+	Retransmits, Timeouts, QueueDrops uint64
+	AcksSent, AcksLost, Resyncs       uint64
 	// VirtualSeconds is the summed simulated time across devices;
 	// FramesPerSecond the aggregate decode throughput against it.
 	VirtualSeconds  float64
@@ -126,6 +136,7 @@ func (f *Fleet) RunAll() (FleetReport, error) {
 			MissedFrames: res.Host.MissedSeq,
 			Sent:         res.Link.Sent,
 			Delivered:    res.Link.Delivered,
+			Retransmits:  res.ARQ.Retransmits,
 			Err:          res.Err,
 		})
 	}
@@ -136,6 +147,12 @@ func (f *Fleet) RunAll() (FleetReport, error) {
 	rep.Corrupted = tot.Corrupted
 	rep.Events = tot.Events
 	rep.MissedFrames = tot.MissedSeq
+	rep.Retransmits = tot.Retransmits
+	rep.Timeouts = tot.Timeouts
+	rep.QueueDrops = tot.QueueDrops
+	rep.AcksSent = tot.AcksSent
+	rep.AcksLost = tot.AcksLost
+	rep.Resyncs = tot.Resyncs
 	rep.VirtualSeconds = tot.VirtualSeconds
 	rep.FramesPerSecond = tot.FramesPerSecond
 	if f.metrics != nil {

@@ -36,6 +36,16 @@ type Config struct {
 	// default lossy rf.Link — e.g. an rf.Pipe for an ideal in-process
 	// channel, or a real network backend.
 	Transport func(sched *sim.Scheduler, rng *sim.Rand, sink func(payload []byte, at time.Duration)) (rf.Transport, error)
+	// Reliable wraps the device→host channel in the ARQ retransmission
+	// layer and opens the host→device ack back-channel (rf.ReverseLink),
+	// guaranteeing in-order delivery across a lossy link. For the classic
+	// single-device wiring the device's own Host is switched into reliable
+	// receive mode automatically; a fleet wires the shared Hub's sessions
+	// instead (see fleet.New). Ignored without a radio.
+	Reliable bool
+	// ARQ tunes the reliable-delivery layer; zero fields take defaults.
+	// Only meaningful with Reliable set.
+	ARQ rf.ARQConfig
 	// Metrics, when set, instruments the assembled device: the firmware
 	// and link register pull collectors, and — for the classic wiring
 	// where the device's own Host consumes frames — the host records
@@ -69,8 +79,13 @@ type Device struct {
 	// the transport is the default lossy RF model, nil otherwise.
 	Transport rf.Transport
 	Link      *rf.Link
-	Host      *Host
-	Menu      *menu.Menu
+	// ARQ and Reverse are the reliable-delivery sender and the ack
+	// back-channel; nil unless the device was assembled with
+	// Config.Reliable.
+	ARQ     *rf.ARQ
+	Reverse *rf.ReverseLink
+	Host    *Host
+	Menu    *menu.Menu
 
 	tickCancel func()
 	stepErr    error
@@ -134,6 +149,30 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 			d.Transport = link
 			tx = link
 		}
+		if cfg.Reliable {
+			// The ARQ wraps the channel and the ReverseLink closes the ack
+			// loop. Both draw from their own derived random streams, taken
+			// after the link's, so a non-reliable assembly sees exactly the
+			// same streams as before.
+			arq, err := rf.NewARQ(cfg.ARQ, sched, rng.Split(), tx)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			rev, err := rf.NewReverseLink(cfg.Link, sched, rng.Split(), arq.HandleAck)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			d.ARQ = arq
+			d.Reverse = rev
+			tx = arq
+			if cfg.Sink == nil {
+				// Classic wiring: this device's own Host receives the
+				// stream, so it also emits the acks. Fleet hubs wire their
+				// sessions through Device.Reverse instead.
+				devID := cfg.DeviceID
+				d.Host.EnableReliable(func(cum uint16) { rev.SendAck(devID, cum) })
+			}
+		}
 	}
 
 	cfg.Firmware.DeviceID = cfg.DeviceID
@@ -146,6 +185,12 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 		cfg.Metrics.RegisterCollector(fw.Collect)
 		if d.Link != nil {
 			cfg.Metrics.RegisterCollector(d.Link.Collect)
+		}
+		if d.ARQ != nil {
+			cfg.Metrics.RegisterCollector(d.ARQ.Collect)
+		}
+		if d.Reverse != nil {
+			cfg.Metrics.RegisterCollector(d.Reverse.Collect)
 		}
 	}
 

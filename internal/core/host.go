@@ -48,6 +48,15 @@ type HostStats struct {
 	// Reordered counts frames arriving with an older sequence number (a
 	// wrapping gap of 0x8000 or more), which are late, not lost.
 	Reordered uint64
+	// Stale, AheadDrops and Resyncs only move in reliable (ARQ) mode:
+	// Stale counts retransmit duplicates of already-consumed frames,
+	// AheadDrops frames deferred because a predecessor was still in flight,
+	// and Resyncs sender-announced skip notices (rf.MsgSkip) admitted past
+	// holes the sender permanently abandoned (each admitted skip also adds
+	// the hole's width to MissedSeq).
+	Stale      uint64
+	AheadDrops uint64
+	Resyncs    uint64
 }
 
 // Host is the PC side of a single-device link: a thin wrapper around one

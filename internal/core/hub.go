@@ -13,13 +13,16 @@ import (
 type HubStats struct {
 	// Devices is the number of known device sessions.
 	Devices int
-	// Decoded, Events, MissedSeq, Duplicates and Reordered sum the
-	// per-device session counters.
+	// Decoded, Events, MissedSeq, Duplicates, Reordered, Stale, AheadDrops
+	// and Resyncs sum the per-device session counters.
 	Decoded    uint64
 	Events     uint64
 	MissedSeq  uint64
 	Duplicates uint64
 	Reordered  uint64
+	Stale      uint64
+	AheadDrops uint64
+	Resyncs    uint64
 	// BadFrames counts payloads that failed to decode; they carry no
 	// readable device id, so they are attributed to the hub itself.
 	BadFrames uint64
@@ -151,6 +154,9 @@ func (h *Hub) Stats() HubStats {
 		agg.MissedSeq += st.MissedSeq
 		agg.Duplicates += st.Duplicates
 		agg.Reordered += st.Reordered
+		agg.Stale += st.Stale
+		agg.AheadDrops += st.AheadDrops
+		agg.Resyncs += st.Resyncs
 		agg.BadFrames += st.BadFrames
 	}
 	return agg

@@ -32,6 +32,19 @@ type Session struct {
 	events  []Event // retained log for tests, replay and the study harness
 	keepLog bool
 
+	// Reliable (ARQ) receive state. With reliable set, frames are admitted
+	// strictly in sequence order starting at seq 0, every frame is answered
+	// with a cumulative ack through ackFn, and retransmit duplicates are
+	// dropped. When the sender abandons frames (queue overflow or retry
+	// budget) it announces the hole with an explicit rf.MsgSkip notice
+	// occupying the abandoned range, so the receiver advances past gaps
+	// with certainty instead of inferring them from retransmission
+	// patterns — an inference that go-back-N makes unsound, since a
+	// repeated ahead frame may simply be a twice-lost window base.
+	reliable bool
+	ackFn    func(cum uint16)
+	awaitSeq uint16
+
 	// lat records per-frame end-to-end pipeline latency (device stamp →
 	// host arrival, milliseconds). It is a LocalHistogram synchronised by
 	// s.mu — which Consume already holds — so the instrumented hot path
@@ -51,6 +64,81 @@ func NewSession(device uint32, keepLog bool) *Session {
 
 // Device returns the device id this session tracks.
 func (s *Session) Device() uint32 { return s.device }
+
+// EnableReliable switches the session into reliable (ARQ) receive mode:
+// frames are admitted strictly in sequence order starting at seq 0 (the
+// firmware's initial sequence number) and every frame — accepted or dropped
+// — is answered by passing the cumulative ack to ack, which typically feeds
+// an rf.ReverseLink. Call before any frame flows.
+func (s *Session) EnableReliable(ack func(cum uint16)) {
+	s.mu.Lock()
+	s.reliable = true
+	s.ackFn = ack
+	s.awaitSeq = 0
+	s.mu.Unlock()
+}
+
+// admitLocked decides whether a reliable-mode frame enters the pipeline.
+// Caller holds s.mu. It returns false for frames that must be dropped
+// (stale retransmits, ahead-of-sequence arrivals); either way the caller
+// re-acks the cumulative position afterwards.
+func (s *Session) admitLocked(seq uint16) bool {
+	switch {
+	case seq == s.awaitSeq:
+		// In order: the common case.
+	case seq-s.awaitSeq >= 0x8000:
+		// Already consumed — a retransmit whose ack was lost or late. The
+		// re-ack the caller sends repairs the sender's view.
+		s.stats.Stale++
+		return false
+	default:
+		// Ahead of sequence: a predecessor is still in flight (or lost and
+		// awaiting retransmission — go-back-N resends it before this frame)
+		// or was abandoned, in which case the sender's MsgSkip notice
+		// precedes this frame in the stream. Either way, defer: the stream
+		// is seq-contiguous by construction, so the awaited position always
+		// arrives eventually. Never guess.
+		s.stats.AheadDrops++
+		return false
+	}
+	s.awaitSeq = seq + 1
+	s.lastSeq = seq
+	s.haveSeq = true
+	return true
+}
+
+// consumeSkipLocked admits a sender abandonment notice: the sender dropped
+// the count consecutive sequence numbers ending at m.Seq (queue overflow or
+// retry budget) and will never transmit them. Caller holds s.mu; the caller
+// re-acks the cumulative position afterwards either way.
+func (s *Session) consumeSkipLocked(m rf.Message) {
+	count := uint16(m.Index)
+	if count == 0 || count >= 0x8000 {
+		// A skip covering half the sequence space (or nothing) is
+		// malformed — no wrapping comparison can place it.
+		s.stats.BadFrames++
+		return
+	}
+	last := m.Seq
+	first := last - count + 1
+	switch {
+	case last-s.awaitSeq >= 0x8000:
+		// The whole range is already behind us — a retransmitted notice
+		// whose ack was lost. The re-ack repairs the sender's view.
+		s.stats.Stale++
+	case s.awaitSeq-first >= 0x8000:
+		// The notice is ahead of sequence: frames before the hole are still
+		// in flight. Go-back-N resends them first; defer.
+		s.stats.AheadDrops++
+	default:
+		// awaitSeq falls inside [first, last]: everything up to and
+		// including last is abandoned. Advance past the hole, counting the
+		// loss exactly.
+		s.stats.MissedSeq += uint64(last - s.awaitSeq + 1)
+		s.stats.Resyncs++
+		s.awaitSeq = last + 1
+	}
+}
 
 // attachMetrics equips the session with a latency histogram and a shared
 // dispatch-time histogram from the registry. Call before frames flow.
@@ -86,6 +174,9 @@ func collectSession(s *Session, snap *telemetry.Snapshot) {
 	snap.AddCounter(telemetry.MetricHubSeqGaps, st.MissedSeq)
 	snap.AddCounter(telemetry.MetricHubDuplicates, st.Duplicates)
 	snap.AddCounter(telemetry.MetricHubReordered, st.Reordered)
+	snap.AddCounter(telemetry.MetricHubStale, st.Stale)
+	snap.AddCounter(telemetry.MetricHubAheadDrops, st.AheadDrops)
+	snap.AddCounter(telemetry.MetricHubResyncs, st.Resyncs)
 	if h, ok := s.latencySnapshot(); ok {
 		snap.MergeHistogram(telemetry.DeviceLatencyName(s.Device()), h)
 		snap.MergeHistogram(telemetry.MetricHubE2ELatency, h)
@@ -150,7 +241,30 @@ func (s *Session) Handle(payload []byte, at time.Duration) {
 func (s *Session) Consume(m rf.Message, at time.Duration) {
 	s.mu.Lock()
 	s.stats.Decoded++
-	if s.haveSeq {
+	var ack func(cum uint16)
+	var cum uint16
+	if s.reliable {
+		if m.Kind == rf.MsgSkip {
+			// A sender abandonment notice advances the sequence position
+			// but carries no event; ack the new position and stop.
+			s.consumeSkipLocked(m)
+			ack, cum = s.ackFn, s.awaitSeq-1
+			s.mu.Unlock()
+			if ack != nil {
+				ack(cum)
+			}
+			return
+		}
+		admitted := s.admitLocked(m.Seq)
+		ack, cum = s.ackFn, s.awaitSeq-1
+		if !admitted {
+			s.mu.Unlock()
+			if ack != nil {
+				ack(cum)
+			}
+			return
+		}
+	} else if s.haveSeq {
 		// Wrapping diff: a gap below 0x8000 is frames lost on air; at or
 		// above it the frame is a late reordering, not a loss.
 		switch gap := m.Seq - s.lastSeq; {
@@ -199,6 +313,13 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 		handler = s.onState
 	}
 	s.mu.Unlock()
+
+	// The cumulative ack goes out after the lock is released: the ack path
+	// (ReverseLink → ARQ) runs on the sending device's scheduler and must
+	// not re-enter session state under our mutex.
+	if ack != nil {
+		ack(cum)
+	}
 
 	// Handlers run outside the lock so they may call back into the
 	// session (Stats, Events) without deadlocking. Dispatch time is only

@@ -522,7 +522,14 @@ func (fw *Firmware) send(m rf.Message, now time.Duration) {
 		fw.stats.txErrors.Add(1)
 		return
 	}
-	if _, err := fw.tx.Send(payload); err != nil {
+	// MarshalBinary always emits the v1 layout; tell the transport so its
+	// sent-by-version accounting never has to sniff payload bytes.
+	if vs, ok := fw.tx.(rf.VersionedSender); ok {
+		_, err = vs.SendTagged(payload, rf.PayloadV1)
+	} else {
+		_, err = fw.tx.Send(payload)
+	}
+	if err != nil {
 		fw.stats.txErrors.Add(1)
 		return
 	}

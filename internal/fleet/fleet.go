@@ -74,6 +74,14 @@ type Config struct {
 	// Workers bounds how many devices simulate concurrently; <= 0 runs
 	// one goroutine per device.
 	Workers int
+	// Reliable wraps every device's RF channel in the ARQ retransmission
+	// layer and wires the hub sessions to emit cumulative acks over each
+	// device's ReverseLink, so every event stream arrives complete and in
+	// order even on a lossy channel.
+	Reliable bool
+	// ARQ tunes the reliable-delivery layer (window, timeouts, backoff);
+	// zero fields take defaults. Only meaningful with Reliable set.
+	ARQ rf.ARQConfig
 	// Metrics instruments the whole fleet: every device's firmware and
 	// link register collectors and the shared hub records per-device
 	// receive counters and end-to-end latency histograms. Nil disables
@@ -100,24 +108,38 @@ type Result struct {
 	Host core.HostStats
 	// Link is the device's channel accounting (sent/delivered/lost).
 	Link rf.LinkStats
+	// ARQ and Acks are the reliable-delivery accounting; zero-valued
+	// unless the fleet ran with Config.Reliable.
+	ARQ  rf.ARQStats
+	Acks rf.ReverseStats
 	// Elapsed is the virtual time the device simulated.
 	Elapsed time.Duration
 }
 
 // Totals aggregates a fleet run.
 type Totals struct {
-	Devices   int
-	Errors    int
-	Sent      uint64
-	Delivered uint64
-	Lost      uint64
-	Corrupted uint64
+	Devices    int
+	Errors     int
+	Sent       uint64
+	Delivered  uint64
+	Lost       uint64
+	Corrupted  uint64
 	Decoded    uint64
 	Events     uint64
 	MissedSeq  uint64
 	Duplicates uint64
 	Reordered  uint64
 	BadFrames  uint64
+	// Reliable-delivery aggregates (zero without Config.Reliable).
+	Retransmits   uint64
+	Timeouts      uint64
+	QueueDrops    uint64
+	RetryDrops    uint64
+	AcksSent      uint64
+	AcksLost      uint64
+	AcksDelivered uint64
+	Stale         uint64
+	Resyncs       uint64
 	// VirtualSeconds sums per-device simulated time; FramesPerSecond is
 	// the aggregate decode throughput against that budget.
 	VirtualSeconds  float64
@@ -156,6 +178,10 @@ func New(cfg Config) (*Runner, error) {
 		c.DeviceID = id
 		c.Sink = r.hub.Handle
 		c.Metrics = cfg.Metrics
+		if cfg.Reliable {
+			c.Reliable = true
+			c.ARQ = cfg.ARQ
+		}
 		// The hub keeps the logs; the per-device host would be a second,
 		// unused copy.
 		c.KeepEventLog = false
@@ -167,7 +193,15 @@ func New(cfg Config) (*Runner, error) {
 		r.ids = append(r.ids, id)
 		// Pre-register so Devices() iterates in fleet order even for
 		// devices whose first frame arrives late.
-		r.hub.Session(id)
+		sess := r.hub.Session(id)
+		if dev.Reverse != nil {
+			// Close the ack loop: the hub session answers every frame from
+			// this device with a cumulative ack over the device's own
+			// reverse link. The ack runs inside the device's delivery
+			// callback, so the round trip stays on that device's clock.
+			rev := dev.Reverse
+			sess.EnableReliable(func(cum uint16) { rev.SendAck(id, cum) })
+		}
 	}
 	if r.cfg.Script == nil {
 		r.cfg.Script = ScriptFor(r.devices[0].Menu.Len())
@@ -271,6 +305,16 @@ func (r *Runner) runDevice(i int) Result {
 	if err := dev.Run(time.Second); err != nil {
 		return fail(err)
 	}
+	if dev.ARQ != nil {
+		// Reliable drain: keep the clock moving until every outstanding
+		// frame is acked (or abandoned by the retry budget). The bound
+		// comfortably covers MaxRTO-paced retransmits of a full window.
+		for i := 0; i < 40 && dev.ARQ.Outstanding() > 0; i++ {
+			if err := dev.Run(250 * time.Millisecond); err != nil {
+				return fail(err)
+			}
+		}
+	}
 	r.collect(dev, id, &res)
 	// With the channel drained, every frame must be accounted for exactly
 	// once: delivered to the hub, lost on air, or corrupted and rejected
@@ -295,6 +339,12 @@ func (r *Runner) collect(dev *core.Device, id uint32, res *Result) {
 	case *rf.Pipe:
 		res.Link = tr.Stats()
 	}
+	if dev.ARQ != nil {
+		res.ARQ = dev.ARQ.Stats()
+	}
+	if dev.Reverse != nil {
+		res.Acks = dev.Reverse.Stats()
+	}
 }
 
 // Total aggregates per-device results into fleet-wide counters.
@@ -315,6 +365,15 @@ func (r *Runner) Total(results []Result) Totals {
 		t.Duplicates += res.Host.Duplicates
 		t.Reordered += res.Host.Reordered
 		t.BadFrames += res.Host.BadFrames
+		t.Retransmits += res.ARQ.Retransmits
+		t.Timeouts += res.ARQ.Timeouts
+		t.QueueDrops += res.ARQ.QueueDrops
+		t.RetryDrops += res.ARQ.RetryDrops
+		t.AcksSent += res.Acks.AcksSent
+		t.AcksLost += res.Acks.AcksLost
+		t.AcksDelivered += res.Acks.AcksDelivered
+		t.Stale += res.Host.Stale
+		t.Resyncs += res.Host.Resyncs
 		t.VirtualSeconds += res.Elapsed.Seconds()
 	}
 	if t.VirtualSeconds > 0 {

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/core"
+)
+
+// stressCore returns a device template with a hostile channel: 5%
+// independent loss, shadowing bursts, and a lossy ack back-channel.
+func stressCore() core.Config {
+	c := core.DefaultConfig()
+	c.Link.LossProb = 0.05
+	c.Link.BurstLossProb = 0.01
+	c.Link.BurstLossLen = 5
+	c.Link.AckLossProb = 0.05
+	return c
+}
+
+// TestFleetReliableSoak is the lossy soak: a 32-device fleet on the stress
+// channel with ARQ enabled must drain with ZERO sequence gaps at every hub
+// session — reliability turns a 5%-loss channel into a gapless stream — and
+// must visibly have worked for it (losses occurred, retransmits repaired
+// them). CI runs this with the race detector.
+func TestFleetReliableSoak(t *testing.T) {
+	r, err := New(Config{Devices: 32, Seed: 99, Core: stressCore(), Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("device %d: %v", res.Device, res.Err)
+		}
+		if res.Host.MissedSeq != 0 {
+			t.Errorf("device %d: %d sequence gaps under ARQ", res.Device, res.Host.MissedSeq)
+		}
+		if res.Host.Events == 0 {
+			t.Errorf("device %d: no events", res.Device)
+		}
+	}
+	tot := r.Total(results)
+	if tot.MissedSeq != 0 {
+		t.Fatalf("fleet lost %d sequence numbers under ARQ", tot.MissedSeq)
+	}
+	if tot.Lost == 0 {
+		t.Fatal("stress channel lost nothing — the soak exercised no repair")
+	}
+	if tot.Retransmits == 0 {
+		t.Fatal("no retransmissions recorded")
+	}
+	if tot.AcksSent == 0 || tot.AcksLost == 0 {
+		t.Fatalf("ack channel not exercised: sent %d lost %d", tot.AcksSent, tot.AcksLost)
+	}
+	// Every transmission is still accounted exactly once at the link level.
+	if tot.Sent != tot.Delivered+tot.Lost+tot.Corrupted {
+		t.Fatalf("accounting: sent %d != delivered %d + lost %d + corrupted %d",
+			tot.Sent, tot.Delivered, tot.Lost, tot.Corrupted)
+	}
+}
+
+// TestFleetReliableDeterministic re-runs a small reliable fleet and demands
+// bit-identical accounting: the ARQ timers, ack losses and retransmissions
+// all draw from per-device seeded streams.
+func TestFleetReliableDeterministic(t *testing.T) {
+	run := func() []Result {
+		r, err := New(Config{Devices: 4, Seed: 7, Core: stressCore(), Reliable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := r.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Link != b[i].Link || a[i].ARQ != b[i].ARQ || a[i].Acks != b[i].Acks || a[i].Host != b[i].Host {
+			t.Fatalf("device %d diverged:\n  a: link %+v arq %+v\n  b: link %+v arq %+v",
+				a[i].Device, a[i].Link, a[i].ARQ, b[i].Link, b[i].ARQ)
+		}
+	}
+}
+
+// TestFleetUnreliableBaselineLoses pins the contrast: the same stress
+// channel without ARQ must show sequence gaps — otherwise the soak above
+// proves nothing.
+func TestFleetUnreliableBaselineLoses(t *testing.T) {
+	r, err := New(Config{Devices: 8, Seed: 99, Core: stressCore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Total(results)
+	if tot.MissedSeq == 0 {
+		t.Fatal("unreliable fleet on a 5%-loss channel lost nothing — stress config ineffective")
+	}
+	if tot.Retransmits != 0 || tot.AcksSent != 0 {
+		t.Fatalf("reliability counters moved without Reliable: %+v", tot)
+	}
+}
+
+// TestFleetReliableDrainCompletes checks the drain loop actually empties
+// every sender: by the time RunAll returns, no device may have frames still
+// outstanding.
+func TestFleetReliableDrainCompletes(t *testing.T) {
+	r, err := New(Config{Devices: 6, Seed: 3, Core: stressCore(), Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Len(); i++ {
+		dev := r.Device(i)
+		if dev.ARQ == nil {
+			t.Fatalf("device %d assembled without ARQ", r.ID(i))
+		}
+		if n := dev.ARQ.Outstanding(); n != 0 {
+			t.Errorf("device %d: %d frames still outstanding after drain", r.ID(i), n)
+		}
+	}
+}

@@ -18,11 +18,25 @@ type LinkConfig struct {
 	CorruptProb float64
 	// Latency is the base propagation+stack delay.
 	Latency time.Duration
-	// Jitter is the half-width of the uniform latency jitter.
+	// Jitter is the half-width of the uniform latency jitter: the per-frame
+	// delay is Latency + Uniform(-Jitter, +Jitter), clamped to be >= 0, so
+	// the mean delay stays Latency.
 	Jitter time.Duration
 	// BitrateBPS limits throughput; <= 0 means unlimited. The prototype's
 	// Smart-Its RF module runs at 19.2 kbit/s class rates.
 	BitrateBPS int
+	// BurstLossProb is the per-frame probability of entering a loss burst:
+	// the frame and the next BurstLossLen-1 frames are dropped in a row,
+	// modelling shadowing and interference hits rather than independent
+	// per-frame noise. Zero disables burst faults.
+	BurstLossProb float64
+	// BurstLossLen is the number of consecutive frames a burst drops.
+	// Values < 1 default to 4 when bursts are enabled.
+	BurstLossLen int
+	// AckLossProb is the loss probability of the host→device ack
+	// back-channel (ReverseLink). It only matters for reliable (ARQ)
+	// assemblies; the forward data path ignores it.
+	AckLossProb float64
 }
 
 // DefaultLinkConfig is a clean short-range indoor link.
@@ -46,6 +60,8 @@ type LinkStats struct {
 	// device-less v0 vs the fleet's device-tagged v1).
 	SentV0 uint64
 	SentV1 uint64
+	// BurstLost is the subset of Lost dropped by burst faults.
+	BurstLost uint64
 }
 
 // linkCounters are the Link's internal counters. They are atomic so a
@@ -53,7 +69,7 @@ type LinkStats struct {
 // while the owning device goroutine keeps transmitting.
 type linkCounters struct {
 	sent, lost, corrupted, delivered atomic.Uint64
-	sentV0, sentV1                   atomic.Uint64
+	sentV0, sentV1, burstLost        atomic.Uint64
 }
 
 func (c *linkCounters) stats() LinkStats {
@@ -64,6 +80,7 @@ func (c *linkCounters) stats() LinkStats {
 		Delivered: c.delivered.Load(),
 		SentV0:    c.sentV0.Load(),
 		SentV1:    c.sentV1.Load(),
+		BurstLost: c.burstLost.Load(),
 	}
 }
 
@@ -79,6 +96,13 @@ type Link struct {
 	cnt   linkCounters
 	// busyUntil models the half-duplex serialisation of the radio.
 	busyUntil time.Duration
+	// lastArrive makes per-link delivery times monotonic: jitter may draw a
+	// smaller delay for a later frame, but frames on one link must not
+	// overtake each other (Session documents "frames for one device must
+	// arrive in order").
+	lastArrive time.Duration
+	// burstLeft counts the remaining frames of an active loss burst.
+	burstLeft int
 }
 
 // NewLink returns a link delivering decoded payloads to sink. rng may be
@@ -90,8 +114,12 @@ func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payl
 	if sink == nil {
 		return nil, fmt.Errorf("rf: sink is required")
 	}
-	if cfg.LossProb < 0 || cfg.LossProb > 1 || cfg.CorruptProb < 0 || cfg.CorruptProb > 1 {
+	if cfg.LossProb < 0 || cfg.LossProb > 1 || cfg.CorruptProb < 0 || cfg.CorruptProb > 1 ||
+		cfg.BurstLossProb < 0 || cfg.BurstLossProb > 1 || cfg.AckLossProb < 0 || cfg.AckLossProb > 1 {
 		return nil, fmt.Errorf("rf: probabilities must be in [0,1]")
+	}
+	if cfg.BurstLossProb > 0 && cfg.BurstLossLen < 1 {
+		cfg.BurstLossLen = 4
 	}
 	return &Link{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}, nil
 }
@@ -107,6 +135,7 @@ func (l *Link) Collect(s *telemetry.Snapshot) {
 	s.AddCounter(telemetry.MetricRFSentV0, st.SentV0)
 	s.AddCounter(telemetry.MetricRFSentV1, st.SentV1)
 	s.AddCounter(telemetry.MetricRFLost, st.Lost)
+	s.AddCounter(telemetry.MetricRFBurstLost, st.BurstLost)
 	s.AddCounter(telemetry.MetricRFCorrupted, st.Corrupted)
 	s.AddCounter(telemetry.MetricRFDelivered, st.Delivered)
 }
@@ -114,15 +143,25 @@ func (l *Link) Collect(s *telemetry.Snapshot) {
 // DecoderStats returns the receive-side decoder statistics.
 func (l *Link) DecoderStats() DecoderStats { return l.dec.Stats() }
 
-// Send frames and transmits a payload. Returns the time at which delivery
-// (or silent loss) completes.
+// Send frames and transmits a payload, classifying its wire-format version
+// with VersionOf. Returns the time at which delivery (or silent loss)
+// completes.
 func (l *Link) Send(payload []byte) (time.Duration, error) {
+	return l.SendTagged(payload, VersionOf(payload))
+}
+
+// SendTagged frames and transmits a payload whose wire-format version the
+// caller knows. Senders that marshalled the payload themselves (the
+// firmware, the ARQ layer) pass the version explicitly so the sent-by-
+// version split cannot be fooled by payload bytes that merely look like a
+// version magic.
+func (l *Link) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, error) {
 	frame, err := Encode(payload)
 	if err != nil {
 		return 0, fmt.Errorf("rf: send: %w", err)
 	}
 	l.cnt.sent.Add(1)
-	if len(payload) > 0 && payload[0] == verMagicV1 {
+	if ver == PayloadV1 {
 		l.cnt.sentV1.Add(1)
 	} else {
 		l.cnt.sentV0.Add(1)
@@ -140,14 +179,26 @@ func (l *Link) Send(payload []byte) (time.Duration, error) {
 	}
 	l.busyUntil = start + txTime
 
+	// Jitter is centred on Latency (half-width cfg.Jitter) so the mean
+	// delay is exactly cfg.Latency; the draw happens for lost frames too so
+	// the random stream does not depend on the loss outcome.
 	delay := l.cfg.Latency
 	if l.rng != nil && l.cfg.Jitter > 0 {
-		delay += time.Duration(l.rng.Uniform(0, float64(2*l.cfg.Jitter)))
+		delay += time.Duration(l.rng.Uniform(-float64(l.cfg.Jitter), float64(l.cfg.Jitter)))
+		if delay < 0 {
+			delay = 0
+		}
 	}
 	arrive := l.busyUntil + delay
+	// A later frame that drew a smaller jitter must not overtake an earlier
+	// one: clamp to the previous frame's arrival so per-link delivery is
+	// FIFO, as Session's in-order contract requires.
+	if arrive < l.lastArrive {
+		arrive = l.lastArrive
+	}
+	l.lastArrive = arrive
 
-	if l.rng != nil && l.rng.Bool(l.cfg.LossProb) {
-		l.cnt.lost.Add(1)
+	if lost := l.drawLoss(); lost {
 		return arrive, nil
 	}
 	if l.rng != nil && l.rng.Bool(l.cfg.CorruptProb) && len(frame) > 3 {
@@ -165,4 +216,30 @@ func (l *Link) Send(payload []byte) (time.Duration, error) {
 		}
 	})
 	return arrive, nil
+}
+
+// drawLoss applies the loss model to one frame: an active burst swallows it
+// unconditionally, otherwise a fresh burst may start, otherwise the
+// independent per-frame loss probability applies.
+func (l *Link) drawLoss() bool {
+	if l.rng == nil {
+		return false
+	}
+	if l.burstLeft > 0 {
+		l.burstLeft--
+		l.cnt.lost.Add(1)
+		l.cnt.burstLost.Add(1)
+		return true
+	}
+	if l.cfg.BurstLossProb > 0 && l.rng.Bool(l.cfg.BurstLossProb) {
+		l.burstLeft = l.cfg.BurstLossLen - 1
+		l.cnt.lost.Add(1)
+		l.cnt.burstLost.Add(1)
+		return true
+	}
+	if l.rng.Bool(l.cfg.LossProb) {
+		l.cnt.lost.Add(1)
+		return true
+	}
+	return false
 }

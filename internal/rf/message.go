@@ -23,6 +23,18 @@ const (
 	MsgState
 	// MsgHeartbeat is a keep-alive.
 	MsgHeartbeat
+	// MsgAck is the host→device cumulative acknowledgement of the reliable
+	// (ARQ) stream: Seq is the highest sequence number such that every frame
+	// up to and including it has been delivered in order. It travels on the
+	// ReverseLink, never device→host.
+	MsgAck
+	// MsgSkip is the reliable sender's abandonment notice: Seq is the last
+	// and Index the count of consecutive sequence numbers the sender has
+	// dropped (queue overflow or retry budget) and will never transmit. It
+	// is injected into the stream at the hole's position, so the sequence
+	// space stays contiguous and the receiver advances past the hole with
+	// certainty instead of guessing from retransmission patterns.
+	MsgSkip
 )
 
 // String returns the message kind name.
@@ -38,6 +50,10 @@ func (k MsgKind) String() string {
 		return "state"
 	case MsgHeartbeat:
 		return "heartbeat"
+	case MsgAck:
+		return "ack"
+	case MsgSkip:
+		return "skip"
 	default:
 		return fmt.Sprintf("msg(%d)", byte(k))
 	}
@@ -76,8 +92,11 @@ var ErrShortMessage = errors.New("rf: short message")
 // byte and carries no device id; the current (v1) payload is prefixed with
 // a version magic and a big-endian uint32 device id so a host hub can
 // demultiplex a fleet of devices sharing one receiver. The magic byte is
-// chosen well outside the valid kind range (1..5), so the two versions can
-// be told apart from the first payload byte.
+// chosen well outside the valid kind range (1..7), so the two versions can
+// be told apart from the first payload byte — for well-formed traffic. An
+// adversarial v0 payload may still start with the magic byte, which is why
+// VersionOf also checks the payload length and why senders that know their
+// version pass it explicitly (VersionedSender).
 const (
 	// verMagicV1 marks a version-1 payload. It never collides with a v0
 	// payload, whose first byte is a MsgKind.
@@ -86,6 +105,51 @@ const (
 	msgLenV0 = 1 + 2 + 4 + 2 + 2 + 2 + 1 + 1
 	msgLenV1 = 1 + 4 + msgLenV0
 )
+
+// PayloadVersion identifies the wire-format version of a telemetry payload.
+type PayloadVersion uint8
+
+// Payload wire-format versions.
+const (
+	// PayloadV0 is the legacy device-less layout.
+	PayloadV0 PayloadVersion = 0
+	// PayloadV1 is the fleet layout: version magic + device id + v0 body.
+	PayloadV1 PayloadVersion = 1
+)
+
+// VersionOf classifies a payload's wire-format version. Unlike a bare
+// first-byte sniff, it also requires a v1 payload to be long enough to carry
+// the v1 header, so a legacy v0 payload whose first byte happens to equal
+// the version magic is still classified as v0. Senders that marshalled the
+// payload themselves should pass the version explicitly instead (see
+// VersionedSender); VersionOf is the best-effort fallback for opaque
+// payloads.
+func VersionOf(payload []byte) PayloadVersion {
+	if len(payload) >= msgLenV1 && payload[0] == verMagicV1 {
+		return PayloadV1
+	}
+	return PayloadV0
+}
+
+// PayloadSeq extracts the wrapping sequence number from a marshalled
+// telemetry payload without decoding the whole message. It reports false
+// for payloads too short to carry one. The ARQ layer uses it to match
+// cumulative acks against in-flight frames.
+func PayloadSeq(payload []byte) (uint16, bool) {
+	switch VersionOf(payload) {
+	case PayloadV1:
+		return binary.BigEndian.Uint16(payload[6:8]), true
+	default:
+		if len(payload) >= msgLenV0 {
+			return binary.BigEndian.Uint16(payload[1:3]), true
+		}
+		return 0, false
+	}
+}
+
+// seqLE reports a <= b in wrapping uint16 sequence space: the distance from
+// a forward to b is less than half the space.
+func seqLE(a, b uint16) bool { return b-a < 0x8000 }
 
 // MarshalBinary encodes the message into a fixed-size v1 payload carrying
 // the device id.

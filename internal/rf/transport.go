@@ -18,9 +18,19 @@ type Transport interface {
 	Send(payload []byte) (time.Duration, error)
 }
 
+// VersionedSender is implemented by transports that can account the payload
+// wire-format version the caller passes explicitly, instead of sniffing it
+// out of the payload bytes (which an adversarial v0 payload can fool).
+type VersionedSender interface {
+	SendTagged(payload []byte, ver PayloadVersion) (time.Duration, error)
+}
+
 var (
-	_ Transport = (*Link)(nil)
-	_ Transport = (*Pipe)(nil)
+	_ Transport       = (*Link)(nil)
+	_ Transport       = (*Pipe)(nil)
+	_ Transport       = (*ARQ)(nil)
+	_ VersionedSender = (*Link)(nil)
+	_ VersionedSender = (*ARQ)(nil)
 )
 
 // Pipe is an ideal, lossless Transport: every payload is delivered intact

@@ -32,8 +32,24 @@ const (
 	MetricRFSentV0    = "rf_frames_sent_v0_total"
 	MetricRFSentV1    = "rf_frames_sent_v1_total"
 	MetricRFLost      = "rf_frames_lost_total"
+	MetricRFBurstLost = "rf_frames_burst_lost_total"
 	MetricRFCorrupted = "rf_frames_corrupted_total"
 	MetricRFDelivered = "rf_frames_delivered_total"
+
+	// Ack back-channel (ReverseLink) counters for reliable assemblies.
+	MetricRFAcksSent      = "rf_acks_sent_total"
+	MetricRFAcksLost      = "rf_acks_lost_total"
+	MetricRFAcksDelivered = "rf_acks_delivered_total"
+
+	// Reliable-delivery (ARQ) sender counters.
+	MetricARQEnqueued     = "arq_enqueued_frames_total"
+	MetricARQAcked        = "arq_acked_frames_total"
+	MetricARQRetransmits  = "arq_retransmits_total"
+	MetricARQTimeouts     = "arq_timeouts_total"
+	MetricARQAcksReceived = "arq_acks_received_total"
+	MetricARQDupAcks      = "arq_duplicate_acks_total"
+	MetricARQQueueDrops   = "arq_queue_drops_total"
+	MetricARQRetryDrops   = "arq_retry_drops_total"
 
 	// Host hub / session counters.
 	MetricHubDecoded    = "hub_frames_decoded_total"
@@ -43,6 +59,13 @@ const (
 	MetricHubDuplicates = "hub_seq_duplicates_total"
 	MetricHubReordered  = "hub_seq_reordered_total"
 	MetricHubDevices    = "hub_devices"
+
+	// Reliable-receive admission counters: retransmit duplicates dropped,
+	// ahead-of-sequence frames deferred, and forced resyncs past holes the
+	// sender abandoned.
+	MetricHubStale      = "hub_arq_stale_frames_total"
+	MetricHubAheadDrops = "hub_arq_ahead_drops_total"
+	MetricHubResyncs    = "hub_arq_resyncs_total"
 
 	// MetricHubE2ELatency is the end-to-end pipeline latency histogram
 	// (firmware sample tick → hub handler dispatch) in milliseconds.

@@ -1,0 +1,80 @@
+package distscroll
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWithLinkFaultsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"burst prob", WithLinkFaults(1.5, 0, 0)},
+		{"ack loss", WithLinkFaults(0, 0, -0.2)},
+		{"burst len", WithLinkFaults(0.1, -1, 0)},
+	} {
+		if _, err := New(WithEntries(4), tc.opt); err == nil {
+			t.Errorf("%s: invalid option accepted", tc.name)
+		}
+	}
+}
+
+// TestFleetReliableDelivery runs the public reliable path end to end: a
+// fleet on a lossy, bursty channel with ARQ must report zero missed frames
+// while the reliability counters show the repair actually happened.
+func TestFleetReliableDelivery(t *testing.T) {
+	f, err := NewFleet(8,
+		WithEntries(12),
+		WithSeed(5),
+		WithRadioLink(0.05, 4*time.Millisecond),
+		WithLinkFaults(0.01, 4, 0.05),
+		WithReliableDelivery(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissedFrames != 0 {
+		t.Fatalf("missed %d frames under reliable delivery", rep.MissedFrames)
+	}
+	if rep.Lost == 0 {
+		t.Fatal("lossy fleet lost nothing — reliability untested")
+	}
+	if rep.Retransmits == 0 || rep.AcksSent == 0 {
+		t.Fatalf("reliability counters flat: retransmits %d, acks %d", rep.Retransmits, rep.AcksSent)
+	}
+	var devRetransmits uint64
+	for _, d := range rep.Devices {
+		devRetransmits += d.Retransmits
+	}
+	if devRetransmits != rep.Retransmits {
+		t.Fatalf("per-device retransmits %d != aggregate %d", devRetransmits, rep.Retransmits)
+	}
+}
+
+// TestFleetUnreliableStillLossy pins the default: without
+// WithReliableDelivery the same channel shows gaps.
+func TestFleetUnreliableStillLossy(t *testing.T) {
+	f, err := NewFleet(8,
+		WithEntries(12),
+		WithSeed(5),
+		WithRadioLink(0.05, 4*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissedFrames == 0 {
+		t.Fatal("5%-loss fleet reported no missed frames")
+	}
+	if rep.Retransmits != 0 {
+		t.Fatalf("retransmits %d without reliable delivery", rep.Retransmits)
+	}
+}
