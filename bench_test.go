@@ -10,6 +10,8 @@ package distscroll_test
 //	go test -bench=. -benchmem
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -248,6 +250,49 @@ func BenchmarkHubDemuxInstrumented(b *testing.B) {
 	b.ReportMetric(lat.P50, "p50ms")
 }
 
+// BenchmarkHubDemuxParallel measures the hub demux path under concurrency:
+// 64 goroutines — one per simulated device — hammer Handle with their own
+// device's frames, the access pattern a fleet run produces. Before the hub
+// table went read-mostly every call serialised on one global mutex; now the
+// steady state is a lock-free table load plus the device's own session
+// state, which takes no lock at all on the unreliable, uninstrumented path.
+func BenchmarkHubDemuxParallel(b *testing.B) {
+	const devices = 64
+	hub := core.NewHub(false)
+	frames := make([][]byte, devices)
+	for i := range frames {
+		m := rf.Message{
+			Device: uint32(i + 1), Kind: rf.MsgScroll,
+			Seq: 1, AtMillis: 40, Index: int16(i % 10),
+		}
+		payload, err := m.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = payload
+		hub.Session(uint32(i + 1)) // pre-register: measure demux, not creation
+	}
+	if gm := runtime.GOMAXPROCS(0); gm < devices {
+		// One runnable context per device even on small machines, so lock
+		// convoys (a preempted mutex holder blocking 63 peers) are visible.
+		b.SetParallelism((devices + gm - 1) / gm)
+	}
+	var next atomic.Uint32
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := next.Add(1)
+		frame := frames[(id-1)%devices]
+		at := time.Duration(id) * time.Millisecond
+		for pb.Next() {
+			hub.Handle(frame, at)
+		}
+	})
+	b.StopTimer()
+	if st := hub.Stats(); st.BadFrames != 0 || st.Decoded != uint64(b.N) {
+		b.Fatalf("hub stats: %+v, want %d decoded", st, b.N)
+	}
+}
+
 // BenchmarkFleetScroll runs a full 16-device fleet — sensors, firmware,
 // lossy radios and the shared hub — through the scripted menu workload per
 // iteration and reports the simulated decode throughput.
@@ -286,5 +331,36 @@ func BenchmarkA4RFCodec(b *testing.B) {
 		if got := dec.Feed(frame); len(got) != 1 {
 			b.Fatal("frame lost")
 		}
+	}
+}
+
+// BenchmarkFrameRoundTrip is the zero-allocation pipeline end to end:
+// marshal a telemetry message into a reusable payload buffer
+// (Message.AppendBinary), frame it into a reusable frame buffer
+// (AppendEncode), and decode it back through the callback path
+// (Decoder.FeedFunc). This is the per-frame work a device and host pay at
+// steady state; run with -benchmem, the allocs/op column must read 0.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	msg := rf.Message{Device: 9, Kind: rf.MsgScroll, Seq: 7, AtMillis: 1234, Index: 3}
+	dec := rf.NewDecoder()
+	payload := make([]byte, 0, 64)
+	frame := make([]byte, 0, 64)
+	delivered := 0
+	sink := func(p []byte) { delivered++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.Seq = uint16(i)
+		payload = msg.AppendBinary(payload[:0])
+		var err error
+		frame, err = rf.AppendEncode(frame[:0], payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec.FeedFunc(frame, sink)
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d frames, want %d", delivered, b.N)
 	}
 }

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// This file implements -bench-json: the machine-readable perf baseline
+// (BENCH_<pr>.json) behind the zero-allocation frame pipeline. To keep the
+// before/after comparison honest across machines, the "before" numbers are
+// not copied out of an old report — the tool carries a faithful replica of
+// the pre-refactor mutex hub (global lock around the session map, per-
+// session lock around the counters) and measures it live, on the same
+// hardware, in the same process, against the same frames as the current
+// lock-free hub.
+
+// mutexHub replicates the original Hub demux path: every Handle takes one
+// global mutex to route the frame, then the session's own mutex to account
+// it. Under 64 concurrent devices all of them serialise here.
+type mutexHub struct {
+	mu       sync.Mutex
+	sessions map[uint32]*mutexSession
+}
+
+type mutexSession struct {
+	mu                         sync.Mutex
+	decoded, events            uint64
+	missedSeq, dups, reordered uint64
+	lastSeq                    uint16
+	haveSeq                    bool
+}
+
+func newMutexHub() *mutexHub {
+	return &mutexHub{sessions: make(map[uint32]*mutexSession)}
+}
+
+func (h *mutexHub) session(id uint32) *mutexSession {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.sessions[id]
+	if !ok {
+		s = &mutexSession{}
+		h.sessions[id] = s
+	}
+	return s
+}
+
+func (h *mutexHub) handle(payload []byte, at time.Duration) {
+	var m rf.Message
+	if err := m.UnmarshalBinary(payload); err != nil {
+		return
+	}
+	h.mu.Lock()
+	s, ok := h.sessions[m.Device]
+	if !ok {
+		s = &mutexSession{}
+		h.sessions[m.Device] = s
+	}
+	h.mu.Unlock()
+	s.mu.Lock()
+	s.decoded++
+	if s.haveSeq {
+		switch gap := m.Seq - s.lastSeq; {
+		case gap == 0:
+			s.dups++
+		case gap == 1:
+		case gap < 0x8000:
+			s.missedSeq += uint64(gap - 1)
+		default:
+			s.reordered++
+		}
+	}
+	s.lastSeq = m.Seq
+	s.haveSeq = true
+	s.events++
+	s.mu.Unlock()
+}
+
+// benchFrames builds one marshalled v1 frame per device.
+func benchFrames(devices int) [][]byte {
+	frames := make([][]byte, devices)
+	for i := range frames {
+		m := rf.Message{
+			Device: uint32(i + 1), Kind: rf.MsgScroll,
+			Seq: 1, AtMillis: 40, Index: int16(i % 10),
+		}
+		payload, err := m.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		frames[i] = payload
+	}
+	return frames
+}
+
+// parallelism returns the SetParallelism factor that yields one goroutine
+// per simulated device regardless of GOMAXPROCS.
+func parallelism(devices int) int {
+	gm := runtime.GOMAXPROCS(0)
+	if gm >= devices {
+		return 1
+	}
+	return (devices + gm - 1) / gm
+}
+
+const benchDevices = 64
+
+func benchMutexHubSerial() testing.BenchmarkResult {
+	frames := benchFrames(benchDevices)
+	return testing.Benchmark(func(b *testing.B) {
+		hub := newMutexHub()
+		for i := range frames {
+			hub.session(uint32(i + 1))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hub.handle(frames[i%benchDevices], time.Duration(i)*time.Millisecond)
+		}
+	})
+}
+
+func benchMutexHubParallel() testing.BenchmarkResult {
+	frames := benchFrames(benchDevices)
+	return testing.Benchmark(func(b *testing.B) {
+		hub := newMutexHub()
+		for i := range frames {
+			hub.session(uint32(i + 1))
+		}
+		b.SetParallelism(parallelism(benchDevices))
+		var next atomic.Uint32
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := next.Add(1)
+			frame := frames[(id-1)%benchDevices]
+			at := time.Duration(id) * time.Millisecond
+			for pb.Next() {
+				hub.handle(frame, at)
+			}
+		})
+	})
+}
+
+func benchHubSerial() testing.BenchmarkResult {
+	frames := benchFrames(benchDevices)
+	return testing.Benchmark(func(b *testing.B) {
+		hub := core.NewHub(false)
+		for i := range frames {
+			hub.Session(uint32(i + 1))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hub.Handle(frames[i%benchDevices], time.Duration(i)*time.Millisecond)
+		}
+	})
+}
+
+func benchHubParallel() testing.BenchmarkResult {
+	frames := benchFrames(benchDevices)
+	return testing.Benchmark(func(b *testing.B) {
+		hub := core.NewHub(false)
+		for i := range frames {
+			hub.Session(uint32(i + 1))
+		}
+		b.SetParallelism(parallelism(benchDevices))
+		var next atomic.Uint32
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := next.Add(1)
+			frame := frames[(id-1)%benchDevices]
+			at := time.Duration(id) * time.Millisecond
+			for pb.Next() {
+				hub.Handle(frame, at)
+			}
+		})
+	})
+}
+
+func benchFrameRoundTrip() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		msg := rf.Message{Device: 9, Kind: rf.MsgScroll, Seq: 7, AtMillis: 1234, Index: 3}
+		dec := rf.NewDecoder()
+		payload := make([]byte, 0, 64)
+		frame := make([]byte, 0, 64)
+		sink := func(p []byte) {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msg.Seq = uint16(i)
+			payload = msg.AppendBinary(payload[:0])
+			var err error
+			frame, err = rf.AppendEncode(frame[:0], payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec.FeedFunc(frame, sink)
+		}
+	})
+}
+
+// benchEntry is one benchmark's record in the JSON baseline.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+func toEntry(name string, r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchBaseline is the BENCH_<pr>.json document.
+type benchBaseline struct {
+	PR         int          `json:"pr"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Devices    int          `json:"devices"`
+	Before     []benchEntry `json:"before"` // live mutex-hub replica
+	After      []benchEntry `json:"after"`  // current lock-free pipeline
+	// SpeedupSerial/SpeedupParallel are mutex-replica ns/op divided by
+	// lock-free ns/op on the same machine and workload.
+	SpeedupSerial   float64 `json:"speedupSerial"`
+	SpeedupParallel float64 `json:"speedupParallel"`
+}
+
+// writeBenchJSON measures the demux and frame pipeline old vs new and
+// writes the machine-readable baseline.
+func writeBenchJSON(path string) error {
+	oldSerial := benchMutexHubSerial()
+	oldParallel := benchMutexHubParallel()
+	newSerial := benchHubSerial()
+	newParallel := benchHubParallel()
+	roundTrip := benchFrameRoundTrip()
+
+	doc := benchBaseline{
+		PR:         4,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Devices:    benchDevices,
+		Before: []benchEntry{
+			toEntry("MutexHubDemux", oldSerial),
+			toEntry("MutexHubDemuxParallel", oldParallel),
+		},
+		After: []benchEntry{
+			toEntry("HubDemux", newSerial),
+			toEntry("HubDemuxParallel", newParallel),
+			toEntry("FrameRoundTrip", roundTrip),
+		},
+	}
+	if ns := doc.After[0].NsPerOp; ns > 0 {
+		doc.SpeedupSerial = doc.Before[0].NsPerOp / ns
+	}
+	if ns := doc.After[1].NsPerOp; ns > 0 {
+		doc.SpeedupParallel = doc.Before[1].NsPerOp / ns
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	return nil
+}

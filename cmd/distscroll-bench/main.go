@@ -13,6 +13,7 @@
 //	distscroll-bench -fleet 64 -metrics-out rep.json # + JSON telemetry
 //	distscroll-bench -fleet 64 -reliable -loss 0.05  # ARQ on a 5%-loss link
 //	distscroll-bench -bench-csv bench.csv            # demux overhead CSV
+//	distscroll-bench -bench-json BENCH_4.json        # perf baseline, old vs new hub
 package main
 
 import (
@@ -40,20 +41,21 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("distscroll-bench", flag.ContinueOnError)
 	var (
-		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		seed     = fs.Uint64("seed", 1, "master random seed")
-		outPath  = fs.String("o", "", "also write the report to this file")
-		csvDir   = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
-		fleetN   = fs.Int("fleet", 0, "simulate a fleet of N devices against one hub instead of the experiments")
-		fleetWrk = fs.Int("workers", 0, "bound on concurrently simulating fleet devices (0 = one goroutine per device)")
-		metrics  = fs.Bool("metrics", false, "instrument the fleet and append a Prometheus-format metrics dump to the report")
-		metOut   = fs.String("metrics-out", "", "write a JSON telemetry report (per-device counters, latency histograms) to this file")
-		benchCSV = fs.String("bench-csv", "", "measure the hub demux hot path plain vs instrumented and write the overhead CSV to this file")
-		reliable = fs.Bool("reliable", false, "wrap every fleet device's RF channel in the ARQ retransmission layer (guaranteed in-order delivery)")
-		loss     = fs.Float64("loss", -1, "override the fleet link loss probability (default: the model's stock loss)")
-		burst    = fs.Float64("burst", 0, "per-frame probability of a burst dropping several consecutive frames")
-		burstLen = fs.Int("burst-len", 0, "frames dropped per burst (0 = model default)")
-		ackLoss  = fs.Float64("ack-loss", 0, "loss probability of the reliable-mode ack back-channel")
+		runList   = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		seed      = fs.Uint64("seed", 1, "master random seed")
+		outPath   = fs.String("o", "", "also write the report to this file")
+		csvDir    = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
+		fleetN    = fs.Int("fleet", 0, "simulate a fleet of N devices against one hub instead of the experiments")
+		fleetWrk  = fs.Int("workers", 0, "bound on concurrently simulating fleet devices (0 = one goroutine per device)")
+		metrics   = fs.Bool("metrics", false, "instrument the fleet and append a Prometheus-format metrics dump to the report")
+		metOut    = fs.String("metrics-out", "", "write a JSON telemetry report (per-device counters, latency histograms) to this file")
+		benchCSV  = fs.String("bench-csv", "", "measure the hub demux hot path plain vs instrumented and write the overhead CSV to this file")
+		benchJSON = fs.String("bench-json", "", "measure the frame pipeline and hub demux (lock-free vs a mutex-hub replica) and write the JSON perf baseline to this file")
+		reliable  = fs.Bool("reliable", false, "wrap every fleet device's RF channel in the ARQ retransmission layer (guaranteed in-order delivery)")
+		loss      = fs.Float64("loss", -1, "override the fleet link loss probability (default: the model's stock loss)")
+		burst     = fs.Float64("burst", 0, "per-frame probability of a burst dropping several consecutive frames")
+		burstLen  = fs.Int("burst-len", 0, "frames dropped per burst (0 = model default)")
+		ackLoss   = fs.Float64("ack-loss", 0, "loss probability of the reliable-mode ack back-channel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +66,16 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote demux overhead benchmarks to %s\n", *benchCSV)
+		if *fleetN <= 0 && *benchJSON == "" {
+			return nil
+		}
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote perf baseline to %s\n", *benchJSON)
 		if *fleetN <= 0 {
 			return nil
 		}

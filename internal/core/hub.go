@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hcilab/distscroll/internal/rf"
@@ -28,6 +29,35 @@ type HubStats struct {
 	BadFrames uint64
 }
 
+// denseLimit bounds the dense (array-indexed) part of the session table.
+// Fleet ids are small and sequential (1..n), so almost every lookup is one
+// bounds check and one slice index; ids above the limit fall back to a map
+// so a stray 32-bit id cannot balloon the array.
+const denseLimit = 1 << 20
+
+// sessionTable is one immutable snapshot of the hub's device→session
+// routing state. Lookups go through an atomic pointer load, so the demux
+// hot path never takes a lock; registration builds a fresh table and swaps
+// it in (read-mostly copy-on-write — sessions are created once per device
+// and then live for the whole run).
+type sessionTable struct {
+	dense  []*Session          // ids < len(dense), nil when unregistered
+	sparse map[uint32]*Session // ids >= denseLimit (rare)
+}
+
+// lookup returns the session for a device id, or nil.
+func (t *sessionTable) lookup(id uint32) *Session {
+	if id < uint32(len(t.dense)) {
+		return t.dense[id]
+	}
+	if t.sparse == nil {
+		return nil
+	}
+	return t.sparse[id]
+}
+
+var emptyTable = &sessionTable{}
+
 // Hub is the fleet-capable host side: it decodes incoming frames once and
 // demultiplexes them by device id onto per-device Sessions. Sessions are
 // created on demand, so an unknown device showing up on the air gets its
@@ -35,15 +65,19 @@ type HubStats struct {
 // (no device field) land on the device-0 session.
 //
 // A hub is safe for concurrent use by many device goroutines; frames from
-// any single device must arrive in order.
+// any single device must arrive in order. The steady-state demux path is
+// contention-free: an atomic table load, a slice index and the per-device
+// session state — no global lock, so 64 device goroutines demux without
+// serialising, and a corrupt-frame storm only touches an atomic counter.
 type Hub struct {
 	keepLogs bool
 	metrics  *telemetry.Registry
 
-	mu        sync.Mutex
-	sessions  map[uint32]*Session
-	order     []uint32 // ids in registration order, for deterministic iteration
-	badFrames uint64
+	table     atomic.Pointer[sessionTable]
+	badFrames atomic.Uint64
+
+	mu    sync.Mutex // guards table swaps and the registration order
+	order []uint32   // ids in registration order, for deterministic iteration
 }
 
 // NewHub returns an empty hub. With keepLogs set every session retains its
@@ -54,29 +88,36 @@ func NewHub(keepLogs bool) *Hub {
 
 // NewHubWithMetrics returns a hub whose sessions record per-device receive
 // counters and end-to-end latency histograms into the registry. The hub
-// registers one pull collector: snapshots read the session counters under
-// their own locks, so the demux hot path pays nothing beyond the per-frame
+// registers one pull collector: snapshots read the session counters as
+// atomics, so the demux hot path pays nothing beyond the per-frame
 // latency bucket increment. A nil registry yields a plain hub.
 func NewHubWithMetrics(keepLogs bool, reg *telemetry.Registry) *Hub {
-	h := &Hub{keepLogs: keepLogs, metrics: reg, sessions: make(map[uint32]*Session)}
+	h := &Hub{keepLogs: keepLogs, metrics: reg}
+	h.table.Store(emptyTable)
 	if reg != nil {
 		reg.RegisterCollector(h.collect)
 	}
 	return h
 }
 
+// sessions returns every session in registration order.
+func (h *Hub) sessionsInOrder() []*Session {
+	h.mu.Lock()
+	t := h.table.Load()
+	out := make([]*Session, 0, len(h.order))
+	for _, id := range h.order {
+		out = append(out, t.lookup(id))
+	}
+	h.mu.Unlock()
+	return out
+}
+
 // collect contributes every session's counters, the per-device and
 // aggregate latency histograms, and the hub-level gauges to a snapshot.
 func (h *Hub) collect(snap *telemetry.Snapshot) {
-	h.mu.Lock()
-	sessions := make([]*Session, 0, len(h.order))
-	for _, id := range h.order {
-		sessions = append(sessions, h.sessions[id])
-	}
-	bad := h.badFrames
-	h.mu.Unlock()
+	sessions := h.sessionsInOrder()
 	snap.SetGauge(telemetry.MetricHubDevices, float64(len(sessions)))
-	snap.AddCounter(telemetry.MetricHubBadFrames, bad)
+	snap.AddCounter(telemetry.MetricHubBadFrames, h.badFrames.Load())
 	for _, s := range sessions {
 		collectSession(s, snap)
 	}
@@ -85,30 +126,52 @@ func (h *Hub) collect(snap *telemetry.Snapshot) {
 // Session returns the session for the given device id, creating it if the
 // device is new. Use it to register per-device handlers before a run.
 func (h *Hub) Session(id uint32) *Session {
+	if s := h.table.Load().lookup(id); s != nil {
+		return s
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.sessionLocked(id)
-}
-
-func (h *Hub) sessionLocked(id uint32) *Session {
-	if s, ok := h.sessions[id]; ok {
+	// Re-check under the lock: another goroutine may have registered the
+	// device between our lookup and the lock.
+	cur := h.table.Load()
+	if s := cur.lookup(id); s != nil {
 		return s
 	}
 	s := NewSession(id, h.keepLogs)
 	if h.metrics != nil {
 		s.attachMetrics(h.metrics)
 	}
-	h.sessions[id] = s
+	next := &sessionTable{}
+	if id < denseLimit {
+		n := len(cur.dense)
+		for n <= int(id) {
+			if n == 0 {
+				n = 8
+			} else {
+				n *= 2
+			}
+		}
+		next.dense = make([]*Session, n)
+		copy(next.dense, cur.dense)
+		next.dense[id] = s
+		next.sparse = cur.sparse
+	} else {
+		next.dense = cur.dense
+		next.sparse = make(map[uint32]*Session, len(cur.sparse)+1)
+		for k, v := range cur.sparse {
+			next.sparse[k] = v
+		}
+		next.sparse[id] = s
+	}
+	h.table.Store(next)
 	h.order = append(h.order, id)
 	return s
 }
 
 // Lookup returns the session for a device id without creating one.
 func (h *Hub) Lookup(id uint32) (*Session, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s, ok := h.sessions[id]
-	return s, ok
+	s := h.table.Load().lookup(id)
+	return s, s != nil
 }
 
 // Devices returns the known device ids in registration order.
@@ -121,32 +184,29 @@ func (h *Hub) Devices() []uint32 {
 }
 
 // Handle is the shared rf link sink: it decodes one payload and routes it
-// to the sending device's session. Many device links may point here.
+// to the sending device's session. Many device links may point here. The
+// payload is fully decoded before returning, so it may alias a transport's
+// reusable buffer; the steady-state path performs no allocation and takes
+// no lock.
 func (h *Hub) Handle(payload []byte, at time.Duration) {
 	var m rf.Message
-	if err := m.UnmarshalBinary(payload); err != nil {
-		h.mu.Lock()
-		h.badFrames++
-		h.mu.Unlock()
+	if !m.Decode(payload) {
+		h.badFrames.Add(1)
 		return
 	}
-	h.mu.Lock()
-	s := h.sessionLocked(m.Device)
-	h.mu.Unlock()
-	// Session state is touched outside the hub lock: one device's frames
+	s := h.table.Load().lookup(m.Device)
+	if s == nil {
+		s = h.Session(m.Device)
+	}
+	// Session state is touched without any hub lock: one device's frames
 	// never block another device's.
 	s.Consume(m, at)
 }
 
 // Stats aggregates the per-device session counters.
 func (h *Hub) Stats() HubStats {
-	h.mu.Lock()
-	sessions := make([]*Session, 0, len(h.order))
-	for _, id := range h.order {
-		sessions = append(sessions, h.sessions[id])
-	}
-	agg := HubStats{Devices: len(sessions), BadFrames: h.badFrames}
-	h.mu.Unlock()
+	sessions := h.sessionsInOrder()
+	agg := HubStats{Devices: len(sessions), BadFrames: h.badFrames.Load()}
 	for _, s := range sessions {
 		st := s.Stats()
 		agg.Decoded += st.Decoded

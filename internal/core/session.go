@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hcilab/distscroll/internal/rf"
@@ -13,24 +14,27 @@ import (
 // owns one session per device id; the single-device Host is a thin wrapper
 // around one session.
 //
-// A session is safe for concurrent use, but frames for one device must
-// arrive in order (in the simulator they do: each device's link delivers on
-// that device's scheduler).
+// The receive path is lock-free in the steady state: counters are atomic
+// (so telemetry reporters may snapshot a running fleet), the sequence state
+// is single-writer (frames for one device must arrive in order, delivered
+// by that device's goroutine — in the simulator they are: each device's
+// link delivers on that device's scheduler), and handler registration is a
+// read-mostly copy-on-write snapshot. Only the retained event log and the
+// latency histogram take the session mutex, and only when enabled.
 type Session struct {
-	device uint32
+	device  uint32
+	keepLog bool
 
-	mu       sync.Mutex
-	onScroll func(Event)
-	onSelect func(Event)
-	onLevel  func(Event)
-	onState  func(Event)
-	taps     []func(Event)
+	// handlers is the copy-on-write snapshot of the registered callbacks;
+	// Consume loads it once per frame without locking.
+	handlers atomic.Pointer[sessionHandlers]
 
-	stats   HostStats
+	stats sessionCounters
+
+	// Single-writer receive state: only the goroutine delivering this
+	// device's frames touches these, so they need no synchronisation.
 	lastSeq uint16
 	haveSeq bool
-	events  []Event // retained log for tests, replay and the study harness
-	keepLog bool
 
 	// Reliable (ARQ) receive state. With reliable set, frames are admitted
 	// strictly in sequence order starting at seq 0, every frame is answered
@@ -41,19 +45,88 @@ type Session struct {
 	// with certainty instead of inferring them from retransmission
 	// patterns — an inference that go-back-N makes unsound, since a
 	// repeated ahead frame may simply be a twice-lost window base.
+	// Configured before frames flow (EnableReliable), then read-only on the
+	// receive path.
 	reliable bool
 	ackFn    func(cum uint16)
 	awaitSeq uint16
 
+	// mu guards the retained event log, handler registration writes and the
+	// latency histogram. The bare demux path (no log, no metrics) never
+	// takes it.
+	mu     sync.Mutex
+	events []Event // retained log for tests, replay and the study harness
+
 	// lat records per-frame end-to-end pipeline latency (device stamp →
 	// host arrival, milliseconds). It is a LocalHistogram synchronised by
-	// s.mu — which Consume already holds — so the instrumented hot path
-	// pays only the bucket increment, no extra atomics. Nil when the
-	// session is uninstrumented; Observe on nil is a no-op.
+	// s.mu, so the instrumented hot path pays one short critical section
+	// for the bucket increment. Nil when the session is uninstrumented,
+	// which costs a single predictable branch.
 	lat *telemetry.LocalHistogram
 	// dispatch records handler+tap dispatch wall time. It is only sampled
 	// when a handler or tap is actually registered.
 	dispatch *telemetry.Histogram
+}
+
+// sessionHandlers is one immutable registration snapshot.
+type sessionHandlers struct {
+	onScroll func(Event)
+	onSelect func(Event)
+	onLevel  func(Event)
+	onState  func(Event)
+	taps     []func(Event)
+}
+
+// forKind returns the per-kind handler.
+func (h *sessionHandlers) forKind(k rf.MsgKind) func(Event) {
+	switch k {
+	case rf.MsgScroll:
+		return h.onScroll
+	case rf.MsgSelect:
+		return h.onSelect
+	case rf.MsgLevel:
+		return h.onLevel
+	case rf.MsgState:
+		return h.onState
+	}
+	return nil
+}
+
+// sessionCounters are the session's receive counters. They are atomic so a
+// telemetry reporter may snapshot a running fleet from another goroutine;
+// the receive path itself is single-goroutine per device, so every add is
+// uncontended.
+type sessionCounters struct {
+	decoded, badFrames               atomic.Uint64
+	missedSeq, duplicates, reordered atomic.Uint64
+	stale, aheadDrops, resyncs       atomic.Uint64
+	// dropped counts decoded frames that did not become events (reliable-mode
+	// skip notices, stale retransmits, ahead-of-sequence arrivals). Events is
+	// derived as decoded - dropped, so the in-order hot path pays exactly one
+	// atomic add per frame instead of two; only the rare drop paths pay a
+	// second.
+	dropped atomic.Uint64
+}
+
+func (c *sessionCounters) stats() HostStats {
+	// Load dropped before decoded: every dropped increment is preceded by a
+	// decoded increment, so this order can only under-count drops, keeping
+	// the derived Events non-negative. A mid-run snapshot may transiently
+	// over-count Events by the frames in flight between the two loads;
+	// quiescent reads are exact.
+	dropped := c.dropped.Load()
+	decoded := c.decoded.Load()
+	return HostStats{
+		Events:     decoded - dropped,
+		Decoded:    decoded,
+		BadFrames:  c.badFrames.Load(),
+		MissedSeq:  c.missedSeq.Load(),
+		Duplicates: c.duplicates.Load(),
+		Reordered:  c.reordered.Load(),
+		Stale:      c.stale.Load(),
+		AheadDrops: c.aheadDrops.Load(),
+		Resyncs:    c.resyncs.Load(),
+	}
 }
 
 // NewSession returns a session for the given device id. With keepLog set
@@ -71,25 +144,23 @@ func (s *Session) Device() uint32 { return s.device }
 // — is answered by passing the cumulative ack to ack, which typically feeds
 // an rf.ReverseLink. Call before any frame flows.
 func (s *Session) EnableReliable(ack func(cum uint16)) {
-	s.mu.Lock()
 	s.reliable = true
 	s.ackFn = ack
 	s.awaitSeq = 0
-	s.mu.Unlock()
 }
 
-// admitLocked decides whether a reliable-mode frame enters the pipeline.
-// Caller holds s.mu. It returns false for frames that must be dropped
-// (stale retransmits, ahead-of-sequence arrivals); either way the caller
-// re-acks the cumulative position afterwards.
-func (s *Session) admitLocked(seq uint16) bool {
+// admit decides whether a reliable-mode frame enters the pipeline. It
+// returns false for frames that must be dropped (stale retransmits,
+// ahead-of-sequence arrivals); either way the caller re-acks the cumulative
+// position afterwards.
+func (s *Session) admit(seq uint16) bool {
 	switch {
 	case seq == s.awaitSeq:
 		// In order: the common case.
 	case seq-s.awaitSeq >= 0x8000:
 		// Already consumed — a retransmit whose ack was lost or late. The
 		// re-ack the caller sends repairs the sender's view.
-		s.stats.Stale++
+		s.stats.stale.Add(1)
 		return false
 	default:
 		// Ahead of sequence: a predecessor is still in flight (or lost and
@@ -98,7 +169,7 @@ func (s *Session) admitLocked(seq uint16) bool {
 		// precedes this frame in the stream. Either way, defer: the stream
 		// is seq-contiguous by construction, so the awaited position always
 		// arrives eventually. Never guess.
-		s.stats.AheadDrops++
+		s.stats.aheadDrops.Add(1)
 		return false
 	}
 	s.awaitSeq = seq + 1
@@ -107,16 +178,16 @@ func (s *Session) admitLocked(seq uint16) bool {
 	return true
 }
 
-// consumeSkipLocked admits a sender abandonment notice: the sender dropped
-// the count consecutive sequence numbers ending at m.Seq (queue overflow or
-// retry budget) and will never transmit them. Caller holds s.mu; the caller
-// re-acks the cumulative position afterwards either way.
-func (s *Session) consumeSkipLocked(m rf.Message) {
+// consumeSkip admits a sender abandonment notice: the sender dropped the
+// count consecutive sequence numbers ending at m.Seq (queue overflow or
+// retry budget) and will never transmit them. The caller re-acks the
+// cumulative position afterwards either way.
+func (s *Session) consumeSkip(m rf.Message) {
 	count := uint16(m.Index)
 	if count == 0 || count >= 0x8000 {
 		// A skip covering half the sequence space (or nothing) is
 		// malformed — no wrapping comparison can place it.
-		s.stats.BadFrames++
+		s.stats.badFrames.Add(1)
 		return
 	}
 	last := m.Seq
@@ -125,17 +196,17 @@ func (s *Session) consumeSkipLocked(m rf.Message) {
 	case last-s.awaitSeq >= 0x8000:
 		// The whole range is already behind us — a retransmitted notice
 		// whose ack was lost. The re-ack repairs the sender's view.
-		s.stats.Stale++
+		s.stats.stale.Add(1)
 	case s.awaitSeq-first >= 0x8000:
 		// The notice is ahead of sequence: frames before the hole are still
 		// in flight. Go-back-N resends them first; defer.
-		s.stats.AheadDrops++
+		s.stats.aheadDrops.Add(1)
 	default:
 		// awaitSeq falls inside [first, last]: everything up to and
 		// including last is abandoned. Advance past the hole, counting the
 		// loss exactly.
-		s.stats.MissedSeq += uint64(last - s.awaitSeq + 1)
-		s.stats.Resyncs++
+		s.stats.missedSeq.Add(uint64(last - s.awaitSeq + 1))
+		s.stats.resyncs.Add(1)
 		s.awaitSeq = last + 1
 	}
 }
@@ -183,28 +254,47 @@ func collectSession(s *Session, snap *telemetry.Snapshot) {
 	}
 }
 
+// updateHandlers applies one registration change as a copy-on-write swap.
+func (s *Session) updateHandlers(mut func(*sessionHandlers)) {
+	s.mu.Lock()
+	next := &sessionHandlers{}
+	if cur := s.handlers.Load(); cur != nil {
+		*next = *cur
+		next.taps = append([]func(Event){}, cur.taps...)
+	}
+	mut(next)
+	s.handlers.Store(next)
+	s.mu.Unlock()
+}
+
 // OnScroll registers the scroll handler.
-func (s *Session) OnScroll(fn func(Event)) { s.mu.Lock(); s.onScroll = fn; s.mu.Unlock() }
+func (s *Session) OnScroll(fn func(Event)) {
+	s.updateHandlers(func(h *sessionHandlers) { h.onScroll = fn })
+}
 
 // OnSelect registers the selection handler.
-func (s *Session) OnSelect(fn func(Event)) { s.mu.Lock(); s.onSelect = fn; s.mu.Unlock() }
+func (s *Session) OnSelect(fn func(Event)) {
+	s.updateHandlers(func(h *sessionHandlers) { h.onSelect = fn })
+}
 
 // OnLevel registers the level-change handler.
-func (s *Session) OnLevel(fn func(Event)) { s.mu.Lock(); s.onLevel = fn; s.mu.Unlock() }
+func (s *Session) OnLevel(fn func(Event)) {
+	s.updateHandlers(func(h *sessionHandlers) { h.onLevel = fn })
+}
 
 // OnState registers the debug-state handler.
-func (s *Session) OnState(fn func(Event)) { s.mu.Lock(); s.onState = fn; s.mu.Unlock() }
+func (s *Session) OnState(fn func(Event)) {
+	s.updateHandlers(func(h *sessionHandlers) { h.onState = fn })
+}
 
 // Tap registers an additional observer invoked for every decoded event,
 // independent of the per-kind handlers (used by trace recorders).
-func (s *Session) Tap(fn func(Event)) { s.mu.Lock(); s.taps = append(s.taps, fn); s.mu.Unlock() }
+func (s *Session) Tap(fn func(Event)) {
+	s.updateHandlers(func(h *sessionHandlers) { h.taps = append(h.taps, fn) })
+}
 
 // Stats returns the session statistics.
-func (s *Session) Stats() HostStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *Session) Stats() HostStats { return s.stats.stats() }
 
 // Events returns the retained event log (empty unless keepLog).
 func (s *Session) Events() []Event {
@@ -223,13 +313,12 @@ func (s *Session) ResetLog() {
 }
 
 // Handle decodes one raw payload and consumes it. It is a valid rf link
-// sink for a device wired directly to this session.
+// sink for a device wired directly to this session. The payload is fully
+// decoded before returning, so it may alias a transport's reusable buffer.
 func (s *Session) Handle(payload []byte, at time.Duration) {
 	var m rf.Message
-	if err := m.UnmarshalBinary(payload); err != nil {
-		s.mu.Lock()
-		s.stats.BadFrames++
-		s.mu.Unlock()
+	if !m.Decode(payload) {
+		s.stats.badFrames.Add(1)
 		return
 	}
 	s.Consume(m, at)
@@ -237,30 +326,27 @@ func (s *Session) Handle(payload []byte, at time.Duration) {
 
 // Consume processes one already-decoded message: sequence accounting, event
 // log and handler dispatch. The Hub routes decoded messages here so the
-// payload is only unmarshalled once per frame.
+// payload is only unmarshalled once per frame. The steady-state path — no
+// event log, no metrics, no handlers — touches only atomic counters and
+// single-writer fields: no locks, no allocations.
 func (s *Session) Consume(m rf.Message, at time.Duration) {
-	s.mu.Lock()
-	s.stats.Decoded++
-	var ack func(cum uint16)
-	var cum uint16
+	s.stats.decoded.Add(1)
 	if s.reliable {
 		if m.Kind == rf.MsgSkip {
 			// A sender abandonment notice advances the sequence position
 			// but carries no event; ack the new position and stop.
-			s.consumeSkipLocked(m)
-			ack, cum = s.ackFn, s.awaitSeq-1
-			s.mu.Unlock()
-			if ack != nil {
-				ack(cum)
+			s.consumeSkip(m)
+			s.stats.dropped.Add(1)
+			if s.ackFn != nil {
+				s.ackFn(s.awaitSeq - 1)
 			}
 			return
 		}
-		admitted := s.admitLocked(m.Seq)
-		ack, cum = s.ackFn, s.awaitSeq-1
+		admitted := s.admit(m.Seq)
 		if !admitted {
-			s.mu.Unlock()
-			if ack != nil {
-				ack(cum)
+			s.stats.dropped.Add(1)
+			if s.ackFn != nil {
+				s.ackFn(s.awaitSeq - 1)
 			}
 			return
 		}
@@ -269,20 +355,41 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 		// above it the frame is a late reordering, not a loss.
 		switch gap := m.Seq - s.lastSeq; {
 		case gap == 0:
-			s.stats.Duplicates++
+			s.stats.duplicates.Add(1)
 		case gap == 1:
 			// In order.
 		case gap < 0x8000:
-			s.stats.MissedSeq += uint64(gap - 1)
+			s.stats.missedSeq.Add(uint64(gap - 1))
 		default:
-			s.stats.Reordered++
+			s.stats.reordered.Add(1)
 		}
 	}
 	s.lastSeq = m.Seq
 	s.haveSeq = true
 	if s.lat != nil {
 		const perMs = 1.0 / float64(time.Millisecond)
+		s.mu.Lock()
 		s.lat.Observe(float64(at-m.Timestamp()) * perMs)
+		s.mu.Unlock()
+	}
+
+	// The cumulative ack goes out before dispatch, mirroring its pre-event
+	// position on the wire: the ack path (ReverseLink → ARQ) runs on the
+	// sending device's scheduler and holds no session lock.
+	if s.reliable && s.ackFn != nil {
+		s.ackFn(s.awaitSeq - 1)
+	}
+
+	h := s.handlers.Load()
+	var handler func(Event)
+	var taps []func(Event)
+	if h != nil {
+		handler = h.forKind(m.Kind)
+		taps = h.taps
+	}
+	if !s.keepLog && handler == nil && len(taps) == 0 {
+		// Bare demux: nobody consumes the event, so it is never built.
+		return
 	}
 
 	ev := Event{
@@ -295,39 +402,20 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 		Voltage:    float64(m.VoltageMV) / 1000,
 		Island:     int(m.Island),
 	}
-	s.stats.Events++
 	if s.keepLog {
+		s.mu.Lock()
 		s.events = append(s.events, ev)
-	}
-	taps := s.taps
-	dispatch := s.dispatch
-	var handler func(Event)
-	switch m.Kind {
-	case rf.MsgScroll:
-		handler = s.onScroll
-	case rf.MsgSelect:
-		handler = s.onSelect
-	case rf.MsgLevel:
-		handler = s.onLevel
-	case rf.MsgState:
-		handler = s.onState
-	}
-	s.mu.Unlock()
-
-	// The cumulative ack goes out after the lock is released: the ack path
-	// (ReverseLink → ARQ) runs on the sending device's scheduler and must
-	// not re-enter session state under our mutex.
-	if ack != nil {
-		ack(cum)
+		s.mu.Unlock()
 	}
 
-	// Handlers run outside the lock so they may call back into the
+	// Handlers run outside any lock so they may call back into the
 	// session (Stats, Events) without deadlocking. Dispatch time is only
 	// sampled when there is something to dispatch to, so the bare demux
 	// path never touches the wall clock.
 	if handler == nil && len(taps) == 0 {
 		return
 	}
+	dispatch := s.dispatch
 	var start time.Time
 	if dispatch != nil {
 		start = time.Now()

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// TestHubHandleZeroAlloc enforces the demux fast path's zero-allocation
+// contract: with metrics off, no event log and no handlers (the unreliable
+// fleet-scale configuration), routing a decoded frame to its session must
+// not allocate — not for the message, not for an Event, not for a lock.
+func TestHubHandleZeroAlloc(t *testing.T) {
+	hub := core.NewHub(false)
+	m := rf.Message{Device: 3, Kind: rf.MsgScroll, Seq: 1, AtMillis: 40, Index: 2}
+	payload, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Session(3) // pre-register so the measurement sees steady state
+	at := 5 * time.Millisecond
+	if n := testing.AllocsPerRun(1000, func() {
+		hub.Handle(payload, at)
+		at += time.Millisecond
+	}); n != 0 {
+		t.Fatalf("Hub.Handle: %v allocs/op, want 0", n)
+	}
+	if st := hub.Stats(); st.Decoded != 1001 || st.BadFrames != 0 {
+		t.Fatalf("hub stats after run: %+v", st)
+	}
+}
+
+// TestHubHandleBadFrameZeroAlloc checks the corrupt-frame path too: a storm
+// of undecodable payloads should cost one atomic increment each, nothing
+// more.
+func TestHubHandleBadFrameZeroAlloc(t *testing.T) {
+	hub := core.NewHub(false)
+	junk := []byte{0x01, 0x02}
+	if n := testing.AllocsPerRun(1000, func() {
+		hub.Handle(junk, 0)
+	}); n != 0 {
+		t.Fatalf("Hub.Handle(bad frame): %v allocs/op, want 0", n)
+	}
+	if st := hub.Stats(); st.BadFrames != 1001 {
+		t.Fatalf("bad frames = %d, want 1001", st.BadFrames)
+	}
+}

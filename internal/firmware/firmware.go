@@ -149,6 +149,12 @@ type Firmware struct {
 	prevIndex  int
 	lastTopWin []string
 	started    bool
+	// txBuf is the reusable marshal scratch for send: the firmware emits a
+	// frame every few virtual milliseconds for the whole run, so marshalling
+	// into a fresh slice each time would dominate the device-side allocation
+	// profile. Transports must not retain the payload past Send/SendTagged
+	// (see rf.Transport); the ARQ layer copies what it queues.
+	txBuf []byte
 }
 
 // New builds firmware bound to a board, a menu and a transmitter. tx may be
@@ -517,12 +523,10 @@ func (fw *Firmware) send(m rf.Message, now time.Duration) {
 	m.Seq = fw.seq
 	fw.seq++
 	m.AtMillis = uint32(now / time.Millisecond)
-	payload, err := m.MarshalBinary()
-	if err != nil {
-		fw.stats.txErrors.Add(1)
-		return
-	}
-	// MarshalBinary always emits the v1 layout; tell the transport so its
+	fw.txBuf = m.AppendBinary(fw.txBuf[:0])
+	payload := fw.txBuf
+	var err error
+	// AppendBinary always emits the v1 layout; tell the transport so its
 	// sent-by-version accounting never has to sniff payload bytes.
 	if vs, ok := fw.tx.(rf.VersionedSender); ok {
 		_, err = vs.SendTagged(payload, rf.PayloadV1)

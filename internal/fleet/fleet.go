@@ -72,7 +72,8 @@ type Config struct {
 	// to the menu's root level.
 	Script Script
 	// Workers bounds how many devices simulate concurrently; <= 0 runs
-	// one goroutine per device.
+	// every device concurrently. RunAll spawns exactly this many worker
+	// goroutines (capped at the fleet size) and feeds them device indices.
 	Workers int
 	// Reliable wraps every device's RF channel in the ARQ retransmission
 	// layer and wires the hub sessions to emit cumulative acks over each
@@ -225,10 +226,10 @@ func (r *Runner) ID(i int) uint32 { return r.ids[i] }
 // Session returns the hub session of the i-th device.
 func (r *Runner) Session(i int) *core.Session { return r.hub.Session(r.ids[i]) }
 
-// RunAll simulates every device through the script concurrently — one
-// goroutine per device, bounded by Config.Workers — and returns per-device
-// results in fleet order. The first device error is also returned, with all
-// remaining devices still run to completion.
+// RunAll simulates every device through the script concurrently, bounded by
+// Config.Workers, and returns per-device results in fleet order. The first
+// device error is also returned, with all remaining devices still run to
+// completion.
 func (r *Runner) RunAll() ([]Result, error) {
 	workers := r.cfg.Workers
 	if workers <= 0 || workers > len(r.devices) {
@@ -238,18 +239,26 @@ func (r *Runner) RunAll() ([]Result, error) {
 	if r.cfg.Metrics != nil && r.cfg.OnReport != nil && r.cfg.ReportEvery > 0 {
 		rep = telemetry.StartReporter(r.cfg.Metrics, r.cfg.ReportEvery, r.cfg.OnReport)
 	}
-	sem := make(chan struct{}, workers)
+	// A fixed worker pool pulling device indices from a channel: a
+	// 100k-device fleet with Workers=32 holds 32 goroutines, not 100k parked
+	// on a semaphore, keeping scheduler and stack pressure proportional to
+	// the configured concurrency rather than the fleet size.
+	idx := make(chan int)
 	results := make([]Result, len(r.devices))
 	var wg sync.WaitGroup
-	for i := range r.devices {
-		wg.Add(1)
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = r.runDevice(i)
-		}(i)
+			for i := range idx {
+				results[i] = r.runDevice(i)
+			}
+		}()
 	}
+	for i := range r.devices {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	// Stop emits one final snapshot after every device has drained, so the
 	// last report is the complete run.

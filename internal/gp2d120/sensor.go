@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/hcilab/distscroll/internal/sim"
 )
@@ -87,11 +88,95 @@ func DefaultConfig() Config {
 	return Config{A: DefaultA, B: DefaultB, C: DefaultC, NoiseSD: 0.010}
 }
 
+// charTable is the precomputed characteristic of one (A, B, C) parameter
+// set: the hyperbolic branch V(d) = A/(d+B) + C sampled on a uniform grid
+// over [PeakDistanceCm, CutoffCm] for linear interpolation, plus the
+// derived constants every sample would otherwise recompute. Only the
+// smooth hyperbola is tabulated — the fold-back below the peak is exactly
+// linear and the floor beyond the cutoff is constant, so interpolating
+// across either boundary would only add error. Tables are shared across
+// sensors with the same parameters, so a fleet of thousands of identical
+// devices pays for one table.
+type charTable struct {
+	nodes []float64 // V at PeakDistanceCm + i*charStep
+	peak  float64   // V at the peak, the fold-back branch's top
+	vNear float64   // V at MinUsableCm, Distance's upper bound
+	vFar  float64   // V at CutoffCm, Distance's lower bound
+}
+
+// charStep is the table grid spacing in cm. The hyperbola's curvature is
+// largest at the peak (|V”| = 2A/(d+B)^3 ≈ 0.65 V/cm² for the default
+// parameters), so the linear-interpolation error is bounded by
+// |V”|·step²/8 ≈ 3.1e-7 V — three orders of magnitude below the 10-bit
+// ADC step of ~3.2 mV. TestTableMatchesExact asserts the bound.
+const charStep = 1.0 / 512
+
+// tableCacheMu guards tableCache, the shared (A, B, C) → table map.
+var (
+	tableCacheMu sync.Mutex
+	tableCache   = map[[3]float64]*charTable{}
+)
+
+// tableFor returns the shared characteristic table for a parameter set,
+// building it on first use.
+func tableFor(a, b, c float64) *charTable {
+	key := [3]float64{a, b, c}
+	tableCacheMu.Lock()
+	defer tableCacheMu.Unlock()
+	if t, ok := tableCache[key]; ok {
+		return t
+	}
+	n := int(math.Ceil((CutoffCm-PeakDistanceCm)/charStep)) + 1
+	t := &charTable{
+		nodes: make([]float64, n),
+		peak:  a/(PeakDistanceCm+b) + c,
+		vNear: a/(MinUsableCm+b) + c,
+		vFar:  a/(CutoffCm+b) + c,
+	}
+	for i := range t.nodes {
+		d := PeakDistanceCm + float64(i)*charStep
+		if d > CutoffCm {
+			d = CutoffCm
+		}
+		t.nodes[i] = a/(d+b) + c
+	}
+	tableCache[key] = t
+	return t
+}
+
+// lookup evaluates the characteristic at distance d (cm) from the table:
+// exact on the linear fold-back and floor branches, linearly interpolated
+// on the hyperbola. It is the division-and-allocation-free fast path
+// behind Sample; Ideal remains the exact reference curve.
+func (t *charTable) lookup(d float64) float64 {
+	switch {
+	case d <= 0:
+		return 0
+	case d < PeakDistanceCm:
+		return t.peak * (d / PeakDistanceCm)
+	case d > CutoffCm:
+		return FloorVolts
+	}
+	x := (d - PeakDistanceCm) / charStep
+	i := int(x)
+	if i >= len(t.nodes)-1 {
+		return t.nodes[len(t.nodes)-1]
+	}
+	frac := x - float64(i)
+	return t.nodes[i] + frac*(t.nodes[i+1]-t.nodes[i])
+}
+
 // Sensor is a GP2D120 instance.
 type Sensor struct {
 	cfg     Config
 	surface Surface
 	rng     *sim.Rand
+	// tab is the shared precomputed characteristic; gain caches
+	// weakGain(surface.Reflectivity), which costs a math.Log to derive.
+	// Together they make Sample free of transcendental calls and divisions
+	// on the non-outlier path.
+	tab  *charTable
+	gain float64
 }
 
 // New returns a sensor with the given configuration, surface and random
@@ -103,7 +188,13 @@ func New(cfg Config, surface Surface, rng *sim.Rand) (*Sensor, error) {
 	if surface.Reflectivity <= 0 {
 		return nil, fmt.Errorf("gp2d120: reflectivity must be positive, got %g", surface.Reflectivity)
 	}
-	return &Sensor{cfg: cfg, surface: surface, rng: rng}, nil
+	return &Sensor{
+		cfg:     cfg,
+		surface: surface,
+		rng:     rng,
+		tab:     tableFor(cfg.A, cfg.B, cfg.C),
+		gain:    weakGain(surface.Reflectivity),
+	}, nil
 }
 
 // Default returns a sensor with datasheet parameters, the default surface
@@ -118,7 +209,10 @@ func Default(rng *sim.Rand) *Sensor {
 }
 
 // SetSurface changes the object in front of the sensor.
-func (s *Sensor) SetSurface(surface Surface) { s.surface = surface }
+func (s *Sensor) SetSurface(surface Surface) {
+	s.surface = surface
+	s.gain = weakGain(surface.Reflectivity)
+}
 
 // Surface returns the current surface.
 func (s *Sensor) Surface() Surface { return s.surface }
@@ -149,10 +243,11 @@ func (s *Sensor) Ideal(d float64) float64 {
 // surfaces) spurious outliers. Output is clamped to [0, 3.3] V, the
 // sensor's output swing.
 func (s *Sensor) Sample(d float64) float64 {
-	v := s.Ideal(d)
+	v := s.tab.lookup(d)
 	// Reflectivity has a weak effect on the triangulated signal; model it
-	// as a small gain on the distance-dependent part.
-	v = (v-s.cfg.C)*weakGain(s.surface.Reflectivity) + s.cfg.C
+	// as a small gain on the distance-dependent part. The gain is cached at
+	// construction/SetSurface time, so the per-sample cost is one multiply.
+	v = (v-s.cfg.C)*s.gain + s.cfg.C
 	v += s.cfg.AmbientOffset
 	if s.rng != nil {
 		if s.surface.Structured && s.rng.Bool(s.surface.OutlierProb) {
@@ -170,10 +265,9 @@ func (s *Sensor) Sample(d float64) float64 {
 // ErrOutOfRange for voltages above the 4 cm value (ambiguous fold-back
 // region) or below the cutoff floor.
 func (s *Sensor) Distance(v float64) (float64, error) {
-	vNear := s.cfg.A/(MinUsableCm+s.cfg.B) + s.cfg.C
-	vFar := s.cfg.A/(CutoffCm+s.cfg.B) + s.cfg.C
-	if v > vNear || v < vFar {
-		return 0, fmt.Errorf("%w: %.3f V not in [%.3f, %.3f]", ErrOutOfRange, v, vFar, vNear)
+	// The range bounds are precomputed in the shared characteristic table.
+	if v > s.tab.vNear || v < s.tab.vFar {
+		return 0, fmt.Errorf("%w: %.3f V not in [%.3f, %.3f]", ErrOutOfRange, v, s.tab.vFar, s.tab.vNear)
 	}
 	return s.cfg.A/(v-s.cfg.C) - s.cfg.B, nil
 }

@@ -1,0 +1,86 @@
+package gp2d120
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableMatchesExact bounds the precomputed-characteristic error against
+// the exact curve: the table must track Ideal to well under a microvolt —
+// three orders of magnitude below the 10-bit ADC step (~3.2 mV) — so the
+// lookup cannot change any quantised reading. It sweeps off-grid points
+// (including the branch boundaries at the peak and the cutoff, where a
+// careless table would interpolate across a discontinuity in slope).
+func TestTableMatchesExact(t *testing.T) {
+	s, err := New(DefaultConfig(), DefaultSurface(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 1e-6 // volts
+	worst := 0.0
+	// An irrational-ish step ensures the sweep lands between grid nodes.
+	for d := -1.0; d <= CutoffCm+5; d += 0.0137 {
+		exact := s.Ideal(d)
+		got := s.tab.lookup(d)
+		if diff := math.Abs(got - exact); diff > worst {
+			worst = diff
+			if diff > bound {
+				t.Fatalf("lookup(%g) = %.9f, exact %.9f, |diff| %.3g > %g", d, got, exact, diff, bound)
+			}
+		}
+	}
+	// The branch boundaries themselves.
+	for _, d := range []float64{0, PeakDistanceCm, MinUsableCm, MaxUsableCm, CutoffCm, math.Nextafter(CutoffCm, 100)} {
+		exact := s.Ideal(d)
+		got := s.tab.lookup(d)
+		if diff := math.Abs(got - exact); diff > bound {
+			t.Fatalf("lookup(%g) = %.9f, exact %.9f, |diff| %.3g > %g", d, got, exact, diff, bound)
+		}
+	}
+	t.Logf("worst |table - exact| over sweep: %.3g V", worst)
+}
+
+// TestTableSharedAcrossSensors checks that sensors with identical
+// characteristic parameters share one table (the fleet-memory property)
+// and that differing parameters do not.
+func TestTableSharedAcrossSensors(t *testing.T) {
+	a, err := New(DefaultConfig(), DefaultSurface(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(DefaultConfig(), Surface{Reflectivity: 1.05}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.tab != b.tab {
+		t.Fatal("sensors with identical characteristics should share one table")
+	}
+	cfg := DefaultConfig()
+	cfg.A = 12.5
+	c, err := New(cfg, DefaultSurface(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.tab == a.tab {
+		t.Fatal("sensors with different characteristics must not share a table")
+	}
+}
+
+// TestCachedGainTracksSurface checks that SetSurface refreshes the cached
+// reflectivity gain so Sample sees the new surface immediately.
+func TestCachedGainTracksSurface(t *testing.T) {
+	s, err := New(Config{A: DefaultA, B: DefaultB, C: DefaultC}, DefaultSurface(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Sample(10)
+	s.SetSurface(Surface{Reflectivity: 1.08})
+	brighter := s.Sample(10)
+	if brighter <= base {
+		t.Fatalf("higher reflectivity should raise the reading: %.6f vs %.6f", brighter, base)
+	}
+	want := (s.Ideal(10)-DefaultC)*weakGain(1.08) + DefaultC
+	if diff := math.Abs(brighter - want); diff > 1e-5 {
+		t.Fatalf("sample after SetSurface = %.9f, want %.9f (cached gain stale?)", brighter, want)
+	}
+}

@@ -383,7 +383,7 @@ func (a *ARQ) promote() {
 // resets the backoff; an ack confirming nothing counts as a duplicate.
 func (a *ARQ) HandleAck(payload []byte, at time.Duration) {
 	var m Message
-	if err := m.UnmarshalBinary(payload); err != nil || m.Kind != MsgAck {
+	if !m.Decode(payload) || m.Kind != MsgAck {
 		a.cnt.badAcks.Add(1)
 		return
 	}
@@ -430,6 +430,10 @@ type ReverseLink struct {
 	cnt   reverseCounters
 
 	lastArrive time.Duration
+	// onPayload / deliverAt: persistent decoder callback and the arrival
+	// time of the ack being decoded, mirroring Link's zero-copy delivery.
+	onPayload func(payload []byte)
+	deliverAt time.Duration
 }
 
 // NewReverseLink returns an ack back-channel delivering decoded ack
@@ -446,7 +450,12 @@ func NewReverseLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink fu
 	if cfg.AckLossProb < 0 || cfg.AckLossProb > 1 {
 		return nil, fmt.Errorf("rf: reverse link: AckLossProb must be in [0,1]")
 	}
-	return &ReverseLink{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}, nil
+	r := &ReverseLink{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}
+	r.onPayload = func(p []byte) {
+		r.cnt.delivered.Add(1)
+		r.sink(p, r.deliverAt)
+	}
+	return r, nil
 }
 
 // Stats returns the back-channel counters.
@@ -472,11 +481,10 @@ func (r *ReverseLink) Collect(s *telemetry.Snapshot) {
 func (r *ReverseLink) SendAck(device uint32, cum uint16) {
 	now := r.sched.Clock().Now()
 	m := Message{Kind: MsgAck, Device: device, Seq: cum, AtMillis: uint32(now / time.Millisecond)}
-	payload, err := m.MarshalBinary()
-	if err != nil {
-		return
-	}
-	frame, err := Encode(payload)
+	// The payload scratch stays on the stack; only the framed copy — which
+	// must survive until the scheduled delivery — is heap-allocated.
+	var pbuf [32]byte
+	frame, err := Encode(m.AppendBinary(pbuf[:0]))
 	if err != nil {
 		return
 	}
@@ -500,9 +508,7 @@ func (r *ReverseLink) SendAck(device uint32, cum uint16) {
 		return
 	}
 	r.sched.At(arrive, func(at time.Duration) {
-		for _, p := range r.dec.Feed(frame) {
-			r.cnt.delivered.Add(1)
-			r.sink(p, at)
-		}
+		r.deliverAt = at
+		r.dec.FeedFunc(frame, r.onPayload)
 	})
 }

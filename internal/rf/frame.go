@@ -24,6 +24,8 @@ const (
 	MaxPayload = 255
 	// Overhead is the per-frame byte overhead (sync + len + crc).
 	Overhead = 5
+	// maxFrame is the largest complete frame on the wire.
+	maxFrame = MaxPayload + Overhead
 )
 
 // Framing errors.
@@ -51,16 +53,31 @@ func CRC16(data []byte) uint16 {
 	return crc
 }
 
-// Encode wraps a payload into a frame.
+// AppendEncode appends the framed payload to dst and returns the extended
+// slice. It is the allocation-free sibling of Encode: a transmitter that
+// keeps a per-device scratch buffer (`buf = AppendEncode(buf[:0], p)`) pays
+// nothing per frame once the buffer has warmed up. On error dst is returned
+// unchanged.
+func AppendEncode(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(payload))
+	}
+	base := len(dst)
+	dst = append(dst, sync0, sync1, byte(len(payload)))
+	dst = append(dst, payload...)
+	crc := CRC16(dst[base+2:]) // over len + payload
+	return binary.BigEndian.AppendUint16(dst, crc), nil
+}
+
+// Encode wraps a payload into a freshly allocated frame.
 func Encode(payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(payload))
 	}
-	frame := make([]byte, 0, len(payload)+Overhead)
-	frame = append(frame, sync0, sync1, byte(len(payload)))
-	frame = append(frame, payload...)
-	crc := CRC16(frame[2:]) // over len + payload
-	frame = binary.BigEndian.AppendUint16(frame, crc)
+	frame, err := AppendEncode(make([]byte, 0, len(payload)+Overhead), payload)
+	if err != nil {
+		return nil, err
+	}
 	return frame, nil
 }
 
@@ -74,8 +91,13 @@ type DecoderStats struct {
 // Decoder is an incremental frame decoder: feed it bytes in any chunking
 // and it emits complete, CRC-verified payloads. Corrupt frames are dropped
 // and the decoder re-synchronises on the next sync pattern.
+//
+// The internal buffer is a reusable scratch: leftover bytes are compacted to
+// the front of the backing array after every feed, so its capacity is
+// bounded by one maximum frame plus the largest chunk ever fed, and the
+// steady state allocates nothing.
 type Decoder struct {
-	buf   []byte
+	buf   []byte // unscanned bytes; always starts at the backing array front
 	stats DecoderStats
 }
 
@@ -85,51 +107,74 @@ func NewDecoder() *Decoder { return &Decoder{} }
 // Stats returns the decoder statistics.
 func (d *Decoder) Stats() DecoderStats { return d.stats }
 
-// Feed consumes raw link bytes and returns any complete payloads.
+// Feed consumes raw link bytes and returns any complete payloads. Every
+// returned payload is a stable copy owned by the caller: it never aliases
+// the decoder's internal buffer and survives any number of further feeds.
+// Hot paths that can live with the stricter aliasing contract should use
+// FeedFunc, which skips the copies.
 func (d *Decoder) Feed(data []byte) [][]byte {
-	d.buf = append(d.buf, data...)
 	var out [][]byte
+	d.FeedFunc(data, func(p []byte) {
+		out = append(out, append([]byte(nil), p...))
+	})
+	return out
+}
+
+// FeedFunc consumes raw link bytes and invokes fn once per complete,
+// CRC-verified payload, in stream order. It is the zero-allocation receive
+// path: the payload slice aliases the decoder's internal scratch buffer and
+// is only valid for the duration of the callback — fn must fully consume or
+// copy it before returning, and must not feed this decoder reentrantly.
+// Use Feed to receive stable copies instead.
+func (d *Decoder) FeedFunc(data []byte, fn func(payload []byte)) {
+	d.buf = append(d.buf, data...)
+	pos := 0 // scan cursor; bytes before pos are consumed
 	for {
 		// Hunt for sync.
 		start := -1
-		for i := 0; i+1 < len(d.buf); i++ {
+		for i := pos; i+1 < len(d.buf); i++ {
 			if d.buf[i] == sync0 && d.buf[i+1] == sync1 {
 				start = i
 				break
 			}
 		}
 		if start < 0 {
-			// Keep at most one byte (a possible first sync byte).
-			if n := len(d.buf); n > 1 {
-				d.stats.Resyncs += uint64(n - 1)
-				d.buf = d.buf[n-1:]
+			// Drop everything except at most one trailing byte (a possible
+			// first sync byte).
+			if n := len(d.buf); n-pos > 1 {
+				d.stats.Resyncs += uint64(n - 1 - pos)
+				pos = n - 1
 			}
-			return out
+			break
 		}
-		if start > 0 {
-			d.stats.Resyncs += uint64(start)
-			d.buf = d.buf[start:]
+		if start > pos {
+			d.stats.Resyncs += uint64(start - pos)
+			pos = start
 		}
-		if len(d.buf) < 3 {
-			return out
+		if len(d.buf)-pos < 3 {
+			break
 		}
-		n := int(d.buf[2])
+		n := int(d.buf[pos+2])
 		total := 3 + n + 2
-		if len(d.buf) < total {
-			return out
+		if len(d.buf)-pos < total {
+			break
 		}
-		body := d.buf[2 : 3+n]
-		wantCRC := binary.BigEndian.Uint16(d.buf[3+n : total])
+		body := d.buf[pos+2 : pos+3+n]
+		wantCRC := binary.BigEndian.Uint16(d.buf[pos+3+n : pos+total])
 		if CRC16(body) != wantCRC {
 			d.stats.CRCErrors++
 			// Skip the bogus sync and rescan.
-			d.buf = d.buf[2:]
+			pos += 2
 			continue
 		}
-		payload := make([]byte, n)
-		copy(payload, d.buf[3:3+n])
-		out = append(out, payload)
 		d.stats.Frames++
-		d.buf = d.buf[total:]
+		fn(d.buf[pos+3 : pos+3+n : pos+3+n])
+		pos += total
+	}
+	// Compact: slide the unconsumed tail to the front so the backing array
+	// is reused on the next feed instead of growing without bound.
+	if pos > 0 {
+		n := copy(d.buf, d.buf[pos:])
+		d.buf = d.buf[:n]
 	}
 }

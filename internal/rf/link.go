@@ -94,6 +94,12 @@ type Link struct {
 	dec   *Decoder
 	sink  func(payload []byte, at time.Duration)
 	cnt   linkCounters
+	// onPayload is the persistent decoder callback (built once so delivery
+	// does not allocate a closure per frame); deliverAt carries the arrival
+	// time of the frame currently being decoded. Both are only touched from
+	// scheduler callbacks, which run serially on the owning device.
+	onPayload func(payload []byte)
+	deliverAt time.Duration
 	// busyUntil models the half-duplex serialisation of the radio.
 	busyUntil time.Duration
 	// lastArrive makes per-link delivery times monotonic: jitter may draw a
@@ -107,6 +113,11 @@ type Link struct {
 
 // NewLink returns a link delivering decoded payloads to sink. rng may be
 // nil for an ideal channel.
+//
+// Delivered payload slices alias the link's decoder buffer and are only
+// valid for the duration of the sink call: a sink that retains payload
+// bytes must copy them. Every in-tree sink (Hub.Handle, Session.Handle,
+// ARQ.HandleAck) decodes synchronously and retains nothing.
 func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payload []byte, at time.Duration)) (*Link, error) {
 	if sched == nil {
 		return nil, fmt.Errorf("rf: scheduler is required")
@@ -121,7 +132,12 @@ func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payl
 	if cfg.BurstLossProb > 0 && cfg.BurstLossLen < 1 {
 		cfg.BurstLossLen = 4
 	}
-	return &Link{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}, nil
+	l := &Link{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}
+	l.onPayload = func(p []byte) {
+		l.cnt.delivered.Add(1)
+		l.sink(p, l.deliverAt)
+	}
+	return l, nil
 }
 
 // Stats returns the channel statistics.
@@ -202,18 +218,17 @@ func (l *Link) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, er
 		return arrive, nil
 	}
 	if l.rng != nil && l.rng.Bool(l.cfg.CorruptProb) && len(frame) > 3 {
+		// Encode handed us a private frame, so the flip happens in place.
 		l.cnt.corrupted.Add(1)
 		i := 3 + l.rng.Intn(len(frame)-3)
-		frame = append([]byte(nil), frame...)
 		frame[i] ^= 1 << uint(l.rng.Intn(8))
 	}
 
-	frameCopy := append([]byte(nil), frame...)
 	l.sched.At(arrive, func(at time.Duration) {
-		for _, p := range l.dec.Feed(frameCopy) {
-			l.cnt.delivered.Add(1)
-			l.sink(p, at)
-		}
+		// The zero-copy decode path: payloads handed to the sink alias the
+		// decoder scratch, valid only inside the callback (see NewLink).
+		l.deliverAt = at
+		l.dec.FeedFunc(frame, l.onPayload)
 	})
 	return arrive, nil
 }

@@ -151,14 +151,34 @@ func PayloadSeq(payload []byte) (uint16, bool) {
 // a forward to b is less than half the space.
 func seqLE(a, b uint16) bool { return b-a < 0x8000 }
 
-// MarshalBinary encodes the message into a fixed-size v1 payload carrying
-// the device id.
-func (m Message) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, msgLenV1)
+// AppendBinary appends the fixed-size v1 wire encoding of m to dst and
+// returns the extended slice. It is the allocation-free sibling of
+// MarshalBinary: a transmitter that keeps a per-device scratch buffer
+// (`buf = m.AppendBinary(buf[:0])`) pays nothing per message once the
+// buffer has warmed up.
+func (m Message) AppendBinary(dst []byte) []byte {
+	dst = grow(dst, msgLenV1)
+	buf := dst[len(dst)-msgLenV1:]
 	buf[0] = verMagicV1
 	binary.BigEndian.PutUint32(buf[1:], m.Device)
 	m.putV0Body(buf[5:])
-	return buf, nil
+	return dst
+}
+
+// grow extends dst by n bytes, reusing capacity when it suffices.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n, 2*(len(dst)+n))
+	copy(out, dst)
+	return out
+}
+
+// MarshalBinary encodes the message into a fixed-size v1 payload carrying
+// the device id.
+func (m Message) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, msgLenV1)), nil
 }
 
 // MarshalBinaryV0 encodes the message in the legacy v0 layout, which has no
@@ -185,20 +205,35 @@ func (m Message) putV0Body(buf []byte) {
 // MarshalBinaryV0, selecting the version from the first byte. Legacy v0
 // payloads decode with Device zero.
 func (m *Message) UnmarshalBinary(data []byte) error {
+	if m.Decode(data) {
+		return nil
+	}
+	if len(data) >= 1 && data[0] == verMagicV1 {
+		return fmt.Errorf("%w: %d bytes, want %d (v1)", ErrShortMessage, len(data), msgLenV1)
+	}
+	return fmt.Errorf("%w: %d bytes, want %d", ErrShortMessage, len(data), msgLenV0)
+}
+
+// Decode is the allocation-free sibling of UnmarshalBinary: it decodes a
+// payload in place and reports whether it was well formed, without
+// constructing an error value. Demux hot paths use it so a storm of corrupt
+// frames costs an atomic counter increment per frame, not a garbage-
+// collected error each.
+func (m *Message) Decode(data []byte) bool {
 	if len(data) >= 1 && data[0] == verMagicV1 {
 		if len(data) < msgLenV1 {
-			return fmt.Errorf("%w: %d bytes, want %d (v1)", ErrShortMessage, len(data), msgLenV1)
+			return false
 		}
 		m.Device = binary.BigEndian.Uint32(data[1:])
 		m.getV0Body(data[5:])
-		return nil
+		return true
 	}
 	if len(data) < msgLenV0 {
-		return fmt.Errorf("%w: %d bytes, want %d", ErrShortMessage, len(data), msgLenV0)
+		return false
 	}
 	m.Device = 0
 	m.getV0Body(data)
-	return nil
+	return true
 }
 
 func (m *Message) getV0Body(data []byte) {

@@ -14,6 +14,12 @@ import (
 //
 // Send returns the virtual time at which the transmission completes
 // (delivery, or silent loss for lossy transports).
+//
+// Ownership: the payload belongs to the caller and is only valid for the
+// duration of the Send/SendTagged call. A transport that needs the bytes
+// later (queueing, retransmission, deferred delivery) must copy them —
+// *Pipe and *ARQ do. This lets senders marshal into a reusable scratch
+// buffer and transmit allocation-free (see Message.AppendBinary).
 type Transport interface {
 	Send(payload []byte) (time.Duration, error)
 }

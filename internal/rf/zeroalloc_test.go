@@ -1,0 +1,102 @@
+package rf
+
+import (
+	"testing"
+)
+
+// The zero-allocation contracts of the frame pipeline, enforced as tests so
+// a regression fails CI rather than silently costing a fleet host one
+// garbage-collected allocation per frame. testing.AllocsPerRun reports the
+// average allocations of steady-state calls; the scratch buffers warm up
+// before measurement.
+
+func testMessage() Message {
+	return Message{
+		Kind:      MsgScroll,
+		Device:    7,
+		Seq:       42,
+		AtMillis:  1234,
+		Index:     5,
+		VoltageMV: 1800,
+		Island:    2,
+		Button:    1,
+		Context:   3,
+	}
+}
+
+func TestAppendBinaryZeroAlloc(t *testing.T) {
+	m := testMessage()
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = m.AppendBinary(buf[:0])
+	}); n != 0 {
+		t.Fatalf("Message.AppendBinary: %v allocs/op, want 0", n)
+	}
+}
+
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	payload := testMessage().AppendBinary(nil)
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = AppendEncode(buf[:0], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendEncode: %v allocs/op, want 0", n)
+	}
+}
+
+func TestFeedFuncZeroAlloc(t *testing.T) {
+	frame, err := Encode(testMessage().AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder()
+	got := 0
+	fn := func(p []byte) { got++ }
+	// Warm the decoder's internal buffer before measuring.
+	d.FeedFunc(frame, fn)
+	got = 0
+	if n := testing.AllocsPerRun(1000, func() {
+		d.FeedFunc(frame, fn)
+	}); n != 0 {
+		t.Fatalf("Decoder.FeedFunc: %v allocs/op, want 0", n)
+	}
+	if got != 1000+1 {
+		t.Fatalf("decoded %d frames, want %d", got, 1001)
+	}
+}
+
+// TestEncodeAppendEncodeEquivalent pins the append-style encoder to the
+// allocating one byte for byte, including the error path leaving dst
+// untouched.
+func TestEncodeAppendEncodeEquivalent(t *testing.T) {
+	payloads := [][]byte{
+		{0x01},
+		testMessage().AppendBinary(nil),
+		make([]byte, MaxPayload),
+	}
+	for _, p := range payloads {
+		want, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendEncode([]byte{0xEE}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1+len(want) || got[0] != 0xEE || string(got[1:]) != string(want) {
+			t.Fatalf("AppendEncode mismatch for %d-byte payload", len(p))
+		}
+	}
+	dst := []byte{1, 2, 3}
+	out, err := AppendEncode(dst, make([]byte, MaxPayload+1))
+	if err == nil {
+		t.Fatal("AppendEncode accepted oversize payload")
+	}
+	if len(out) != 3 {
+		t.Fatalf("error path must leave dst unchanged, got len %d", len(out))
+	}
+}
