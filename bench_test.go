@@ -26,6 +26,7 @@ import (
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/smartits"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
@@ -248,6 +249,51 @@ func BenchmarkHubDemuxInstrumented(b *testing.B) {
 		b.Fatalf("latency observations %d, want %d", lat.Count, b.N)
 	}
 	b.ReportMetric(lat.P50, "p50ms")
+}
+
+// BenchmarkHubDemuxTraced is BenchmarkHubDemux with a flight recorder
+// attached: every frame additionally records one hub.demux span event into
+// the per-device bounded ring. The design budget is ≤5% over plain and
+// 0 allocs/op — the ring is pre-sized, so the trace is one masked store.
+// The CI bench gate compares this against BenchmarkHubDemux.
+//
+// Ring sizing matters here: the recorder rings share the cache with the
+// demux working set, so a 64-device fleet wants small per-device rings
+// (24 B/event — a 4096-event ring per device is 6 MB of round-robin
+// writes and shows up as pure cache-miss overhead). 128 events/device is
+// 4× the post-mortem dump window and keeps the whole trace footprint
+// under 200 KB; see DESIGN.md §10 for the sizing guidance.
+func BenchmarkHubDemuxTraced(b *testing.B) {
+	const devices = 64
+	hub := core.NewHub(false)
+	tracer := tracing.New(tracing.Config{Capacity: 128, Bounded: true})
+	frames := make([][]byte, devices)
+	for i := range frames {
+		m := rf.Message{
+			Device: uint32(i + 1), Kind: rf.MsgScroll,
+			Seq: 1, AtMillis: 40, Index: int16(i % 10),
+		}
+		payload, err := m.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = payload
+		id := uint32(i + 1)
+		hub.Session(id).AttachTracer(tracer.NewRecorder("bench", id))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Handle(frames[i%devices], time.Duration(i)*time.Millisecond)
+	}
+	b.StopTimer()
+	var recorded uint64
+	for _, rec := range tracer.Recorders() {
+		recorded += rec.Total()
+	}
+	if recorded != uint64(b.N) {
+		b.Fatalf("recorded %d span events, want %d", recorded, b.N)
+	}
 }
 
 // BenchmarkHubDemuxParallel measures the hub demux path under concurrency:

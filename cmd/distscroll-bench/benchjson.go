@@ -12,6 +12,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // This file implements -bench-json: the machine-readable perf baseline
@@ -188,6 +189,27 @@ func benchHubParallel() testing.BenchmarkResult {
 	})
 }
 
+// benchHubSerialTraced is benchHubSerial with a per-device flight recorder
+// attached: every frame additionally records one hub.demux span event into
+// a bounded ring. Small rings keep the trace footprint cache-resident (see
+// DESIGN.md §10); the budget is ≤5% over the plain serial demux.
+func benchHubSerialTraced() testing.BenchmarkResult {
+	frames := benchFrames(benchDevices)
+	return testing.Benchmark(func(b *testing.B) {
+		hub := core.NewHub(false)
+		tracer := tracing.New(tracing.Config{Capacity: 128, Bounded: true})
+		for i := range frames {
+			id := uint32(i + 1)
+			hub.Session(id).AttachTracer(tracer.NewRecorder("bench", id))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hub.Handle(frames[i%benchDevices], time.Duration(i)*time.Millisecond)
+		}
+	})
+}
+
 func benchFrameRoundTrip() testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		msg := rf.Message{Device: 9, Kind: rf.MsgScroll, Seq: 7, AtMillis: 1234, Index: 3}
@@ -242,6 +264,9 @@ type benchBaseline struct {
 	// lock-free ns/op on the same machine and workload.
 	SpeedupSerial   float64 `json:"speedupSerial"`
 	SpeedupParallel float64 `json:"speedupParallel"`
+	// TracedOverhead is traced-demux ns/op divided by plain ns/op, same
+	// machine and workload; the design budget is ≤ 1.05.
+	TracedOverhead float64 `json:"tracedOverhead"`
 }
 
 // writeBenchJSON measures the demux and frame pipeline old vs new and
@@ -251,6 +276,7 @@ func writeBenchJSON(path string) error {
 	oldParallel := benchMutexHubParallel()
 	newSerial := benchHubSerial()
 	newParallel := benchHubParallel()
+	newTraced := benchHubSerialTraced()
 	roundTrip := benchFrameRoundTrip()
 
 	doc := benchBaseline{
@@ -266,11 +292,13 @@ func writeBenchJSON(path string) error {
 		After: []benchEntry{
 			toEntry("HubDemux", newSerial),
 			toEntry("HubDemuxParallel", newParallel),
+			toEntry("HubDemuxTraced", newTraced),
 			toEntry("FrameRoundTrip", roundTrip),
 		},
 	}
 	if ns := doc.After[0].NsPerOp; ns > 0 {
 		doc.SpeedupSerial = doc.Before[0].NsPerOp / ns
+		doc.TracedOverhead = doc.After[2].NsPerOp / ns
 	}
 	if ns := doc.After[1].NsPerOp; ns > 0 {
 		doc.SpeedupParallel = doc.Before[1].NsPerOp / ns

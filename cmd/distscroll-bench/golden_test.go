@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report_seed1.txt from current output")
+
+// TestGoldenReportSeed1 pins the full seed-1 experiment report against the
+// repo's report_seed1.txt. The report is the paper-reproduction artifact —
+// every figure and table — so any behavioural drift in the simulation
+// shows up here as a diff. Refresh intentionally with:
+//
+//	go test ./cmd/distscroll-bench -run TestGoldenReportSeed1 -update
+func TestGoldenReportSeed1(t *testing.T) {
+	golden := filepath.Join("..", "..", "report_seed1.txt")
+
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, out.Len())
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		got, exp := out.Bytes(), want
+		// Point at the first divergent line so the failure is actionable
+		// without diffing 400 lines by hand.
+		line, gl, wl := firstDiffLine(got, exp)
+		t.Fatalf("seed-1 report drifted from report_seed1.txt at line %d:\n  golden: %q\n  got:    %q\n"+
+			"intentional change? refresh with: go test ./cmd/distscroll-bench -run TestGoldenReportSeed1 -update",
+			line, wl, gl)
+	}
+}
+
+// firstDiffLine returns the 1-based line number of the first differing line
+// plus the two lines themselves.
+func firstDiffLine(got, want []byte) (int, string, string) {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return i + 1, string(g[i]), string(w[i])
+		}
+	}
+	return n + 1, "", ""
+}

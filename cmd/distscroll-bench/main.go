@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -29,6 +31,7 @@ import (
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 func main() {
@@ -56,9 +59,51 @@ func run(args []string, stdout io.Writer) error {
 		burst     = fs.Float64("burst", 0, "per-frame probability of a burst dropping several consecutive frames")
 		burstLen  = fs.Int("burst-len", 0, "frames dropped per burst (0 = model default)")
 		ackLoss   = fs.Float64("ack-loss", 0, "loss probability of the reliable-mode ack back-channel")
+		traceOut  = fs.String("trace-out", "", "record frame-level causal spans and write a Perfetto/Chrome trace JSON to this file (open in ui.perfetto.dev)")
+		flightRec = fs.Bool("flight-recorder", false, "bounded per-device trace rings: anomalies (abandoned frames, seq gaps, SLO breaches) dump the last events to stderr")
+		traceSLO  = fs.Duration("trace-slo", 0, "end-to-end latency SLO; a frame exceeding it raises a flight-recorder anomaly (0 = off)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+		rtTrace   = fs.String("runtime-trace", "", "write a Go runtime execution trace of the run to this file (go tool trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *rtTrace != "" {
+		f, err := os.Create(*rtTrace)
+		if err != nil {
+			return fmt.Errorf("runtime-trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("runtime-trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "distscroll-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "distscroll-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *benchCSV != "" {
@@ -81,6 +126,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if (*traceOut != "" || *flightRec || *traceSLO > 0) && *fleetN <= 0 {
+		return fmt.Errorf("tracing flags (-trace-out, -flight-recorder, -trace-slo) require -fleet")
+	}
+
 	if *fleetN > 0 {
 		return runFleet(fleetOpts{
 			devices:    *fleetN,
@@ -94,6 +143,9 @@ func run(args []string, stdout io.Writer) error {
 			burst:      *burst,
 			burstLen:   *burstLen,
 			ackLoss:    *ackLoss,
+			traceOut:   *traceOut,
+			flightRec:  *flightRec,
+			traceSLO:   *traceSLO,
 		}, stdout)
 	}
 
@@ -152,6 +204,9 @@ type fleetOpts struct {
 	burst            float64
 	burstLen         int
 	ackLoss          float64
+	traceOut         string
+	flightRec        bool
+	traceSLO         time.Duration
 }
 
 // runFleet simulates n devices concurrently against one hub and prints the
@@ -166,6 +221,24 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 		cfg.Core.Link.BurstLossProb = o.burst
 		cfg.Core.Link.BurstLossLen = o.burstLen
 		cfg.Core.Link.AckLossProb = o.ackLoss
+	}
+	var tracer *tracing.Tracer
+	if o.traceOut != "" || o.flightRec || o.traceSLO > 0 {
+		tcfg := tracing.Config{SLO: o.traceSLO}
+		if o.flightRec || o.traceSLO > 0 {
+			// Anomalies (abandoned frames, seq gaps, SLO breaches) dump
+			// their trailing events to stderr.
+			tcfg.DumpTo = os.Stderr
+		}
+		if o.flightRec {
+			// Flight-recorder mode: small bounded rings so the trace
+			// footprint stays cache-resident even for large fleets.
+			// Without it, retain everything for a complete export.
+			tcfg.Bounded = true
+			tcfg.Capacity = 512
+		}
+		tracer = tracing.New(tcfg)
+		cfg.Tracing = tracer
 	}
 	var reg *telemetry.Registry
 	if o.metrics || o.metricsOut != "" {
@@ -227,6 +300,29 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(&report, "wrote telemetry report to %s\n", o.metricsOut)
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		meta := map[string]any{
+			"tool":    "distscroll-bench",
+			"devices": o.devices,
+			"seed":    o.seed,
+			"decoded": tot.Decoded,
+		}
+		if err := tracer.WritePerfetto(f, meta); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(&report, "wrote Perfetto trace to %s (open in ui.perfetto.dev)\n", o.traceOut)
+	}
+	if tracer != nil && tracer.Dumps() > 0 {
+		fmt.Fprintf(&report, "flight recorder: %d anomaly dump(s) written to stderr\n", tracer.Dumps())
 	}
 
 	if _, err := io.WriteString(stdout, report.String()); err != nil {

@@ -25,6 +25,7 @@ import (
 type Fleet struct {
 	runner  *fleet.Runner
 	metrics *telemetry.Registry
+	tracing *Tracing
 
 	onScroll func(device int, e Event)
 	onSelect func(device int, e Event)
@@ -56,11 +57,16 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		Metrics:  cfg.core.Metrics,
 		Reliable: cfg.core.Reliable,
 		ARQ:      cfg.core.ARQ,
+		Tracing:  cfg.core.Tracing,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Fleet{runner: runner, metrics: cfg.core.Metrics}, nil
+	f := &Fleet{runner: runner, metrics: cfg.core.Metrics}
+	if cfg.core.Tracing != nil {
+		f.tracing = &Tracing{tracer: cfg.core.Tracing}
+	}
+	return f, nil
 }
 
 // Size returns the number of devices in the fleet.
@@ -116,6 +122,10 @@ type FleetReport struct {
 	// Telemetry is the end-of-run metrics snapshot, nil unless the fleet
 	// was built with WithMetrics.
 	Telemetry *MetricsSnapshot
+	// TraceExport is the causal-trace export handle, nil unless the fleet
+	// was built with WithTracing. The run has quiesced by the time the
+	// report exists, so WritePerfetto / WriteText see every recorded span.
+	TraceExport *Tracing
 }
 
 // RunAll simulates every device through the scripted menu workload
@@ -158,6 +168,7 @@ func (f *Fleet) RunAll() (FleetReport, error) {
 	if f.metrics != nil {
 		rep.Telemetry = f.metrics.Snapshot()
 	}
+	rep.TraceExport = f.tracing
 	return rep, runErr
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/smartits"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // Config assembles a complete system.
@@ -51,6 +52,13 @@ type Config struct {
 	// where the device's own Host consumes frames — the host records
 	// receive counters and end-to-end latency. Nil costs nothing.
 	Metrics *telemetry.Registry
+	// Tracing, when set, equips the device with a per-device flight
+	// recorder threaded through every pipeline stage (firmware, ARQ, link,
+	// and — for the classic wiring — the device's own Host session). A
+	// fleet attaches its hub sessions to the same recorder instead, since
+	// one device's whole pipeline runs on its scheduler goroutine. Nil
+	// costs a predictable branch per hop.
+	Tracing *tracing.Tracer
 }
 
 // DefaultConfig is the prototype system.
@@ -86,6 +94,10 @@ type Device struct {
 	Reverse *rf.ReverseLink
 	Host    *Host
 	Menu    *menu.Menu
+	// Trace is the device's flight recorder (nil unless Config.Tracing):
+	// every pipeline stage of this device records onto it, and a fleet
+	// attaches the hub session for this device to it too.
+	Trace *tracing.Recorder
 
 	tickCancel func()
 	stepErr    error
@@ -114,6 +126,9 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 		Board:     board,
 		Menu:      m,
 	}
+	if cfg.Tracing != nil {
+		d.Trace = cfg.Tracing.NewRecorder(fmt.Sprintf("device-%d", cfg.DeviceID), cfg.DeviceID)
+	}
 	if cfg.Metrics != nil && cfg.Sink == nil {
 		// Classic wiring: this device's own Host consumes the frames, so
 		// it owns the receive-side instrumentation. In a fleet the shared
@@ -121,6 +136,12 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 		d.Host = NewHostWithMetrics(cfg.KeepEventLog, cfg.Metrics)
 	} else {
 		d.Host = NewHost(cfg.KeepEventLog)
+	}
+	if d.Trace != nil && cfg.Sink == nil {
+		// Classic wiring: this device's own Host session demuxes the
+		// frames, so it records the hub.demux leg of the trace. A fleet's
+		// shared hub sessions are attached by fleet.New instead.
+		d.Host.AttachTracer(d.Trace)
 	}
 
 	sink := cfg.Sink
@@ -149,6 +170,9 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 			d.Transport = link
 			tx = link
 		}
+		if d.Link != nil {
+			d.Link.SetTracer(d.Trace)
+		}
 		if cfg.Reliable {
 			// The ARQ wraps the channel and the ReverseLink closes the ack
 			// loop. Both draw from their own derived random streams, taken
@@ -162,6 +186,7 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
+			arq.SetTracer(d.Trace)
 			d.ARQ = arq
 			d.Reverse = rev
 			tx = arq
@@ -176,6 +201,7 @@ func NewDevice(cfg Config, root *menu.Node) (*Device, error) {
 	}
 
 	cfg.Firmware.DeviceID = cfg.DeviceID
+	cfg.Firmware.Trace = d.Trace
 	fw, err := firmware.New(cfg.Firmware, board, m, tx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // Session is the host-side receive state for ONE device: sequence-number
@@ -50,6 +51,15 @@ type Session struct {
 	reliable bool
 	ackFn    func(cum uint16)
 	awaitSeq uint16
+
+	// trace is the per-device flight recorder, written by the same
+	// single-writer goroutine as the sequence state. The demux hot path
+	// records exactly ONE hub.demux event per frame (the session outcome is
+	// packed into Arg2, so there is no second store); traceSLO caches the
+	// tracer's latency objective so the SLO check costs one branch. Both
+	// are configured before frames flow (AttachTracer), then read-only.
+	trace    *tracing.Recorder
+	traceSLO time.Duration
 
 	// mu guards the retained event log, handler registration writes and the
 	// latency histogram. The bare demux path (no log, no metrics) never
@@ -149,6 +159,21 @@ func (s *Session) EnableReliable(ack func(cum uint16)) {
 	s.awaitSeq = 0
 }
 
+// AttachTracer equips the session with a per-device flight recorder: every
+// demuxed frame records one hub.demux span event carrying its origin tick
+// and admission outcome, and a frame whose end-to-end latency exceeds the
+// tracer's SLO raises an anomaly. Call before frames flow; a nil recorder
+// disables tracing.
+func (s *Session) AttachTracer(r *tracing.Recorder) {
+	s.trace = r
+	s.traceSLO = r.SLO()
+}
+
+// AwaitSeq returns the next sequence number the reliable receive state
+// expects — after a full drain it equals the sender's total sequenced
+// frames, which is the invariant the fleet's post-drain gap audit checks.
+func (s *Session) AwaitSeq() uint16 { return s.awaitSeq }
+
 // admit decides whether a reliable-mode frame enters the pipeline. It
 // returns false for frames that must be dropped (stale retransmits,
 // ahead-of-sequence arrivals); either way the caller re-acks the cumulative
@@ -181,14 +206,15 @@ func (s *Session) admit(seq uint16) bool {
 // consumeSkip admits a sender abandonment notice: the sender dropped the
 // count consecutive sequence numbers ending at m.Seq (queue overflow or
 // retry budget) and will never transmit them. The caller re-acks the
-// cumulative position afterwards either way.
-func (s *Session) consumeSkip(m rf.Message) {
+// cumulative position afterwards either way. The returned outcome is the
+// trace classification of the notice.
+func (s *Session) consumeSkip(m rf.Message) tracing.Outcome {
 	count := uint16(m.Index)
 	if count == 0 || count >= 0x8000 {
 		// A skip covering half the sequence space (or nothing) is
 		// malformed — no wrapping comparison can place it.
 		s.stats.badFrames.Add(1)
-		return
+		return tracing.OutcomeResync
 	}
 	last := m.Seq
 	first := last - count + 1
@@ -197,10 +223,12 @@ func (s *Session) consumeSkip(m rf.Message) {
 		// The whole range is already behind us — a retransmitted notice
 		// whose ack was lost. The re-ack repairs the sender's view.
 		s.stats.stale.Add(1)
+		return tracing.OutcomeStale
 	case s.awaitSeq-first >= 0x8000:
 		// The notice is ahead of sequence: frames before the hole are still
 		// in flight. Go-back-N resends them first; defer.
 		s.stats.aheadDrops.Add(1)
+		return tracing.OutcomeAhead
 	default:
 		// awaitSeq falls inside [first, last]: everything up to and
 		// including last is abandoned. Advance past the hole, counting the
@@ -208,6 +236,7 @@ func (s *Session) consumeSkip(m rf.Message) {
 		s.stats.missedSeq.Add(uint64(last - s.awaitSeq + 1))
 		s.stats.resyncs.Add(1)
 		s.awaitSeq = last + 1
+		return tracing.OutcomeResync
 	}
 }
 
@@ -331,12 +360,15 @@ func (s *Session) Handle(payload []byte, at time.Duration) {
 // single-writer fields: no locks, no allocations.
 func (s *Session) Consume(m rf.Message, at time.Duration) {
 	s.stats.decoded.Add(1)
+	outcome := tracing.OutcomeAdmit
 	if s.reliable {
 		if m.Kind == rf.MsgSkip {
 			// A sender abandonment notice advances the sequence position
 			// but carries no event; ack the new position and stop.
-			s.consumeSkip(m)
+			outcome = s.consumeSkip(m)
 			s.stats.dropped.Add(1)
+			s.trace.Record(tracing.HopHubDemux, m.Seq, at, m.AtMillis,
+				tracing.PackDemux(outcome, uint8(m.Kind)))
 			if s.ackFn != nil {
 				s.ackFn(s.awaitSeq - 1)
 			}
@@ -345,6 +377,16 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 		admitted := s.admit(m.Seq)
 		if !admitted {
 			s.stats.dropped.Add(1)
+			if s.trace != nil {
+				// admit left awaitSeq untouched on the drop path, so the
+				// same wrapping compare it used reconstructs the verdict.
+				outcome = tracing.OutcomeAhead
+				if m.Seq-s.awaitSeq >= 0x8000 {
+					outcome = tracing.OutcomeStale
+				}
+				s.trace.Record(tracing.HopHubDemux, m.Seq, at, m.AtMillis,
+					tracing.PackDemux(outcome, uint8(m.Kind)))
+			}
 			if s.ackFn != nil {
 				s.ackFn(s.awaitSeq - 1)
 			}
@@ -356,16 +398,28 @@ func (s *Session) Consume(m rf.Message, at time.Duration) {
 		switch gap := m.Seq - s.lastSeq; {
 		case gap == 0:
 			s.stats.duplicates.Add(1)
+			outcome = tracing.OutcomeDuplicate
 		case gap == 1:
 			// In order.
 		case gap < 0x8000:
 			s.stats.missedSeq.Add(uint64(gap - 1))
 		default:
 			s.stats.reordered.Add(1)
+			outcome = tracing.OutcomeReordered
 		}
 	}
 	s.lastSeq = m.Seq
 	s.haveSeq = true
+	if tr := s.trace; tr != nil {
+		tr.Record(tracing.HopHubDemux, m.Seq, at, m.AtMillis,
+			tracing.PackDemux(outcome, uint8(m.Kind)))
+		if slo := s.traceSLO; slo > 0 {
+			if lat := at - m.Timestamp(); lat > slo {
+				tr.Anomaly(tracing.HopSessionSLO, m.Seq, at,
+					uint32(lat/time.Millisecond), 0, "e2e latency above SLO")
+			}
+		}
+	}
 	if s.lat != nil {
 		const perMs = 1.0 / float64(time.Millisecond)
 		s.mu.Lock()

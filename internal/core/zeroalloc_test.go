@@ -6,6 +6,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // TestHubHandleZeroAlloc enforces the demux fast path's zero-allocation
@@ -29,6 +30,32 @@ func TestHubHandleZeroAlloc(t *testing.T) {
 	}
 	if st := hub.Stats(); st.Decoded != 1001 || st.BadFrames != 0 {
 		t.Fatalf("hub stats after run: %+v", st)
+	}
+}
+
+// TestHubHandleTracedZeroAlloc extends the contract to the traced demux
+// path: with a flight recorder attached (bounded ring, pre-allocated),
+// recording the per-frame hub.demux span event must stay allocation-free —
+// tracing is admissible on the hot path or it is useless in production.
+func TestHubHandleTracedZeroAlloc(t *testing.T) {
+	hub := core.NewHub(false)
+	m := rf.Message{Device: 3, Kind: rf.MsgScroll, Seq: 1, AtMillis: 40, Index: 2}
+	payload, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := tracing.New(tracing.Config{Capacity: 1024, Bounded: true})
+	rec := tracer.NewRecorder("dev-3", 3)
+	hub.Session(3).AttachTracer(rec)
+	at := 5 * time.Millisecond
+	if n := testing.AllocsPerRun(1000, func() {
+		hub.Handle(payload, at)
+		at += time.Millisecond
+	}); n != 0 {
+		t.Fatalf("Hub.Handle traced: %v allocs/op, want 0", n)
+	}
+	if rec.Total() != 1001 {
+		t.Fatalf("recorded %d demux events, want 1001", rec.Total())
 	}
 }
 

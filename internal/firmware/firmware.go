@@ -15,6 +15,7 @@ import (
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/smartits"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // Config parameterises the firmware build.
@@ -60,6 +61,10 @@ type Config struct {
 	// AutoHandedness (with ContextSensing and a slidable layout) mirrors
 	// the select/back roles when a left-handed grip is detected.
 	AutoHandedness bool
+	// Trace is the device's flight recorder; every emitted frame records a
+	// firmware.sample span event (the birth of its trace) on it. Nil
+	// disables tracing.
+	Trace *tracing.Recorder
 }
 
 // DefaultConfig is the prototype firmware build.
@@ -523,6 +528,9 @@ func (fw *Firmware) send(m rf.Message, now time.Duration) {
 	m.Seq = fw.seq
 	fw.seq++
 	m.AtMillis = uint32(now / time.Millisecond)
+	// The frame's trace is born here: device id + seq + origin tick is the
+	// context every later hop keys on.
+	fw.cfg.Trace.Record(tracing.HopFirmwareSample, m.Seq, now, uint32(m.Kind), 0)
 	fw.txBuf = m.AppendBinary(fw.txBuf[:0])
 	payload := fw.txBuf
 	var err error

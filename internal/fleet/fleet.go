@@ -22,6 +22,7 @@ import (
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // Step is one scripted action a device performs: reach for a menu entry
@@ -95,6 +96,13 @@ type Config struct {
 	// of the fleet seed.
 	ReportEvery time.Duration
 	OnReport    func(*telemetry.Snapshot)
+	// Tracing equips every device with a per-device flight recorder
+	// covering its whole pipeline — firmware, ARQ, link, and the hub
+	// session, all of which run on that device's scheduler goroutine. After
+	// RunAll joins its workers the tracer's recorders hold the merged
+	// causal trace of the run (export with WritePerfetto / WriteText). Nil
+	// disables tracing at the cost of one predictable branch per hop.
+	Tracing *tracing.Tracer
 }
 
 // Result is one device's outcome, deterministic given the fleet seed.
@@ -179,6 +187,7 @@ func New(cfg Config) (*Runner, error) {
 		c.DeviceID = id
 		c.Sink = r.hub.Handle
 		c.Metrics = cfg.Metrics
+		c.Tracing = cfg.Tracing
 		if cfg.Reliable {
 			c.Reliable = true
 			c.ARQ = cfg.ARQ
@@ -195,6 +204,13 @@ func New(cfg Config) (*Runner, error) {
 		// Pre-register so Devices() iterates in fleet order even for
 		// devices whose first frame arrives late.
 		sess := r.hub.Session(id)
+		if dev.Trace != nil {
+			// The hub session for this device is driven by this device's
+			// delivery callbacks, so it shares the device's single-writer
+			// recorder: the whole firmware→session chain lands in one
+			// causally ordered buffer.
+			sess.AttachTracer(dev.Trace)
+		}
 		if dev.Reverse != nil {
 			// Close the ack loop: the hub session answers every frame from
 			// this device with a cumulative ack over the device's own
@@ -323,6 +339,33 @@ func (r *Runner) runDevice(i int) Result {
 				return fail(err)
 			}
 		}
+		// The window can empty while final retransmitted copies (acked via
+		// an earlier copy) are still on the air — under heavy retransmission
+		// the half-duplex airtime queue can stretch seconds past the last
+		// ack. Flush until every sent frame is accounted for so the loss
+		// check below is exact.
+		for i := 0; i < 80; i++ {
+			s := transportStats(dev)
+			if s.Sent == s.Delivered+s.Lost+s.Corrupted {
+				break
+			}
+			if err := dev.Run(250 * time.Millisecond); err != nil {
+				return fail(err)
+			}
+		}
+		if dev.Trace != nil && dev.ARQ.Outstanding() == 0 {
+			// Post-drain sequence audit: with the window empty, every seq
+			// the firmware used was delivered or abandoned-with-notice, so
+			// the session must be expecting exactly the next fresh seq. A
+			// mismatch is a frame that vanished without a skip notice — the
+			// bug class the flight recorder exists to catch.
+			await := r.hub.Session(id).AwaitSeq()
+			if exp := uint16(dev.ARQ.Stats().Enqueued); await != exp {
+				dev.Trace.Anomaly(tracing.HopSessionGap, await, dev.Clock.Now(),
+					uint32(exp-await), 0,
+					fmt.Sprintf("seq gap after drain: session awaits seq %d, sender used 0..%d", await, exp-1))
+			}
+		}
 	}
 	r.collect(dev, id, &res)
 	// With the channel drained, every frame must be accounted for exactly
@@ -336,18 +379,25 @@ func (r *Runner) runDevice(i int) Result {
 	return res
 }
 
+// transportStats reads the channel accounting of whichever transport the
+// device was assembled with.
+func transportStats(dev *core.Device) rf.LinkStats {
+	switch tr := dev.Transport.(type) {
+	case *rf.Link:
+		return tr.Stats()
+	case *rf.Pipe:
+		return tr.Stats()
+	}
+	return rf.LinkStats{}
+}
+
 func (r *Runner) collect(dev *core.Device, id uint32, res *Result) {
 	res.FinalCursor = dev.Cursor()
 	res.Elapsed = dev.Clock.Now()
 	if st, ok := r.hub.DeviceStats(id); ok {
 		res.Host = st
 	}
-	switch tr := dev.Transport.(type) {
-	case *rf.Link:
-		res.Link = tr.Stats()
-	case *rf.Pipe:
-		res.Link = tr.Stats()
-	}
+	res.Link = transportStats(dev)
 	if dev.ARQ != nil {
 		res.ARQ = dev.ARQ.Stats()
 	}

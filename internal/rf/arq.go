@@ -7,6 +7,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // This file is the reliable-delivery (ARQ) layer on top of the lossy RF
@@ -157,6 +158,7 @@ type ARQ struct {
 	rng   *sim.Rand
 	tx    Transport
 	cnt   arqCounters
+	trace *tracing.Recorder
 
 	inflight []*arqFrame // oldest first, len <= cfg.Window
 	queue    []*arqFrame // backlog, len <= cfg.Queue
@@ -182,6 +184,13 @@ func NewARQ(cfg ARQConfig, sched *sim.Scheduler, rng *sim.Rand, tx Transport) (*
 
 // Stats returns the reliable-delivery counters.
 func (a *ARQ) Stats() ARQStats { return a.cnt.stats() }
+
+// SetTracer attaches a per-device flight recorder. The sender records
+// arq.enqueue/arq.tx/arq.retx/arq.ack span events on it and raises
+// anomalies (with a post-mortem dump naming the abandoned seq range) when
+// the retry budget or backlog policy gives a frame up. A nil recorder
+// disables tracing.
+func (a *ARQ) SetTracer(r *tracing.Recorder) { a.trace = r }
 
 // Outstanding reports how many frames are still unconfirmed (in flight or
 // queued). A fleet drains a reliable device until this reaches zero.
@@ -215,6 +224,8 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 		return a.rawSend(payload, ver)
 	}
 	a.cnt.enqueued.Add(1)
+	a.trace.Record(tracing.HopArqEnqueue, seq, a.sched.Clock().Now(),
+		uint32(len(a.inflight)+len(a.queue)), 0)
 	fr := &arqFrame{seq: seq, ver: ver, payload: append([]byte(nil), payload...)}
 	if len(a.inflight) < a.cfg.Window {
 		wasEmpty := len(a.inflight) == 0
@@ -244,6 +255,8 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 			}
 			a.queue = append(a.queue[:1], a.queue[2:]...)
 			a.cnt.queueDrops.Add(1)
+			a.trace.Record(tracing.HopArqOverflow, head.seq, a.sched.Clock().Now(),
+				uint32(head.skipCount), 0)
 			a.refreshSkip(head)
 		case !head.skip:
 			// Abandon the oldest payload in place; the next loop pass merges
@@ -252,6 +265,8 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 				a.queue = a.queue[1:] // unparseable: plain drop
 			}
 			a.cnt.queueDrops.Add(1)
+			a.trace.Record(tracing.HopArqOverflow, head.seq, a.sched.Clock().Now(),
+				uint32(head.skipCount), 0)
 		default:
 			// The queue is a single filler already; admit the new frame with
 			// one slot of transient overshoot rather than dropping it.
@@ -308,6 +323,10 @@ func (a *ARQ) transmit(fr *arqFrame) (time.Duration, error) {
 	fr.attempts++
 	if fr.attempts > 1 {
 		a.cnt.retransmits.Add(1)
+		a.trace.Record(tracing.HopArqRetx, fr.seq, a.sched.Clock().Now(),
+			uint32(fr.attempts), 0)
+	} else {
+		a.trace.Record(tracing.HopArqTx, fr.seq, a.sched.Clock().Now(), 1, 0)
 	}
 	at, err := a.rawSend(fr.payload, fr.ver)
 	if err == nil && at > a.lastTxEnd {
@@ -345,6 +364,8 @@ func (a *ARQ) onTimer(gen int) {
 	}
 	a.cnt.timeouts.Add(1)
 	kept := a.inflight[:0]
+	var dropFirst, dropLast uint16
+	dropped := 0
 	for _, fr := range a.inflight {
 		if a.cfg.MaxRetries > 0 && !fr.skip && fr.attempts >= a.cfg.MaxRetries {
 			// Out of retries: the payload is abandoned, but its sequence
@@ -352,6 +373,11 @@ func (a *ARQ) onTimer(gen int) {
 			// filler (fillers are exempt from the budget; they are the
 			// mechanism that keeps the stream coherent after giving up).
 			a.cnt.retryDrops.Add(1)
+			if dropped == 0 {
+				dropFirst = fr.seq
+			}
+			dropLast = fr.seq
+			dropped++
 			if !a.toSkip(fr) {
 				continue
 			}
@@ -360,6 +386,15 @@ func (a *ARQ) onTimer(gen int) {
 		kept = append(kept, fr)
 	}
 	a.inflight = kept
+	if dropped > 0 && a.trace != nil {
+		// One anomaly covers the whole pass: the flight-recorder dump names
+		// the exact abandoned seq range so a post-mortem can correlate it
+		// with the receiver's resync.
+		a.trace.Anomaly(tracing.HopArqExhausted, dropLast, a.sched.Clock().Now(),
+			uint32(dropped), 0,
+			fmt.Sprintf("retry budget exhausted: seqs %d..%d abandoned after %d attempts",
+				dropFirst, dropLast, a.cfg.MaxRetries))
+	}
 	a.promote()
 	a.rto = time.Duration(float64(a.rto) * a.cfg.Backoff)
 	if a.rto > a.cfg.MaxRTO {
@@ -389,11 +424,14 @@ func (a *ARQ) HandleAck(payload []byte, at time.Duration) {
 	}
 	a.cnt.acksReceived.Add(1)
 	progressed := false
+	confirmed := uint32(0)
 	for len(a.inflight) > 0 && seqLE(a.inflight[0].seq, m.Seq) {
 		a.inflight = a.inflight[1:]
 		a.cnt.acked.Add(1)
+		confirmed++
 		progressed = true
 	}
+	a.trace.Record(tracing.HopArqAck, m.Seq, at, confirmed, 0)
 	if !progressed {
 		a.cnt.dupAcks.Add(1)
 		return

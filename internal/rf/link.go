@@ -7,6 +7,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
 )
 
 // LinkConfig parameterises the channel model.
@@ -94,6 +95,7 @@ type Link struct {
 	dec   *Decoder
 	sink  func(payload []byte, at time.Duration)
 	cnt   linkCounters
+	trace *tracing.Recorder
 	// onPayload is the persistent decoder callback (built once so delivery
 	// does not allocate a closure per frame); deliverAt carries the arrival
 	// time of the frame currently being decoded. Both are only touched from
@@ -135,6 +137,11 @@ func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payl
 	l := &Link{cfg: cfg, sched: sched, rng: rng, dec: NewDecoder(), sink: sink}
 	l.onPayload = func(p []byte) {
 		l.cnt.delivered.Add(1)
+		if l.trace != nil {
+			if seq, ok := PayloadSeq(p); ok {
+				l.trace.Record(tracing.HopLinkDeliver, seq, l.deliverAt, 0, 0)
+			}
+		}
 		l.sink(p, l.deliverAt)
 	}
 	return l, nil
@@ -142,6 +149,11 @@ func NewLink(cfg LinkConfig, sched *sim.Scheduler, rng *sim.Rand, sink func(payl
 
 // Stats returns the channel statistics.
 func (l *Link) Stats() LinkStats { return l.cnt.stats() }
+
+// SetTracer attaches a per-device flight recorder: the link records
+// link.deliver for every CRC-clean frame handed to the sink and link.drop
+// for frames the channel loses. A nil recorder disables tracing.
+func (l *Link) SetTracer(r *tracing.Recorder) { l.trace = r }
 
 // Collect contributes the link counters to a telemetry snapshot. Many
 // links (one per fleet device) collect into the same fleet-wide names.
@@ -214,7 +226,16 @@ func (l *Link) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, er
 	}
 	l.lastArrive = arrive
 
-	if lost := l.drawLoss(); lost {
+	if lost, burst := l.drawLoss(); lost {
+		if l.trace != nil {
+			if seq, ok := PayloadSeq(payload); ok {
+				var b uint32
+				if burst {
+					b = 1
+				}
+				l.trace.Record(tracing.HopLinkDrop, seq, arrive, b, 0)
+			}
+		}
 		return arrive, nil
 	}
 	if l.rng != nil && l.rng.Bool(l.cfg.CorruptProb) && len(frame) > 3 {
@@ -235,26 +256,27 @@ func (l *Link) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, er
 
 // drawLoss applies the loss model to one frame: an active burst swallows it
 // unconditionally, otherwise a fresh burst may start, otherwise the
-// independent per-frame loss probability applies.
-func (l *Link) drawLoss() bool {
+// independent per-frame loss probability applies. The second return
+// distinguishes burst loss for the trace.
+func (l *Link) drawLoss() (lost, burst bool) {
 	if l.rng == nil {
-		return false
+		return false, false
 	}
 	if l.burstLeft > 0 {
 		l.burstLeft--
 		l.cnt.lost.Add(1)
 		l.cnt.burstLost.Add(1)
-		return true
+		return true, true
 	}
 	if l.cfg.BurstLossProb > 0 && l.rng.Bool(l.cfg.BurstLossProb) {
 		l.burstLeft = l.cfg.BurstLossLen - 1
 		l.cnt.lost.Add(1)
 		l.cnt.burstLost.Add(1)
-		return true
+		return true, true
 	}
 	if l.rng.Bool(l.cfg.LossProb) {
 		l.cnt.lost.Add(1)
-		return true
+		return true, false
 	}
-	return false
+	return false, false
 }

@@ -237,11 +237,56 @@ func (s *Snapshot) finalize() {
 	}
 }
 
-// WriteJSON writes the snapshot as indented JSON.
+// sanitized returns the snapshot with every non-finite float replaced by 0,
+// so serialisation cannot fail: encoding/json rejects NaN and ±Inf outright,
+// and a single poisoned gauge or merged sum must not take down the whole
+// export. Returns the receiver unchanged (no copy) when already clean.
+func (s *Snapshot) sanitized() *Snapshot {
+	clean := true
+	for _, v := range s.Gauges {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			clean = false
+		}
+	}
+	for _, h := range s.Histograms {
+		for _, v := range [...]float64{h.Sum, h.P50, h.P90, h.P99} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				clean = false
+			}
+		}
+	}
+	if clean {
+		return s
+	}
+	fix := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	out := &Snapshot{Counters: s.Counters}
+	if s.Gauges != nil {
+		out.Gauges = make(map[string]float64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = fix(v)
+		}
+	}
+	if s.Histograms != nil {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for k, h := range s.Histograms {
+			h.Sum, h.P50, h.P90, h.P99 = fix(h.Sum), fix(h.P50), fix(h.P90), fix(h.P99)
+			out.Histograms[k] = h
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON. Non-finite floats are
+// written as 0 (encoding/json cannot represent them).
 func (s *Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s); err != nil {
+	if err := enc.Encode(s.sanitized()); err != nil {
 		return fmt.Errorf("telemetry: write json: %w", err)
 	}
 	return nil
@@ -252,6 +297,7 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 // label set (`name{device="7"}`); histogram suffixes splice their `le`
 // label into it.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	s = s.sanitized()
 	var b strings.Builder
 
 	names := make([]string, 0, len(s.Counters))

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// roundTripJSON serialises a snapshot with WriteJSON and parses it back,
+// failing the test on either direction — the exporter contract is that
+// every snapshot, however degenerate, produces valid parseable JSON.
+func roundTripJSON(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("JSON export does not parse back: %v\n%s", err, b.String())
+	}
+	return &back
+}
+
+// TestExportEmptyHistogramRoundTrip: a registered-but-never-observed
+// histogram must survive JSON and Prometheus export with zero count, zero
+// sum, zero quantiles and the full bucket shape intact.
+func TestExportEmptyHistogramRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Histogram("empty_ms", []float64{1, 2, 5})
+	snap := reg.Snapshot()
+
+	back := roundTripJSON(t, snap)
+	h, ok := back.Histogram("empty_ms")
+	if !ok {
+		t.Fatal("empty histogram missing from JSON round trip")
+	}
+	if h.Count != 0 || h.Sum != 0 || h.P50 != 0 || h.P99 != 0 {
+		t.Fatalf("empty histogram round-tripped dirty: %+v", h)
+	}
+	if len(h.Bounds) != 3 || len(h.Counts) != 4 {
+		t.Fatalf("bucket shape lost in round trip: %d bounds, %d counts", len(h.Bounds), len(h.Counts))
+	}
+
+	var p strings.Builder
+	if err := snap.WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	for _, want := range []string{
+		`empty_ms_bucket{le="1"} 0`,
+		`empty_ms_bucket{le="+Inf"} 0`,
+		"empty_ms_sum 0",
+		"empty_ms_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExportOverflowOnlySampleRoundTrip: a single observation above the
+// last bound lands in the implicit overflow bucket; the export must show
+// it under le="+Inf" only, and the quantiles clamp to the last bound.
+func TestExportOverflowOnlySampleRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Histogram("over_ms", []float64{1, 2, 5}).Observe(1e9)
+	snap := reg.Snapshot()
+
+	back := roundTripJSON(t, snap)
+	h, ok := back.Histogram("over_ms")
+	if !ok {
+		t.Fatal("histogram missing from round trip")
+	}
+	if h.Count != 1 || h.Counts[3] != 1 || h.Counts[0]+h.Counts[1]+h.Counts[2] != 0 {
+		t.Fatalf("overflow sample not isolated in the overflow bucket: %+v", h)
+	}
+	if h.Sum != 1e9 {
+		t.Fatalf("sum = %g, want 1e9", h.Sum)
+	}
+	if h.P50 != 5 || h.P99 != 5 {
+		t.Fatalf("overflow quantiles must clamp to the last bound: p50=%g p99=%g", h.P50, h.P99)
+	}
+
+	var p strings.Builder
+	if err := snap.WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, `over_ms_bucket{le="5"} 0`) ||
+		!strings.Contains(out, `over_ms_bucket{le="+Inf"} 1`) {
+		t.Fatalf("cumulative buckets wrong:\n%s", out)
+	}
+}
+
+// TestExportNaNInfGuard: NaN observations are dropped, ±Inf observations
+// count without poisoning the sum, and even a snapshot poisoned after the
+// fact (gauge or merged sum) still exports valid JSON and finite
+// Prometheus text.
+func TestExportNaNInfGuard(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("guard_ms", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	snap := reg.Snapshot()
+
+	got, _ := snap.Histogram("guard_ms")
+	if got.Count != 3 {
+		t.Fatalf("count = %d, want 3 (NaN dropped, ±Inf counted)", got.Count)
+	}
+	if got.Counts[2] != 1 || got.Counts[0] != 2 {
+		t.Fatalf("±Inf not routed to extreme buckets: %v", got.Counts)
+	}
+	if got.Sum != 1 {
+		t.Fatalf("sum = %g, want 1 (±Inf must not contribute)", got.Sum)
+	}
+	roundTripJSON(t, snap)
+
+	// Poison a snapshot directly — the write-side guard must still hold.
+	snap.SetGauge("bad_gauge", math.NaN())
+	snap.MergeHistogram("bad_ms", HistogramSnapshot{
+		Bounds: []float64{1}, Counts: []uint64{0, 1}, Count: 1, Sum: math.Inf(1),
+	})
+	back := roundTripJSON(t, snap)
+	if v := back.Gauges["bad_gauge"]; v != 0 {
+		t.Fatalf("NaN gauge exported as %g, want sanitised 0", v)
+	}
+	if bh := back.Histograms["bad_ms"]; bh.Sum != 0 || bh.Count != 1 {
+		t.Fatalf("Inf sum not sanitised: %+v", bh)
+	}
+
+	var p strings.Builder
+	if err := snap.WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "bad_gauge NaN") {
+		t.Fatalf("Prometheus export leaked NaN:\n%s", out)
+	}
+	// +Inf is legitimate only as a bucket le label, never as a value.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, " +Inf") || strings.HasSuffix(line, " -Inf") {
+			t.Fatalf("Prometheus export leaked an Inf value: %q", line)
+		}
+	}
+	// The untouched original histogram still exports its real sum.
+	if !strings.Contains(out, "guard_ms_sum 1") {
+		t.Fatalf("clean histogram sum lost:\n%s", out)
+	}
+}

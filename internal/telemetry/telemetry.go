@@ -26,6 +26,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -95,12 +96,17 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are dropped and ±Inf counts
+// in its extreme bucket without touching the sum: one poisoned observation
+// must not make every later JSON export unserialisable.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) {
 		return
 	}
 	h.counts[bucketFor(h.bounds, v)].Add(1)
+	if math.IsInf(v, 0) {
+		return
+	}
 	for {
 		old := h.sum.Load()
 		next := floatBits(floatFromBits(old) + v)
@@ -145,12 +151,17 @@ func NewLocalHistogram(bounds []float64) *LocalHistogram {
 	return &LocalHistogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
-// Observe records one value. Caller synchronises.
+// Observe records one value. Caller synchronises. Non-finite values get
+// the same guard as Histogram.Observe: NaN dropped, ±Inf counted without a
+// sum contribution.
 func (h *LocalHistogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) {
 		return
 	}
 	h.counts[bucketFor(h.bounds, v)]++
+	if math.IsInf(v, 0) {
+		return
+	}
 	h.sum += v
 }
 

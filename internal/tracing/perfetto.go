@@ -1,0 +1,187 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome Trace Event / Perfetto JSON export. The layout maps the fleet onto
+// Perfetto's process/thread grid:
+//
+//   - each device is a process (pid = device id) with one thread per
+//     pipeline stage — firmware, arq, link — carrying instant events and
+//     the per-frame radio lifetime slices;
+//   - the host is process 0 with one thread per device session (tid =
+//     device id) where every delivered frame is a complete "X" slice whose
+//     ts is the device-side origin tick and whose dur is the end-to-end
+//     latency, so latency is directly visible as slice width;
+//   - a flow ("s" at firmware.sample, "f" at the host slice) stitches one
+//     frame's birth to its admission, making a single scroll gesture
+//     traceable end to end across tracks in ui.perfetto.dev.
+//
+// All timestamps are virtual time in microseconds (the Trace Event unit).
+
+const hostPID = 0
+
+// traceEvent is one Chrome Trace Event object. Fields follow the format
+// spec; optional ones are omitted when zero.
+type traceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  uint32 `json:"pid"`
+	TID  uint32 `json:"tid"`
+	ID   uint64 `json:"id,omitempty"`
+	BP   string `json:"bp,omitempty"`
+	S    string `json:"s,omitempty"` // instant scope
+	Args any    `json:"args,omitempty"`
+}
+
+// Track tids inside a device process.
+const (
+	tidFirmware uint32 = 1
+	tidARQ      uint32 = 2
+	tidLink     uint32 = 3
+)
+
+func micros(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// flowID derives a stable per-frame flow id from the trace context. Device
+// ids are wire ids (< 2^32-16); seq wraps at 2^16, far beyond any window a
+// frame could be confused across.
+func flowID(dev uint32, seq uint16) uint64 { return uint64(dev)<<16 | uint64(seq) }
+
+// WritePerfetto merges every recorder into one Chrome Trace Event JSON
+// document ready for ui.perfetto.dev. otherData (optional) is embedded
+// verbatim in the document's otherData map — the CLI uses it to carry run
+// parameters and the delivered-frame count the CI gate checks against.
+func (t *Tracer) WritePerfetto(w io.Writer, otherData map[string]any) error {
+	if t == nil {
+		return nil
+	}
+	events := make([]traceEvent, 0, 256)
+
+	// Metadata: name the host process once, each device process, and the
+	// per-stage threads.
+	events = append(events,
+		metaEvent("process_name", hostPID, 0, "host hub"),
+		metaEvent("process_sort_index", hostPID, 0, -1),
+	)
+	for _, r := range t.Recorders() {
+		events = appendRecorderMeta(events, r)
+		events = appendRecorderEvents(events, r)
+	}
+
+	doc := struct {
+		TraceEvents     []traceEvent   `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       otherData,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func metaEvent(name string, pid, tid uint32, value any) traceEvent {
+	key := "name"
+	if name == "process_sort_index" || name == "thread_sort_index" {
+		key = "sort_index"
+	}
+	return traceEvent{
+		Name: name, Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{key: value},
+	}
+}
+
+func appendRecorderMeta(events []traceEvent, r *Recorder) []traceEvent {
+	dev := r.Device()
+	label := r.Label()
+	if label == "" {
+		label = fmt.Sprintf("device %d", dev)
+	}
+	return append(events,
+		metaEvent("process_name", dev, 0, label),
+		metaEvent("thread_name", dev, tidFirmware, "firmware"),
+		metaEvent("thread_name", dev, tidARQ, "arq"),
+		metaEvent("thread_name", dev, tidLink, "link"),
+		metaEvent("thread_name", hostPID, dev, fmt.Sprintf("session dev %d", dev)),
+	)
+}
+
+// appendRecorderEvents translates one recorder's retained events. Device-
+// side hops become instants (plus a flow start at firmware.sample);
+// hub.demux becomes the host-side complete slice that closes the flow.
+func appendRecorderEvents(events []traceEvent, r *Recorder) []traceEvent {
+	dev := r.Device()
+	for _, e := range r.Events() {
+		ts := micros(e.At)
+		switch e.Hop() {
+		case HopFirmwareSample:
+			events = append(events,
+				traceEvent{
+					Name: e.Hop().String(), Cat: "firmware", Ph: "i", S: "t",
+					TS: ts, PID: dev, TID: tidFirmware,
+					Args: map[string]any{"seq": e.Seq(), "kind": e.Arg()},
+				},
+				traceEvent{
+					Name: "frame", Cat: "frame", Ph: "s",
+					TS: ts, PID: dev, TID: tidFirmware,
+					ID: flowID(dev, e.Seq()),
+				},
+			)
+		case HopArqEnqueue, HopArqTx, HopArqRetx, HopArqAck,
+			HopArqOverflow, HopArqExhausted:
+			events = append(events, traceEvent{
+				Name: e.Hop().String(), Cat: "arq", Ph: "i", S: "t",
+				TS: ts, PID: dev, TID: tidARQ,
+				Args: map[string]any{"seq": e.Seq(), "arg": e.Arg()},
+			})
+		case HopLinkDeliver, HopLinkDrop:
+			events = append(events, traceEvent{
+				Name: e.Hop().String(), Cat: "link", Ph: "i", S: "t",
+				TS: ts, PID: dev, TID: tidLink,
+				Args: map[string]any{"seq": e.Seq()},
+			})
+		case HopHubDemux:
+			// The host-side span: origin tick → admission. Arg is the
+			// device-stamped origin in virtual milliseconds; the slice
+			// width is the end-to-end latency. The flow terminates here,
+			// binding the slice to its firmware.sample.
+			outcome, kind := UnpackDemux(e.Arg2())
+			origin := int64(e.Arg()) * 1000 // ms → µs
+			dur := ts - origin
+			if dur < 1 {
+				dur = 1
+			}
+			events = append(events,
+				traceEvent{
+					Name: outcome.String(), Cat: "session", Ph: "X",
+					TS: origin, Dur: dur, PID: hostPID, TID: dev,
+					Args: map[string]any{
+						"seq": e.Seq(), "kind": kind,
+						"latency_ms": float64(dur) / 1000,
+					},
+				},
+				traceEvent{
+					Name: "frame", Cat: "frame", Ph: "f", BP: "e",
+					TS: ts, PID: hostPID, TID: dev,
+					ID: flowID(dev, e.Seq()),
+				},
+			)
+		case HopSessionGap, HopSessionSLO:
+			events = append(events, traceEvent{
+				Name: e.Hop().String(), Cat: "anomaly", Ph: "i", S: "g",
+				TS: ts, PID: hostPID, TID: dev,
+				Args: map[string]any{"seq": e.Seq(), "arg": e.Arg()},
+			})
+		}
+	}
+	return events
+}

@@ -1,0 +1,155 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeExport parses a Perfetto export back into generic structures.
+func decodeExport(t *testing.T, data []byte) (events []map[string]any, other map[string]any) {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		OtherData       map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents, doc.OtherData
+}
+
+func TestPerfettoExportFlowLinkedChain(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	r := tr.NewRecorder("mouse-5", 5)
+
+	// One frame's full life: sampled at 10ms, enqueued, transmitted,
+	// delivered at 14ms, admitted by the session at 14ms.
+	r.Record(HopFirmwareSample, 42, 10*time.Millisecond, 1, 0)
+	r.Record(HopArqEnqueue, 42, 10*time.Millisecond, 0, 0)
+	r.Record(HopArqTx, 42, 10*time.Millisecond, 1, 0)
+	r.Record(HopLinkDeliver, 42, 14*time.Millisecond, 0, 0)
+	r.Record(HopHubDemux, 42, 14*time.Millisecond, 10, PackDemux(OutcomeAdmit, 1))
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, map[string]any{"deliveredFrames": 1}); err != nil {
+		t.Fatal(err)
+	}
+	events, other := decodeExport(t, buf.Bytes())
+
+	if got, ok := other["deliveredFrames"].(float64); !ok || got != 1 {
+		t.Fatalf("otherData deliveredFrames = %v", other["deliveredFrames"])
+	}
+
+	var flowStart, flowEnd, slice, sample map[string]any
+	names := map[string]int{}
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		names[name]++
+		switch {
+		case ph == "s" && name == "frame":
+			flowStart = e
+		case ph == "f" && name == "frame":
+			flowEnd = e
+		case ph == "X":
+			slice = e
+		case ph == "i" && name == "firmware.sample":
+			sample = e
+		}
+	}
+	if sample == nil || flowStart == nil || flowEnd == nil || slice == nil {
+		t.Fatalf("missing chain pieces: sample=%v s=%v f=%v X=%v", sample, flowStart, flowEnd, slice)
+	}
+	// The flow id must bind birth to admission.
+	if flowStart["id"] != flowEnd["id"] {
+		t.Fatalf("flow ids differ: s=%v f=%v", flowStart["id"], flowEnd["id"])
+	}
+	// Flow starts on the device firmware track, ends on the host session
+	// track for that device.
+	if pid, _ := flowStart["pid"].(float64); pid != 5 {
+		t.Fatalf("flow start pid = %v, want device 5", flowStart["pid"])
+	}
+	if pid, _ := flowEnd["pid"].(float64); pid != hostPID {
+		t.Fatalf("flow end pid = %v, want host %d", flowEnd["pid"], hostPID)
+	}
+	if tid, _ := flowEnd["tid"].(float64); tid != 5 {
+		t.Fatalf("flow end tid = %v, want session track 5", flowEnd["tid"])
+	}
+	// The slice spans origin→admission: ts = 10ms in µs, dur = 4ms in µs.
+	if name, _ := slice["name"].(string); name != "session.admit" {
+		t.Fatalf("slice name = %q", name)
+	}
+	if ts, _ := slice["ts"].(float64); ts != 10000 {
+		t.Fatalf("slice ts = %v µs, want 10000", slice["ts"])
+	}
+	if dur, _ := slice["dur"].(float64); dur != 4000 {
+		t.Fatalf("slice dur = %v µs, want 4000", slice["dur"])
+	}
+	// Track naming metadata must be present for the device and the host.
+	if names["process_name"] < 2 || names["thread_name"] < 4 {
+		t.Fatalf("metadata events missing: %v", names)
+	}
+}
+
+func TestPerfettoSliceCountMatchesDemuxEvents(t *testing.T) {
+	tr := New(Config{Capacity: 256})
+	ra := tr.NewRecorder("a", 1)
+	rb := tr.NewRecorder("b", 2)
+	const perDevice = 20
+	for i := 0; i < perDevice; i++ {
+		at := time.Duration(i+1) * time.Millisecond
+		ra.Record(HopHubDemux, uint16(i), at, uint32(i), PackDemux(OutcomeAdmit, 1))
+		rb.Record(HopHubDemux, uint16(i), at, uint32(i), PackDemux(OutcomeStale, 1))
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeExport(t, buf.Bytes())
+	slices := 0
+	for _, e := range events {
+		if ph, _ := e["ph"].(string); ph == "X" {
+			slices++
+		}
+	}
+	if slices != 2*perDevice {
+		t.Fatalf("X slices = %d, want %d (one per demuxed frame)", slices, 2*perDevice)
+	}
+}
+
+func TestPerfettoZeroDurationClampsToOne(t *testing.T) {
+	tr := New(Config{Capacity: 8})
+	r := tr.NewRecorder("d", 1)
+	// Admission at the same tick as origin: dur would be 0, clamp to 1µs so
+	// Perfetto still renders the slice.
+	r.Record(HopHubDemux, 1, 5*time.Millisecond, 5, PackDemux(OutcomeAdmit, 1))
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeExport(t, buf.Bytes())
+	for _, e := range events {
+		if ph, _ := e["ph"].(string); ph == "X" {
+			if dur, _ := e["dur"].(float64); dur != 1 {
+				t.Fatalf("dur = %v, want clamp to 1", e["dur"])
+			}
+			return
+		}
+	}
+	t.Fatal("no X slice exported")
+}
+
+func TestFlowIDStable(t *testing.T) {
+	if flowID(1, 1) == flowID(1, 2) || flowID(1, 1) == flowID(2, 1) {
+		t.Fatal("flow ids collide across seq/device")
+	}
+	if flowID(3, 7) != flowID(3, 7) {
+		t.Fatal("flow id not deterministic")
+	}
+}

@@ -1,0 +1,508 @@
+// Package tracing is the frame-level causal-tracing subsystem: every RF
+// frame carries an implicit trace context (device id + wrapping sequence
+// number + origin tick) and accrues per-hop span events as it moves through
+// the firmware → ARQ → link → hub → session pipeline. Where the sibling
+// telemetry package answers "how many and how fast in aggregate", this
+// package answers "WHICH frame, WHERE did it stall, and WHAT happened just
+// before" — the per-interaction timing record scrolling evaluation needs
+// (ScrollTest-style) and the post-mortem layer a production serving stack
+// carries.
+//
+// Two cost regimes share one recording primitive:
+//
+//   - A Recorder is a per-goroutine event buffer. In the simulator one
+//     device's whole pipeline — firmware cycle, ARQ window, link delivery,
+//     hub demux, session admission — runs on that device's scheduler
+//     goroutine, so a per-device recorder is single-writer by construction:
+//     recording is a plain struct store into a preallocated slot, no lock,
+//     no atomic, no allocation.
+//   - Bounded recorders are flight recorders: a power-of-two ring keeps the
+//     last N events and an anomaly (retry-budget exhaustion, backlog
+//     overflow, post-drain sequence gap, latency-SLO breach) dumps them as
+//     plain text — always-on post-mortem capture at ring-buffer cost.
+//
+// Export is offline: after a run completes (a happens-before edge — the
+// fleet joins its workers before exporting) the Tracer merges every
+// recorder into a Chrome Trace Event / Perfetto JSON document, one process
+// per device and one host-session track per device, with per-frame flow
+// links so a single scroll gesture is visible end to end in ui.perfetto.dev.
+//
+// The package is dependency-free (standard library only) and distinct from
+// internal/trace, which records and replays whole sessions as
+// distance-signal documents.
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hop identifies one pipeline stage a frame passed through. The values are
+// stable export names (see String); outcome variants of the session stage
+// are encoded in the event's Arg2 field, not as separate hops, so the demux
+// hot path records exactly one event per frame.
+type Hop uint8
+
+// Pipeline hops in causal order.
+const (
+	// HopFirmwareSample is the frame's birth: the firmware cycle that
+	// sampled the sensor and emitted the message. Arg carries the message
+	// kind.
+	HopFirmwareSample Hop = iota + 1
+	// HopArqEnqueue is the reliable sender accepting a payload. Arg carries
+	// the queue depth at admission.
+	HopArqEnqueue
+	// HopArqTx and HopArqRetx are transmissions into the inner channel; Arg
+	// carries the attempt number (1 for HopArqTx, >= 2 for HopArqRetx).
+	HopArqTx
+	HopArqRetx
+	// HopArqAck is a cumulative acknowledgement arriving back at the
+	// sender; Arg carries how many frames it confirmed.
+	HopArqAck
+	// HopArqOverflow is the drop-oldest backlog policy abandoning a
+	// payload; Arg carries the skip-filler width after the merge.
+	HopArqOverflow
+	// HopArqExhausted is the retry budget abandoning an in-flight frame;
+	// Arg carries the attempt count it died at.
+	HopArqExhausted
+	// HopLinkDeliver is a frame surviving the channel (CRC-clean at the
+	// decoder); HopLinkDrop is the channel losing one (Arg 1 when a burst
+	// swallowed it, 0 for independent loss).
+	HopLinkDeliver
+	HopLinkDrop
+	// HopHubDemux is the host routing a decoded frame to its session. It is
+	// the single event the demux hot path records: Arg carries the
+	// device-side origin tick in milliseconds (so the exporter can
+	// reconstruct the end-to-end span without re-decoding), Arg2 packs
+	// outcome<<8 | message kind (see Outcome).
+	HopHubDemux
+	// HopSessionGap is the post-drain audit: the run finished with
+	// sequence numbers missing. Arg carries how many.
+	HopSessionGap
+	// HopSessionSLO is a frame whose end-to-end latency exceeded the
+	// configured SLO. Arg carries the latency in milliseconds.
+	HopSessionSLO
+)
+
+// String returns the stable export name of the hop.
+func (h Hop) String() string {
+	switch h {
+	case HopFirmwareSample:
+		return "firmware.sample"
+	case HopArqEnqueue:
+		return "arq.enqueue"
+	case HopArqTx:
+		return "arq.tx"
+	case HopArqRetx:
+		return "arq.retx"
+	case HopArqAck:
+		return "arq.ack"
+	case HopArqOverflow:
+		return "arq.overflow"
+	case HopArqExhausted:
+		return "arq.retry_exhausted"
+	case HopLinkDeliver:
+		return "link.deliver"
+	case HopLinkDrop:
+		return "link.drop"
+	case HopHubDemux:
+		return "hub.demux"
+	case HopSessionGap:
+		return "session.gap"
+	case HopSessionSLO:
+		return "session.slo_breach"
+	default:
+		return fmt.Sprintf("hop(%d)", uint8(h))
+	}
+}
+
+// Outcome is the session's verdict on one demuxed frame, packed into the
+// high bits of a HopHubDemux event's Arg2.
+type Outcome uint8
+
+// Session admission outcomes.
+const (
+	// OutcomeAdmit is the common case: the frame became (or could become)
+	// an event.
+	OutcomeAdmit Outcome = iota
+	// OutcomeStale is a reliable-mode retransmit duplicate of an already
+	// consumed frame.
+	OutcomeStale
+	// OutcomeAhead is a reliable-mode frame deferred because a predecessor
+	// is still in flight.
+	OutcomeAhead
+	// OutcomeResync is an admitted MsgSkip abandonment notice: the session
+	// advanced past a hole the sender gave up on.
+	OutcomeResync
+	// OutcomeDuplicate and OutcomeReordered are the unreliable-mode
+	// sequence accounting verdicts.
+	OutcomeDuplicate
+	OutcomeReordered
+)
+
+// String returns the export name of the outcome, as a session-stage span
+// name ("session.admit", "session.stale", ...).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAdmit:
+		return "session.admit"
+	case OutcomeStale:
+		return "session.stale"
+	case OutcomeAhead:
+		return "session.ahead"
+	case OutcomeResync:
+		return "session.resync"
+	case OutcomeDuplicate:
+		return "session.duplicate"
+	case OutcomeReordered:
+		return "session.reordered"
+	default:
+		return fmt.Sprintf("session.outcome(%d)", uint8(o))
+	}
+}
+
+// PackDemux packs a session outcome and message kind into a HopHubDemux
+// Arg2; UnpackDemux reverses it.
+func PackDemux(o Outcome, kind uint8) uint32 { return uint32(o)<<8 | uint32(kind) }
+
+// UnpackDemux splits a HopHubDemux Arg2 into outcome and message kind.
+func UnpackDemux(arg2 uint32) (Outcome, uint8) { return Outcome(arg2 >> 8), uint8(arg2) }
+
+// Event is one recorded hop. It is a plain value of three word-aligned
+// fields so the hot-path ring write is three simple stores; the meaning of
+// Arg and Arg2 depends on the hop (see the Hop constants).
+type Event struct {
+	// At is the virtual time the hop happened.
+	At time.Duration
+	// args packs Arg (low 32 bits) and Arg2 (high 32) — the hop-specific
+	// payload (attempt counts, origin ticks, packed outcomes) lands with
+	// one aligned 64-bit store instead of two. Use Arg and Arg2 to read.
+	args uint64
+	// Meta packs the frame's wrapping sequence number (low 16 bits) with
+	// the pipeline hop (next 8) — one aligned store instead of two partial
+	// ones, and the hop half folds to a constant at every Record call
+	// site. Use Seq and Hop to read.
+	Meta uint32
+}
+
+// packMeta builds an Event.Meta word.
+func packMeta(hop Hop, seq uint16) uint32 { return uint32(seq) | uint32(hop)<<16 }
+
+// Seq returns the frame's wrapping sequence number — together with the
+// recorder's device id it is the trace context identifying the frame.
+func (e Event) Seq() uint16 { return uint16(e.Meta) }
+
+// Hop returns the pipeline stage.
+func (e Event) Hop() Hop { return Hop(e.Meta >> 16) }
+
+// Arg returns the first hop-specific payload word.
+func (e Event) Arg() uint32 { return uint32(e.args) }
+
+// Arg2 returns the second hop-specific payload word.
+func (e Event) Arg2() uint32 { return uint32(e.args >> 32) }
+
+// Config parameterises a Tracer. The zero value is a retain-everything
+// tracer with no flight recorder and no SLO.
+type Config struct {
+	// Capacity is the per-recorder event capacity. For bounded (flight
+	// recorder) tracers it is rounded up to a power of two and the ring
+	// keeps the most recent Capacity events; for unbounded tracers it is
+	// the initial allocation, grown as needed. <= 0 takes 4096.
+	Capacity int
+	// Bounded selects flight-recorder mode: the buffer is a ring that
+	// overwrites the oldest events, recording never allocates, and
+	// anomalies dump the ring. Unbounded tracers retain every event for a
+	// complete export.
+	Bounded bool
+	// SLO is the end-to-end latency objective (device origin tick → host
+	// admission). A frame exceeding it is an anomaly. Zero disables the
+	// check.
+	SLO time.Duration
+	// DumpTo receives plain-text post-mortem dumps when an anomaly fires.
+	// Nil disables automatic dumps (anomaly events are still recorded).
+	DumpTo io.Writer
+	// DumpEvents bounds how many trailing events one dump prints. <= 0
+	// takes 32.
+	DumpEvents int
+	// MaxDumps bounds automatic dumps per tracer so a pathological run
+	// (every frame breaching the SLO) cannot flood the writer. <= 0 takes
+	// 8.
+	MaxDumps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.Bounded {
+		// Power-of-two ring so the hot-path index is one AND.
+		n := 1
+		for n < c.Capacity {
+			n <<= 1
+		}
+		c.Capacity = n
+	}
+	if c.DumpEvents <= 0 {
+		c.DumpEvents = 32
+	}
+	if c.MaxDumps <= 0 {
+		c.MaxDumps = 8
+	}
+	return c
+}
+
+// Tracer owns the per-device recorders of one run and the shared anomaly
+// dump sink. NewRecorder may be called concurrently; everything else on the
+// hot path is per-recorder and lock-free.
+type Tracer struct {
+	cfg Config
+
+	mu   sync.Mutex // guards recs and serialises dumps
+	recs []*Recorder
+
+	dumps atomic.Uint64
+}
+
+// New returns a tracer with the given configuration.
+func New(cfg Config) *Tracer {
+	return &Tracer{cfg: cfg.withDefaults()}
+}
+
+// SLO returns the configured end-to-end latency objective (zero when
+// disabled). Nil-safe.
+func (t *Tracer) SLO() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.cfg.SLO
+}
+
+// Bounded reports whether the tracer runs in flight-recorder (bounded ring)
+// mode.
+func (t *Tracer) Bounded() bool { return t != nil && t.cfg.Bounded }
+
+// Dumps returns how many automatic post-mortem dumps have fired.
+func (t *Tracer) Dumps() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dumps.Load()
+}
+
+// NewRecorder registers and returns a recorder for one device's pipeline.
+// The label names the recorder in dumps; device is the wire id stamped on
+// every event at export. Nil-safe: a nil tracer hands out a nil recorder,
+// whose Record is a no-op, so call sites need no conditionals.
+func (t *Tracer) NewRecorder(label string, device uint32) *Recorder {
+	if t == nil {
+		return nil
+	}
+	r := &Recorder{t: t, label: label, dev: device}
+	if t.cfg.Bounded {
+		r.buf = make([]Event, t.cfg.Capacity)
+		r.mask = uint64(t.cfg.Capacity - 1)
+	} else {
+		r.buf = make([]Event, 0, t.cfg.Capacity)
+	}
+	t.mu.Lock()
+	t.recs = append(t.recs, r)
+	t.mu.Unlock()
+	return r
+}
+
+// Recorders returns the registered recorders in creation order.
+func (t *Tracer) Recorders() []*Recorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Recorder, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+// Recorder is one goroutine's event buffer. It is single-writer: only the
+// goroutine driving the owning device's scheduler may Record, which is
+// exactly how the simulator runs a device's pipeline. Readers (export,
+// dumps) either run on that same goroutine (anomaly dumps) or after the run
+// joined its workers (export), so no synchronisation is needed and the hot
+// path stays a plain store.
+type Recorder struct {
+	t     *Tracer
+	label string
+	dev   uint32
+
+	// mask != 0 selects ring mode: buf is fully allocated and the write
+	// index is n & mask. mask == 0 grows buf by append.
+	mask uint64
+	buf  []Event
+	n    uint64
+}
+
+// Device returns the wire id this recorder traces.
+func (r *Recorder) Device() uint32 {
+	if r == nil {
+		return 0
+	}
+	return r.dev
+}
+
+// Label returns the recorder's dump label.
+func (r *Recorder) Label() string {
+	if r == nil {
+		return ""
+	}
+	return r.label
+}
+
+// SLO returns the owning tracer's latency objective, zero for a nil
+// recorder — so a session can gate its per-frame check on one branch.
+func (r *Recorder) SLO() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.t.cfg.SLO
+}
+
+// Record appends one hop event. It is the hot-path primitive: nil-safe, and
+// in ring mode a masked index plus four aligned stores — no lock, no
+// atomic, no allocation. hop is a constant at every call site, so the Meta
+// packing folds to one OR with an immediate.
+func (r *Recorder) Record(hop Hop, seq uint16, at time.Duration, arg, arg2 uint32) {
+	if r == nil {
+		return
+	}
+	a, meta := uint64(arg)|uint64(arg2)<<32, packMeta(hop, seq)
+	if r.mask != 0 {
+		e := &r.buf[r.n&r.mask]
+		e.At, e.args, e.Meta = at, a, meta
+	} else {
+		r.buf = append(r.buf, Event{At: at, args: a, Meta: meta})
+	}
+	r.n++
+}
+
+// Len returns how many events the recorder retains (ring mode caps at the
+// ring size); Total how many were ever recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.mask != 0 {
+		if r.n < uint64(len(r.buf)) {
+			return int(r.n)
+		}
+		return len(r.buf)
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever recorded (including ones a ring
+// has overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Events returns the retained events in recording order. In ring mode the
+// oldest retained event comes first. The slice is a copy; call only from
+// the owning goroutine or after the run quiesced.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if r.mask == 0 {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	n := r.Len()
+	out := make([]Event, 0, n)
+	start := uint64(0)
+	if r.n > uint64(len(r.buf)) {
+		start = r.n - uint64(len(r.buf))
+	}
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i&r.mask])
+	}
+	return out
+}
+
+// Anomaly records the event and, when the owning tracer has a dump sink,
+// fires a plain-text post-mortem dump of the recorder's trailing events.
+// The reason string should name the failure precisely (it is the dump
+// headline); this path is rare, so it may allocate.
+func (r *Recorder) Anomaly(hop Hop, seq uint16, at time.Duration, arg, arg2 uint32, reason string) {
+	if r == nil {
+		return
+	}
+	r.Record(hop, seq, at, arg, arg2)
+	r.t.dump(r, at, reason)
+}
+
+// dump writes one post-mortem of the triggering recorder, bounded by
+// MaxDumps. Serialised by the tracer mutex so interleaved devices cannot
+// shred each other's output.
+func (t *Tracer) dump(r *Recorder, at time.Duration, reason string) {
+	if t.cfg.DumpTo == nil {
+		return
+	}
+	if t.dumps.Add(1) > uint64(t.cfg.MaxDumps) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.cfg.DumpTo
+	fmt.Fprintf(w, "FLIGHT RECORDER dump #%d · %s (device %d) at %v\n",
+		t.dumps.Load(), r.label, r.dev, at)
+	fmt.Fprintf(w, "  anomaly: %s\n", reason)
+	events := r.Events()
+	if n := t.cfg.DumpEvents; len(events) > n {
+		events = events[len(events)-n:]
+	}
+	fmt.Fprintf(w, "  last %d events:\n", len(events))
+	for _, e := range events {
+		writeEventLine(w, r.dev, e)
+	}
+}
+
+// WriteText writes a complete plain-text dump of every recorder — the
+// manual post-mortem (the automatic one fires per anomaly).
+func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, r := range t.Recorders() {
+		if _, err := fmt.Fprintf(w, "%s (device %d): %d events recorded, %d retained\n",
+			r.label, r.dev, r.Total(), r.Len()); err != nil {
+			return err
+		}
+		for _, e := range r.Events() {
+			if err := writeEventLine(w, r.dev, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeEventLine prints one event in the dump format.
+func writeEventLine(w io.Writer, dev uint32, e Event) error {
+	var err error
+	switch e.Hop() {
+	case HopHubDemux:
+		outcome, kind := UnpackDemux(e.Arg2())
+		_, err = fmt.Fprintf(w, "    %12v  %-20s dev=%d seq=%d kind=%d origin=%dms → %s\n",
+			e.At, e.Hop(), dev, e.Seq(), kind, e.Arg(), outcome)
+	default:
+		_, err = fmt.Fprintf(w, "    %12v  %-20s dev=%d seq=%d arg=%d\n",
+			e.At, e.Hop(), dev, e.Seq(), e.Arg())
+	}
+	return err
+}

@@ -1,0 +1,179 @@
+package tracing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHopAndOutcomeNames(t *testing.T) {
+	wantHops := map[Hop]string{
+		HopFirmwareSample: "firmware.sample",
+		HopArqEnqueue:     "arq.enqueue",
+		HopArqTx:          "arq.tx",
+		HopArqRetx:        "arq.retx",
+		HopArqAck:         "arq.ack",
+		HopArqOverflow:    "arq.overflow",
+		HopArqExhausted:   "arq.retry_exhausted",
+		HopLinkDeliver:    "link.deliver",
+		HopLinkDrop:       "link.drop",
+		HopHubDemux:       "hub.demux",
+		HopSessionGap:     "session.gap",
+		HopSessionSLO:     "session.slo_breach",
+	}
+	for hop, want := range wantHops {
+		if got := hop.String(); got != want {
+			t.Errorf("Hop(%d).String() = %q, want %q", hop, got, want)
+		}
+	}
+	wantOutcomes := map[Outcome]string{
+		OutcomeAdmit:     "session.admit",
+		OutcomeStale:     "session.stale",
+		OutcomeAhead:     "session.ahead",
+		OutcomeResync:    "session.resync",
+		OutcomeDuplicate: "session.duplicate",
+		OutcomeReordered: "session.reordered",
+	}
+	for o, want := range wantOutcomes {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestPackDemuxRoundTrip(t *testing.T) {
+	for _, o := range []Outcome{OutcomeAdmit, OutcomeStale, OutcomeAhead, OutcomeResync, OutcomeDuplicate, OutcomeReordered} {
+		for _, kind := range []uint8{0, 1, 7, 255} {
+			gotO, gotK := UnpackDemux(PackDemux(o, kind))
+			if gotO != o || gotK != kind {
+				t.Fatalf("PackDemux(%v,%d) round-trip = (%v,%d)", o, kind, gotO, gotK)
+			}
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if r := tr.NewRecorder("x", 1); r != nil {
+		t.Fatalf("nil tracer returned non-nil recorder")
+	}
+	var r *Recorder
+	r.Record(HopFirmwareSample, 1, time.Millisecond, 0, 0) // must not panic
+	r.Anomaly(HopSessionGap, 0, 0, 3, 0, "gap")
+	if r.Len() != 0 || r.Total() != 0 || r.Events() != nil || r.SLO() != 0 {
+		t.Fatalf("nil recorder accessors not zero")
+	}
+	if tr.Recorders() != nil || tr.SLO() != 0 || tr.Bounded() || tr.Dumps() != 0 {
+		t.Fatalf("nil tracer accessors not zero")
+	}
+	if err := tr.WriteText(nil); err != nil {
+		t.Fatalf("nil tracer WriteText: %v", err)
+	}
+	if err := tr.WritePerfetto(nil, nil); err != nil {
+		t.Fatalf("nil tracer WritePerfetto: %v", err)
+	}
+}
+
+func TestUnboundedRetainsAll(t *testing.T) {
+	tr := New(Config{Capacity: 4})
+	r := tr.NewRecorder("dev", 7)
+	for i := 0; i < 100; i++ {
+		r.Record(HopArqTx, uint16(i), time.Duration(i)*time.Millisecond, 1, 0)
+	}
+	if r.Len() != 100 || r.Total() != 100 {
+		t.Fatalf("Len=%d Total=%d, want 100/100", r.Len(), r.Total())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if e.Seq() != uint16(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq())
+		}
+	}
+}
+
+func TestBoundedRingOverwritesOldest(t *testing.T) {
+	tr := New(Config{Capacity: 7, Bounded: true}) // rounds up to 8
+	if !tr.Bounded() {
+		t.Fatal("Bounded() = false")
+	}
+	r := tr.NewRecorder("dev", 3)
+	for i := 0; i < 20; i++ {
+		r.Record(HopLinkDeliver, uint16(i), time.Duration(i)*time.Millisecond, 0, 0)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8 (rounded-up ring)", r.Len())
+	}
+	if r.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 8 {
+		t.Fatalf("Events len = %d", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint16(12 + i); e.Seq() != want {
+			t.Fatalf("retained event %d has seq %d, want %d (oldest-first)", i, e.Seq(), want)
+		}
+	}
+}
+
+func TestAnomalyDumpContainsTrailingEvents(t *testing.T) {
+	var buf strings.Builder
+	tr := New(Config{Capacity: 16, Bounded: true, DumpTo: &buf, DumpEvents: 4})
+	r := tr.NewRecorder("mouse-3", 3)
+	for i := 10; i < 14; i++ {
+		r.Record(HopArqRetx, uint16(i), time.Duration(i)*time.Millisecond, uint32(i-9), 0)
+	}
+	r.Anomaly(HopArqExhausted, 13, 14*time.Millisecond, 5, 0,
+		"retry budget exhausted: seqs 12..13 abandoned")
+
+	out := buf.String()
+	for _, want := range []string{
+		"FLIGHT RECORDER dump #1",
+		"mouse-3 (device 3)",
+		"retry budget exhausted: seqs 12..13 abandoned",
+		"arq.retx",
+		"arq.retry_exhausted",
+		"seq=13",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", tr.Dumps())
+	}
+}
+
+func TestDumpRateLimit(t *testing.T) {
+	var buf strings.Builder
+	tr := New(Config{Capacity: 8, Bounded: true, DumpTo: &buf, MaxDumps: 2})
+	r := tr.NewRecorder("d", 1)
+	for i := 0; i < 5; i++ {
+		r.Anomaly(HopSessionSLO, uint16(i), time.Duration(i)*time.Millisecond, 99, 0, "slow")
+	}
+	out := buf.String()
+	if got := strings.Count(out, "FLIGHT RECORDER dump"); got != 2 {
+		t.Fatalf("dump count = %d, want 2 (MaxDumps)", got)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("anomaly events after the dump cap must still record: Total = %d", r.Total())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf strings.Builder
+	tr := New(Config{Capacity: 8})
+	r := tr.NewRecorder("dev-1", 1)
+	r.Record(HopFirmwareSample, 42, 5*time.Millisecond, 1, 0)
+	r.Record(HopHubDemux, 42, 9*time.Millisecond, 5, PackDemux(OutcomeAdmit, 1))
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dev-1 (device 1)", "firmware.sample", "hub.demux", "session.admit", "origin=5ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}

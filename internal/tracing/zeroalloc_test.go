@@ -1,0 +1,50 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+)
+
+// The recording hot path must never allocate: in ring (flight recorder)
+// mode the buffer is fully preallocated, and in retain-all mode a pre-sized
+// capacity covers the run. These contracts keep tracing admissible inside
+// the zero-allocation frame pipeline (see internal/rf and internal/core
+// zeroalloc tests, which cover the traced pipeline end to end).
+
+func TestRecordRingZeroAlloc(t *testing.T) {
+	tr := New(Config{Capacity: 1024, Bounded: true})
+	r := tr.NewRecorder("dev", 1)
+	var seq uint16
+	avg := testing.AllocsPerRun(10000, func() {
+		seq++
+		r.Record(HopHubDemux, seq, time.Duration(seq)*time.Millisecond,
+			uint32(seq), PackDemux(OutcomeAdmit, 1))
+	})
+	if avg != 0 {
+		t.Fatalf("ring Record allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestRecordPreSizedZeroAlloc(t *testing.T) {
+	const n = 10000
+	tr := New(Config{Capacity: n + 16})
+	r := tr.NewRecorder("dev", 1)
+	var seq uint16
+	avg := testing.AllocsPerRun(n, func() {
+		seq++
+		r.Record(HopLinkDeliver, seq, time.Duration(seq)*time.Millisecond, 0, 0)
+	})
+	if avg != 0 {
+		t.Fatalf("pre-sized Record allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestNilRecordZeroAlloc(t *testing.T) {
+	var r *Recorder
+	avg := testing.AllocsPerRun(10000, func() {
+		r.Record(HopArqTx, 1, time.Millisecond, 1, 0)
+	})
+	if avg != 0 {
+		t.Fatalf("nil Record allocates %.2f allocs/op, want 0", avg)
+	}
+}

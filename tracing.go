@@ -1,0 +1,107 @@
+package distscroll
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/tracing"
+)
+
+// TracingOptions parameterises a Tracing handle. The zero value retains
+// every event with no flight recorder, no SLO and no automatic dumps —
+// the configuration for a complete offline Perfetto export.
+type TracingOptions struct {
+	// FlightRecorder selects bounded mode: each device keeps only the last
+	// Capacity events in a preallocated ring (recording never allocates)
+	// and anomalies — retry-budget exhaustion, backlog overflow, post-drain
+	// sequence gaps, SLO breaches — dump the ring as plain text to DumpTo.
+	// Unbounded tracers retain everything for a complete export instead.
+	FlightRecorder bool
+	// Capacity is the per-device event capacity: the ring size in flight-
+	// recorder mode (rounded up to a power of two), the initial allocation
+	// otherwise. Zero takes 4096. In flight-recorder mode prefer small
+	// rings — the recorder shares the cache with the frame pipeline, and a
+	// few hundred events per device is ample post-mortem context.
+	Capacity int
+	// SLO is the end-to-end latency objective (device origin tick → host
+	// admission). A frame exceeding it raises an anomaly. Zero disables
+	// the check.
+	SLO time.Duration
+	// DumpTo receives the plain-text post-mortem dumps anomalies trigger.
+	// Nil disables automatic dumps (anomaly events are still recorded).
+	DumpTo io.Writer
+	// DumpEvents bounds how many trailing events one dump prints (zero
+	// takes 32); MaxDumps bounds automatic dumps per run (zero takes 8).
+	DumpEvents int
+	MaxDumps   int
+}
+
+// Tracing is the frame-level causal-tracing handle: every RF frame carries
+// its trace context (device id, sequence number, origin tick) and accrues
+// per-hop span events — firmware.sample, arq.enqueue, arq.tx/retx,
+// link.deliver/drop, hub.demux with the session verdict — as it moves
+// through the pipeline. Attach it with WithTracing; one handle may trace a
+// whole fleet (each device records into its own single-writer buffer).
+// After the run, WritePerfetto exports a Chrome Trace Event / Perfetto
+// JSON document loadable in ui.perfetto.dev, and WriteText dumps the raw
+// event log. Tracing never perturbs the simulation: results are identical
+// with and without it attached.
+type Tracing struct {
+	tracer *tracing.Tracer
+}
+
+// NewTracing returns a tracing handle with the given options.
+func NewTracing(o TracingOptions) *Tracing {
+	return &Tracing{tracer: tracing.New(tracing.Config{
+		Capacity:   o.Capacity,
+		Bounded:    o.FlightRecorder,
+		SLO:        o.SLO,
+		DumpTo:     o.DumpTo,
+		DumpEvents: o.DumpEvents,
+		MaxDumps:   o.MaxDumps,
+	})}
+}
+
+// WritePerfetto writes the recorded spans as a Chrome Trace Event JSON
+// document: one process track per device (firmware / ARQ / link threads)
+// and one host-session track per device, with per-frame flow links from
+// the firmware sample to the session verdict. Load it in ui.perfetto.dev
+// or chrome://tracing. metadata is attached as the document's otherData
+// (pass nil for none).
+func (t *Tracing) WritePerfetto(w io.Writer, metadata map[string]any) error {
+	if t == nil {
+		return errors.New("distscroll: nil tracing handle")
+	}
+	return t.tracer.WritePerfetto(w, metadata)
+}
+
+// WriteText writes every recorder's retained events as plain text — the
+// manual post-mortem (flight-recorder anomalies produce the automatic one).
+func (t *Tracing) WriteText(w io.Writer) error {
+	if t == nil {
+		return errors.New("distscroll: nil tracing handle")
+	}
+	return t.tracer.WriteText(w)
+}
+
+// Dumps returns how many automatic flight-recorder dumps fired during the
+// run — nonzero means an anomaly (abandoned frames, sequence gaps, SLO
+// breaches) was captured.
+func (t *Tracing) Dumps() uint64 { return t.tracer.Dumps() }
+
+// WithTracing attaches the frame-level causal tracer to the device (or to
+// every device of a fleet): each frame's journey from firmware sample to
+// session admission is recorded as span events exportable to Perfetto,
+// and in flight-recorder mode anomalies dump the trailing events for
+// post-mortem analysis. The demux hot path stays allocation-free with
+// tracing attached.
+func WithTracing(t *Tracing) Option {
+	return func(c *config) error {
+		if t == nil {
+			return errors.New("distscroll: nil tracing handle (use NewTracing)")
+		}
+		c.core.Tracing = t.tracer
+		return nil
+	}
+}

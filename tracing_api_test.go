@@ -1,0 +1,105 @@
+package distscroll_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll"
+)
+
+// TestWithTracingFleetExport runs a lossy reliable fleet with the public
+// tracing handle and checks the report's TraceExport produces a valid
+// Perfetto document with host-side slices and flow links.
+func TestWithTracingFleetExport(t *testing.T) {
+	tr := distscroll.NewTracing(distscroll.TracingOptions{})
+	f, err := distscroll.NewFleet(4,
+		distscroll.WithEntries(8),
+		distscroll.WithSeed(11),
+		distscroll.WithReliableDelivery(),
+		distscroll.WithRadioLink(0.05, 2*time.Millisecond),
+		distscroll.WithTracing(tr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceExport == nil {
+		t.Fatal("FleetReport.TraceExport is nil with WithTracing attached")
+	}
+	var buf bytes.Buffer
+	if err := rep.TraceExport.WritePerfetto(&buf, map[string]any{"devices": 4}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("TraceExport is not valid JSON: %v", err)
+	}
+	var slices, flows int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			slices++
+		case "s":
+			flows++
+		}
+	}
+	if slices == 0 || flows == 0 {
+		t.Fatalf("export has %d slices and %d flow starts, want both > 0", slices, flows)
+	}
+	if doc.OtherData["devices"] != float64(4) {
+		t.Fatalf("otherData not threaded: %v", doc.OtherData)
+	}
+
+	var txt strings.Builder
+	if err := rep.TraceExport.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "hub.demux") {
+		t.Fatal("text dump has no hub.demux events")
+	}
+}
+
+// TestWithTracingSingleDevice checks the handle works for a lone device:
+// the caller keeps the handle and exports from it directly.
+func TestWithTracingSingleDevice(t *testing.T) {
+	tr := distscroll.NewTracing(distscroll.TracingOptions{
+		FlightRecorder: true, Capacity: 256,
+	})
+	dev, err := distscroll.New(
+		distscroll.WithEntries(6),
+		distscroll.WithSeed(3),
+		distscroll.WithTracing(tr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	dev.GlideTo(15, 500*time.Millisecond)
+	if err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var txt strings.Builder
+	if err := tr.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	if !strings.Contains(out, "firmware.sample") || !strings.Contains(out, "hub.demux") {
+		t.Fatalf("single-device trace missing pipeline events:\n%.1000s", out)
+	}
+}
+
+// TestWithTracingNil checks the option rejects a nil handle.
+func TestWithTracingNil(t *testing.T) {
+	if _, err := distscroll.New(distscroll.WithEntries(4), distscroll.WithTracing(nil)); err == nil {
+		t.Fatal("WithTracing(nil) accepted")
+	}
+}
