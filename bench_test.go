@@ -410,3 +410,54 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 		b.Fatalf("delivered %d frames, want %d", delivered, b.N)
 	}
 }
+
+// BenchmarkSchedulerWheel measures the timing-wheel scheduler's hot path:
+// schedule three events at firmware-tick distances and dispatch them. At
+// steady state the slab free list recycles every record; run with
+// -benchmem, the allocs/op column must read 0. The CI bench gate pins both
+// the latency and the zero-allocation contract.
+func BenchmarkSchedulerWheel(b *testing.B) {
+	benchEventScheduler(b, sim.NewScheduler(sim.NewClock(0)))
+}
+
+// BenchmarkSchedulerHeap is the same workload on the container/heap
+// reference scheduler — the "before" of the wheel refactor, measured live
+// on the same machine (compare ns/op and allocs/op with SchedulerWheel).
+func BenchmarkSchedulerHeap(b *testing.B) {
+	benchEventScheduler(b, sim.NewHeapScheduler(sim.NewClock(0)))
+}
+
+func benchEventScheduler(b *testing.B, s sim.EventScheduler) {
+	fn := func(time.Duration) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(40*time.Millisecond, fn)
+		s.After(41*time.Millisecond, fn)
+		s.After(200*time.Millisecond, fn)
+		s.Step()
+		s.Step()
+		s.Step()
+	}
+}
+
+// BenchmarkFleetScale runs the struct-of-arrays scale path — 10k packed
+// devices, one virtual second each, striped across GOMAXPROCS timing
+// wheels — and reports the real-time factor. This is the devices-vs-
+// throughput figure of merit behind BENCH_5.json at benchmark cadence.
+func BenchmarkFleetScale(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.RunScale(fleet.ScaleConfig{
+			Devices:  10_000,
+			Seed:     1,
+			Duration: time.Second,
+			LossProb: 0.01,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = res.RealTimeFactor
+	}
+	b.ReportMetric(factor, "rt_factor")
+}

@@ -47,6 +47,43 @@ func TestGoldenReportSeed1(t *testing.T) {
 	}
 }
 
+// TestGoldenHelpOutput pins the -h flag listing against testdata/help.txt,
+// so every new flag (e.g. the -devices/-scale/-scale-json scale harness) is
+// a deliberate, reviewed addition to the CLI surface. Refresh with:
+//
+//	go test ./cmd/distscroll-bench -run TestGoldenHelpOutput -update
+func TestGoldenHelpOutput(t *testing.T) {
+	golden := filepath.Join("testdata", "help.txt")
+
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h errored: %v", err)
+	}
+	for _, flagName := range []string{"-devices", "-scale", "-scale-json", "-scale-duration"} {
+		if !bytes.Contains(out.Bytes(), []byte(flagName)) {
+			t.Fatalf("help output missing %s:\n%s", flagName, out.String())
+		}
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, out.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		line, gl, wl := firstDiffLine(out.Bytes(), want)
+		t.Fatalf("help output drifted from testdata/help.txt at line %d:\n  golden: %q\n  got:    %q\n"+
+			"intentional change? refresh with: go test ./cmd/distscroll-bench -run TestGoldenHelpOutput -update",
+			line, wl, gl)
+	}
+}
+
 // firstDiffLine returns the 1-based line number of the first differing line
 // plus the two lines themselves.
 func firstDiffLine(got, want []byte) (int, string, string) {

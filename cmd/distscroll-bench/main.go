@@ -43,6 +43,9 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("distscroll-bench", flag.ContinueOnError)
+	// Usage and parse errors go to stdout so the help text is part of the
+	// tool's pinned, testable output.
+	fs.SetOutput(stdout)
 	var (
 		runList   = fs.String("run", "", "comma-separated experiment ids (default: all)")
 		seed      = fs.Uint64("seed", 1, "master random seed")
@@ -50,6 +53,10 @@ func run(args []string, stdout io.Writer) error {
 		csvDir    = fs.String("csv", "", "write raw study CSVs (trials, conditions) into this directory")
 		fleetN    = fs.Int("fleet", 0, "simulate a fleet of N devices against one hub instead of the experiments")
 		fleetWrk  = fs.Int("workers", 0, "bound on concurrently simulating fleet devices (0 = one goroutine per device)")
+		devicesN  = fs.Int("devices", 0, "simulate N struct-of-arrays scale devices (timing-wheel stripes) and print the throughput summary")
+		scaleList = fs.String("scale", "", "comma-separated device counts for a scale sweep (e.g. 1000,10000,100000)")
+		scaleJSON = fs.String("scale-json", "", "run the scale sweep plus wheel-vs-heap scheduler benchmarks and write the JSON scaling baseline (BENCH_5.json) to this file")
+		scaleDur  = fs.Duration("scale-duration", 10*time.Second, "virtual time each scale device simulates")
 		metrics   = fs.Bool("metrics", false, "instrument the fleet and append a Prometheus-format metrics dump to the report")
 		metOut    = fs.String("metrics-out", "", "write a JSON telemetry report (per-device counters, latency histograms) to this file")
 		benchCSV  = fs.String("bench-csv", "", "measure the hub demux hot path plain vs instrumented and write the overhead CSV to this file")
@@ -67,7 +74,30 @@ func run(args []string, stdout io.Writer) error {
 		rtTrace   = fs.String("runtime-trace", "", "write a Go runtime execution trace of the run to this file (go tool trace)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
 		return err
+	}
+
+	// Scale-flag validation: a silent zero-device run would report an empty
+	// curve, so reject it loudly; an over-provisioned worker pool is legal
+	// but wasteful, so warn.
+	devicesSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "devices" {
+			devicesSet = true
+		}
+	})
+	if devicesSet && *devicesN < 1 {
+		return fmt.Errorf("-devices must be at least 1, got %d", *devicesN)
+	}
+	sweep, err := parseScaleList(*scaleList)
+	if err != nil {
+		return err
+	}
+	if devicesSet && *fleetWrk > *devicesN {
+		fmt.Fprintf(stdout, "warning: -workers %d exceeds -devices %d; extra workers will idle\n", *fleetWrk, *devicesN)
 	}
 
 	if *cpuProf != "" {
@@ -128,6 +158,23 @@ func run(args []string, stdout io.Writer) error {
 
 	if (*traceOut != "" || *flightRec || *traceSLO > 0) && *fleetN <= 0 {
 		return fmt.Errorf("tracing flags (-trace-out, -flight-recorder, -trace-slo) require -fleet")
+	}
+
+	if *scaleJSON != "" {
+		if len(sweep) == 0 {
+			sweep = defaultScaleSweep
+		}
+		if err := writeScaleJSON(*scaleJSON, sweep, *seed, *fleetWrk, *scaleDur, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote scaling baseline to %s\n", *scaleJSON)
+		return nil
+	}
+	if devicesSet || len(sweep) > 0 {
+		if devicesSet {
+			sweep = append([]int{*devicesN}, sweep...)
+		}
+		return runScaleSweep(sweep, *seed, *fleetWrk, *scaleDur, stdout)
 	}
 
 	if *fleetN > 0 {

@@ -181,6 +181,84 @@ func TestFleetMetricsExposition(t *testing.T) {
 	}
 }
 
+func TestScaleMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-devices", "500", "-seed", "3", "-scale-duration", "1s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "scale sweep (seed 3") || !strings.Contains(s, "rt_factor") {
+		t.Fatalf("scale report:\n%s", s)
+	}
+	if !strings.Contains(s, "      500") {
+		t.Fatalf("missing 500-device row:\n%s", s)
+	}
+}
+
+func TestScaleSweepList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "100,200", "-scale-duration", "500ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "      100") || !strings.Contains(s, "      200") {
+		t.Fatalf("sweep rows missing:\n%s", s)
+	}
+}
+
+func TestScaleValidationRejectsBadDevices(t *testing.T) {
+	for _, args := range [][]string{
+		{"-devices", "0"},
+		{"-devices", "-3"},
+		{"-scale", "100,0"},
+		{"-scale", "abc"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+func TestScaleWarnsOnExcessWorkers(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-devices", "2", "-workers", "9", "-scale-duration", "100ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning: -workers 9 exceeds -devices 2") {
+		t.Fatalf("no worker warning:\n%s", out.String())
+	}
+}
+
+func TestScaleJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real wall-clock benchmarks")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_5.json")
+	var out bytes.Buffer
+	if err := run([]string{"-scale-json", path, "-scale", "300", "-scale-duration", "1s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc scaleBaseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("baseline not JSON: %v\n%.300s", err, data)
+	}
+	if doc.PR != 5 || len(doc.Scale) != 1 || doc.Scale[0].Devices != 300 {
+		t.Fatalf("baseline shape: %+v", doc)
+	}
+	if doc.After[0].Name != "SchedulerWheel" || doc.After[0].AllocsPerOp != 0 {
+		t.Fatalf("wheel hot path not allocation-free in baseline: %+v", doc.After)
+	}
+	if doc.Scale[0].RealTimeFactor <= 1 {
+		t.Fatalf("300 devices slower than real time: %+v", doc.Scale[0])
+	}
+}
+
 func TestBenchCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real wall-clock benchmarks")

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// This file implements -devices / -scale / -scale-json: the devices-vs-
+// throughput scaling harness over the struct-of-arrays fleet path
+// (fleet.RunScale) and the BENCH_<pr>.json baseline that pins the
+// timing-wheel scheduler against the heap reference on the same machine.
+
+// defaultScaleSweep is the -scale-json curve when no -scale list is given:
+// three decades up to the million-device target.
+var defaultScaleSweep = []int{1_000, 10_000, 100_000, 1_000_000}
+
+// parseScaleList parses "-scale 1000,10000,..." into device counts.
+func parseScaleList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-scale: %q is not a device count", part)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("-scale: device counts must be at least 1, got %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runScalePoint simulates one device count on the scale path.
+func runScalePoint(devices int, seed uint64, workers int, dur time.Duration) (fleet.ScaleResult, error) {
+	return fleet.RunScale(fleet.ScaleConfig{
+		Devices:  devices,
+		Seed:     seed,
+		Workers:  workers,
+		Duration: dur,
+		LossProb: 0.01,
+	})
+}
+
+// runScaleSweep prints the devices-vs-throughput table for -devices/-scale.
+func runScaleSweep(sweep []int, seed uint64, workers int, dur time.Duration, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "DistScroll scale sweep (seed %d, %s virtual per device)\n", seed, dur)
+	fmt.Fprintf(stdout, "%s\n", strings.Repeat("=", 76))
+	fmt.Fprintf(stdout, "%9s %8s %12s %12s %14s %12s\n",
+		"devices", "workers", "wall_s", "ticks/s", "rt_factor", "frames")
+	for _, n := range sweep {
+		res, err := runScalePoint(n, seed, workers, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%9d %8d %12.3f %12.0f %14.0f %12d\n",
+			res.Devices, res.Workers, res.WallSeconds, res.TicksPerSecond,
+			res.RealTimeFactor, res.Frames)
+	}
+	return nil
+}
+
+// benchWheelScheduler and benchHeapScheduler measure the schedule+dispatch
+// hot path of each implementation live, like the hub benchmarks in
+// benchjson.go: same machine, same process, same workload.
+func benchEventScheduler(s sim.EventScheduler) testing.BenchmarkResult {
+	fn := func(time.Duration) {}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.After(40*time.Millisecond, fn)
+			s.After(41*time.Millisecond, fn)
+			s.After(200*time.Millisecond, fn)
+			s.Step()
+			s.Step()
+			s.Step()
+		}
+	})
+}
+
+// scalePoint is one device count's record on the scaling curve.
+type scalePoint struct {
+	Devices        int     `json:"devices"`
+	Workers        int     `json:"workers"`
+	VirtualSeconds float64 `json:"virtualSeconds"`
+	WallSeconds    float64 `json:"wallSeconds"`
+	RealTimeFactor float64 `json:"realTimeFactor"`
+	TicksPerSecond float64 `json:"ticksPerSecond"`
+	Frames         uint64  `json:"frames"`
+	Switches       uint64  `json:"switches"`
+}
+
+// scaleBaseline is the BENCH_<pr>.json document for the scale refactor:
+// the scheduler micro-comparison (heap before, wheel after) plus the
+// devices-vs-throughput curve.
+type scaleBaseline struct {
+	PR         int    `json:"pr"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Before/After mirror BENCH_4.json: the heap scheduler measured live
+	// as the before, the timing wheel as the after.
+	Before []benchEntry `json:"before"`
+	After  []benchEntry `json:"after"`
+	// SchedulerSpeedup is heap ns/op divided by wheel ns/op.
+	SchedulerSpeedup float64 `json:"schedulerSpeedup"`
+	// Scale is the devices-vs-throughput curve; RealTimeFactor > 1 means
+	// the whole fleet simulated faster than real time.
+	Scale []scalePoint `json:"scale"`
+}
+
+// writeScaleJSON measures the schedulers and the scaling curve and writes
+// the machine-readable baseline.
+func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time.Duration, stdout io.Writer) error {
+	heap := benchEventScheduler(sim.NewHeapScheduler(sim.NewClock(0)))
+	wheel := benchEventScheduler(sim.NewScheduler(sim.NewClock(0)))
+
+	doc := scaleBaseline{
+		PR:         5,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Before:     []benchEntry{toEntry("SchedulerHeap", heap)},
+		After:      []benchEntry{toEntry("SchedulerWheel", wheel)},
+	}
+	if ns := doc.After[0].NsPerOp; ns > 0 {
+		doc.SchedulerSpeedup = doc.Before[0].NsPerOp / ns
+	}
+	for _, n := range sweep {
+		res, err := runScalePoint(n, seed, workers, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "scale %d devices: %.0fx real time (%.0f ticks/s)\n",
+			res.Devices, res.RealTimeFactor, res.TicksPerSecond)
+		doc.Scale = append(doc.Scale, scalePoint{
+			Devices:        res.Devices,
+			Workers:        res.Workers,
+			VirtualSeconds: res.VirtualSeconds,
+			WallSeconds:    res.WallSeconds,
+			RealTimeFactor: res.RealTimeFactor,
+			TicksPerSecond: res.TicksPerSecond,
+			Frames:         res.Frames,
+			Switches:       res.Switches,
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scale json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("scale json: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/adc"
+	"github.com/hcilab/distscroll/internal/firmware"
+	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/mapping"
+)
+
+// StateSlab is the struct-of-arrays layout for the million-device scale
+// path: the hot per-device state of the firmware loop — RNG walk, filter
+// window, island hysteresis, seq counter, ARQ window bookkeeping and link
+// accounting — packed into contiguous arrays indexed by fleet slot, so one
+// worker advancing a stripe of devices walks memory linearly instead of
+// chasing a *Device graph per device.
+//
+// The slab models the same pipeline the full Device runs — minimum-jerk-ish
+// glides over the physical range, GP2D120 sampling with noise, 10-bit ADC
+// quantisation, median3+EMA filtering, island mapping with hysteresis, and
+// frame emission with loss/retransmit accounting — but trades exact model
+// parity for density: a slab device costs ~120 bytes where a full Device
+// costs tens of kilobytes. The full path remains the reference for
+// behavioural studies; the slab is the load generator that makes scale
+// claims measurable (see fleet.RunScale and DESIGN.md §11).
+//
+// Determinism: every per-device value is derived at construction from
+// (seed, slot) alone, and Tick touches only slot-local state plus shared
+// read-only tables, so results are a pure function of the seed and the
+// device count — independent of how devices are striped across workers.
+type StateSlab struct {
+	n int
+
+	// rng is the per-device xoshiro256** state, 4 words per device, the
+	// same generator as sim.Rand so streams have the same quality.
+	rng []uint64
+
+	// Median3 window (3 taps) + fill count, then the EMA value; emaInit
+	// doubles as the filter's warm-up flag.
+	win     []float64
+	winN    []uint8
+	ema     []float64
+	emaInit []uint8
+
+	// Hand-motion state: a glide-dwell-retarget loop over the island
+	// centres, the scripted workload of fleet scripts in array form.
+	dist   []float64 // current physical distance, cm
+	target []float64 // glide target, cm
+	step   []float64 // per-tick glide speed, cm (sign-less)
+	dwell  []int16   // ticks left to dwell at the current target
+
+	// cur is the hysteresis state: index into islands (sorted ascending by
+	// voltage), -1 when between islands.
+	cur []int16
+
+	// Per-device wire accounting: seq is the next frame sequence number;
+	// outstanding/ackPend are the ARQ window bookkeeping (frames on the
+	// air last tick are acked this tick); the counters mirror LinkStats.
+	seq         []uint16
+	outstanding []uint16
+	ackPend     []uint16
+	sent        []uint32
+	delivered   []uint32
+	lost        []uint32
+	retransmits []uint32
+	switches    []uint32 // island switches = scroll events emitted
+
+	// Shared read-only tables: the island map and the sensor
+	// characteristic, built once for the whole slab.
+	islands  []mapping.Island
+	hyst     float64
+	sensor   *gp2d120.Sensor
+	noiseSD  float64
+	lossProb float64
+
+	dwellTicks int16
+}
+
+// SlabConfig parameterises a StateSlab.
+type SlabConfig struct {
+	// Devices is the slab size.
+	Devices int
+	// Seed derives every per-device stream; same seed, same results.
+	Seed uint64
+	// Entries is the number of menu entries to map the range onto
+	// (default 12, the flat fleet menu).
+	Entries int
+	// LossProb is the per-frame loss probability of the modelled link
+	// (default: the rf default link's loss).
+	LossProb float64
+	// DwellTicks is how many ticks a device holds a reached target before
+	// gliding to the next one (default 8, ~300 ms at the 40 ms tick).
+	DwellTicks int
+}
+
+// NewStateSlab builds the packed per-device state for n devices in one
+// batched pass — no per-device allocation beyond the shared arrays.
+func NewStateSlab(cfg SlabConfig) (*StateSlab, error) {
+	n := cfg.Devices
+	if n < 1 {
+		return nil, fmt.Errorf("core: slab needs at least 1 device, got %d", n)
+	}
+	entries := cfg.Entries
+	if entries <= 0 {
+		entries = 12
+	}
+	if cfg.DwellTicks <= 0 {
+		cfg.DwellTicks = 8
+	}
+	sensorCfg := gp2d120.DefaultConfig()
+	sensor, err := gp2d120.New(sensorCfg, gp2d120.DefaultSurface(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mapper, err := mapping.New(mapping.DefaultConfig(entries), sensor.Ideal)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	s := &StateSlab{
+		n:           n,
+		rng:         make([]uint64, 4*n),
+		win:         make([]float64, 3*n),
+		winN:        make([]uint8, n),
+		ema:         make([]float64, n),
+		emaInit:     make([]uint8, n),
+		dist:        make([]float64, n),
+		target:      make([]float64, n),
+		step:        make([]float64, n),
+		dwell:       make([]int16, n),
+		cur:         make([]int16, n),
+		seq:         make([]uint16, n),
+		outstanding: make([]uint16, n),
+		ackPend:     make([]uint16, n),
+		sent:        make([]uint32, n),
+		delivered:   make([]uint32, n),
+		lost:        make([]uint32, n),
+		retransmits: make([]uint32, n),
+		switches:    make([]uint32, n),
+		islands:     mapper.Islands(),
+		hyst:        mapper.Config().Hysteresis,
+		sensor:      sensor,
+		noiseSD:     sensorCfg.NoiseSD,
+		lossProb:    cfg.LossProb,
+		dwellTicks:  int16(cfg.DwellTicks),
+	}
+
+	for i := 0; i < n; i++ {
+		// Seed the device stream from (seed, slot) with splitmix64 — the
+		// same spreader sim.NewRand uses — so a device's behaviour depends
+		// only on its slot, never on construction or striping order.
+		x := cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+		for w := 0; w < 4; w++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			s.rng[4*i+w] = z ^ (z >> 31)
+		}
+		s.cur[i] = -1
+		s.dist[i] = s.islandCenter(s.nextU64(i))
+		s.target[i] = s.islandCenter(s.nextU64(i))
+		// Glide speeds span roughly the scripted fleet glides: the full
+		// 26 cm range over 350-700 ms at the 40 ms tick.
+		s.step[i] = 1.5 + 1.5*u64ToFloat(s.nextU64(i))
+		s.dwell[i] = int16(s.nextU64(i) % uint64(cfg.DwellTicks))
+	}
+	return s, nil
+}
+
+// Len returns the slab size.
+func (s *StateSlab) Len() int { return s.n }
+
+// nextU64 advances device i's packed xoshiro256** state (the sim.Rand walk
+// on slab storage).
+func (s *StateSlab) nextU64(i int) uint64 {
+	st := s.rng[4*i : 4*i+4 : 4*i+4]
+	result := ((st[1]*5)<<7 | (st[1]*5)>>57) * 9
+	t := st[1] << 17
+	st[2] ^= st[0]
+	st[3] ^= st[1]
+	st[1] ^= st[2]
+	st[0] ^= st[3]
+	st[2] ^= t
+	st[3] = (st[3] << 45) | (st[3] >> 19)
+	return result
+}
+
+func u64ToFloat(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+
+// islandCenter maps a random draw to a random island's physical centre.
+func (s *StateSlab) islandCenter(u uint64) float64 {
+	return s.islands[u%uint64(len(s.islands))].DistanceCm
+}
+
+// approxNorm returns a cheap approximately normal deviate with unit
+// standard deviation (Irwin-Hall of four uniforms). The scale path trades
+// the exact Box-Muller tail for a branch- and transcendental-free kernel;
+// the filter eats the difference.
+func (s *StateSlab) approxNorm(i int) float64 {
+	sum := u64ToFloat(s.nextU64(i)) + u64ToFloat(s.nextU64(i)) +
+		u64ToFloat(s.nextU64(i)) + u64ToFloat(s.nextU64(i))
+	return (sum - 2) * 1.7320508075688772 // sqrt(12/4): unit variance
+}
+
+// Tick advances one device through one firmware cycle: motion, sample,
+// quantise, filter, map, emit. It allocates nothing.
+func (s *StateSlab) Tick(i int) {
+	// Hand motion: dwell at a reached target, then glide to the next.
+	d := s.dist[i]
+	switch {
+	case s.dwell[i] > 0:
+		s.dwell[i]--
+	default:
+		delta := s.target[i] - d
+		step := s.step[i]
+		if delta <= step && delta >= -step {
+			d = s.target[i]
+			s.dwell[i] = s.dwellTicks
+			s.target[i] = s.islandCenter(s.nextU64(i))
+		} else if delta > 0 {
+			d += step
+		} else {
+			d -= step
+		}
+		s.dist[i] = d
+	}
+
+	// Sample the characteristic with sensor noise, then quantise through
+	// the 10-bit ADC exactly like the board does.
+	v := s.sensor.Sample(d) + s.noiseSD*s.approxNorm(i)
+	if v < 0 {
+		v = 0
+	}
+	code := int(v/adc.DefaultVref*float64(adc.MaxCode+1)) // truncating ADC
+	if code > adc.MaxCode {
+		code = adc.MaxCode
+	}
+	v = float64(code) * adc.DefaultVref / float64(adc.MaxCode+1)
+
+	// Median3 window, then EMA — the firmware's MedianEMA default.
+	w := s.win[3*i : 3*i+3 : 3*i+3]
+	if s.winN[i] < 3 {
+		w[s.winN[i]] = v
+		s.winN[i]++
+		// Warm-up: pass the raw sample through until the window fills.
+	} else {
+		w[0], w[1], w[2] = w[1], w[2], v
+		v = median3(w[0], w[1], w[2])
+	}
+	if s.emaInit[i] == 0 {
+		s.ema[i] = v
+		s.emaInit[i] = 1
+	} else {
+		s.ema[i] += firmware.DefaultEMAAlpha * (v - s.ema[i])
+	}
+	v = s.ema[i]
+
+	// Acks for last tick's frames arrive before this tick's mapping, so
+	// the window drains one tick behind the sends.
+	if s.ackPend[i] > 0 {
+		s.outstanding[i] -= s.ackPend[i]
+		s.ackPend[i] = 0
+	}
+
+	// Island mapping with hysteresis (mapping.Mapper.Map in array form).
+	idx := s.mapVoltage(i, v)
+	if idx >= 0 && idx != int(s.cur[i]) {
+		s.cur[i] = int16(idx)
+		s.switches[i]++
+		s.emitFrame(i)
+	} else if idx >= 0 {
+		s.cur[i] = int16(idx)
+	}
+}
+
+// mapVoltage returns the islands index (ascending-voltage order) selected
+// by v, honouring the hysteresis of the device's current island, or -1.
+func (s *StateSlab) mapVoltage(i int, v float64) int {
+	if c := s.cur[i]; c >= 0 {
+		is := &s.islands[c]
+		h := s.hyst * (is.Hi - is.Lo) / 2
+		if v >= is.Lo-h && v <= is.Hi+h {
+			return int(c)
+		}
+	}
+	lo, hi := 0, len(s.islands)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		is := &s.islands[mid]
+		switch {
+		case v < is.Lo:
+			hi = mid - 1
+		case v > is.Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// emitFrame accounts one scroll frame through the modelled reliable link:
+// a lost first copy is retransmitted and delivered (the ARQ guarantee),
+// and the window bookkeeping records it on the air until next tick's ack.
+func (s *StateSlab) emitFrame(i int) {
+	s.seq[i]++
+	s.sent[i]++
+	s.outstanding[i]++
+	s.ackPend[i]++
+	if s.lossProb > 0 && u64ToFloat(s.nextU64(i)) < s.lossProb {
+		s.lost[i]++
+		s.retransmits[i]++
+	}
+	s.delivered[i]++
+}
+
+// TickStripe advances the contiguous device range [lo, hi) through one
+// firmware cycle. It is the batched per-wheel-turn unit of work: one
+// scheduler event per stripe, not one per device.
+func (s *StateSlab) TickStripe(lo, hi int, _ time.Duration) {
+	for i := lo; i < hi; i++ {
+		s.Tick(i)
+	}
+}
+
+// SlabTotals aggregates slab counters (see fleet.RunScale).
+type SlabTotals struct {
+	Sent        uint64
+	Delivered   uint64
+	Lost        uint64
+	Retransmits uint64
+	Switches    uint64
+	MaxWindow   uint16
+}
+
+// Totals sums the per-device accounting over [lo, hi); pass 0, Len() for
+// the whole slab.
+func (s *StateSlab) Totals(lo, hi int) SlabTotals {
+	var t SlabTotals
+	for i := lo; i < hi; i++ {
+		t.Sent += uint64(s.sent[i])
+		t.Delivered += uint64(s.delivered[i])
+		t.Lost += uint64(s.lost[i])
+		t.Retransmits += uint64(s.retransmits[i])
+		t.Switches += uint64(s.switches[i])
+		if s.outstanding[i] > t.MaxWindow {
+			t.MaxWindow = s.outstanding[i]
+		}
+	}
+	return t
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -52,12 +52,16 @@ type Filter interface {
 	Reset()
 }
 
+// DefaultEMAAlpha is the prototype's EMA coefficient; the struct-of-arrays
+// scale path (core.StateSlab) bakes the same gain into its packed filter.
+const DefaultEMAAlpha = 0.35
+
 // NewFilter constructs a filter of the given kind. alpha is the EMA
 // coefficient (ignored by Raw/Median3); values outside (0,1] fall back to
-// the prototype's 0.35.
+// the prototype's DefaultEMAAlpha.
 func NewFilter(kind FilterKind, alpha float64) (Filter, error) {
 	if alpha <= 0 || alpha > 1 {
-		alpha = 0.35
+		alpha = DefaultEMAAlpha
 	}
 	switch kind {
 	case Raw:

@@ -138,7 +138,7 @@ func TestFleetAttributesLossPerDevice(t *testing.T) {
 
 func TestFleetWithPipeTransport(t *testing.T) {
 	cfg := Config{Devices: 5, Seed: 9, Core: core.DefaultConfig()}
-	cfg.Core.Transport = func(sched *sim.Scheduler, _ *sim.Rand, sink func([]byte, time.Duration)) (rf.Transport, error) {
+	cfg.Core.Transport = func(sched sim.EventScheduler, _ *sim.Rand, sink func([]byte, time.Duration)) (rf.Transport, error) {
 		return rf.NewPipe(sched, 2*time.Millisecond, sink)
 	}
 	r, results := runFleet(t, cfg)
@@ -152,6 +152,40 @@ func TestFleetWithPipeTransport(t *testing.T) {
 	}
 	if agg := r.Hub().Stats(); agg.MissedSeq != 0 || agg.Devices != 5 {
 		t.Fatalf("hub aggregate: %+v", agg)
+	}
+}
+
+// TestFleetWheelHeapIdentical is the fleet-level differential test: the same
+// seeded fleet run on the timing-wheel scheduler and on the heap reference
+// must produce byte-identical results — event streams, stats, cursors and
+// elapsed times. Together with the scheduler-level differential fuzz in
+// internal/sim this proves the wheel migration preserved per-seed
+// determinism end to end.
+func TestFleetWheelHeapIdentical(t *testing.T) {
+	run := func(mk func(*sim.Clock) sim.EventScheduler) ([]string, string) {
+		cfg := Config{Devices: 6, Seed: 23, Workers: 2, Reliable: true, Core: core.DefaultConfig()}
+		cfg.Core.Link.LossProb = 0.1 // lossy + ARQ: the full timer surface
+		cfg.Core.Scheduler = mk
+		r, results := runFleet(t, cfg)
+		keys := make([]string, r.Len())
+		for i := range keys {
+			keys[i] = streamKey(r.Session(i).Events())
+		}
+		return keys, fmt.Sprintf("%+v", results)
+	}
+	wheelKeys, wheelRes := run(nil) // nil = default wheel
+	heapKeys, heapRes := run(func(c *sim.Clock) sim.EventScheduler { return sim.NewHeapScheduler(c) })
+	for i := range wheelKeys {
+		if wheelKeys[i] != heapKeys[i] {
+			t.Fatalf("device %d event stream differs between wheel and heap:\n%s\nvs\n%s",
+				i+1, wheelKeys[i], heapKeys[i])
+		}
+		if wheelKeys[i] == "" {
+			t.Fatalf("device %d produced no events", i+1)
+		}
+	}
+	if wheelRes != heapRes {
+		t.Fatalf("fleet results differ between wheel and heap:\n%s\nvs\n%s", wheelRes, heapRes)
 	}
 }
 

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/sim"
+)
+
+// ScaleConfig parameterises a struct-of-arrays scale run: the path that
+// takes the fleet from tens of thousands of full *Device graphs to a
+// million packed slab devices (see core.StateSlab and DESIGN.md §11).
+type ScaleConfig struct {
+	// Devices is the fleet size.
+	Devices int
+	// Seed derives every device stream; results are a pure function of
+	// (Seed, Devices), independent of Workers.
+	Seed uint64
+	// Workers is the number of stripes the slab is split into, one worker
+	// goroutine per stripe, each driving its own timing-wheel scheduler.
+	// <= 0 takes GOMAXPROCS.
+	Workers int
+	// Duration is the virtual time each device simulates (default 10 s).
+	Duration time.Duration
+	// SamplePeriod is the firmware tick (default 40 ms, the prototype's
+	// 25 Hz loop).
+	SamplePeriod time.Duration
+	// Entries sizes the mapped menu (default 12, the flat fleet menu).
+	Entries int
+	// LossProb is the modelled per-frame loss probability.
+	LossProb float64
+}
+
+// ScaleResult is the outcome of one scale run.
+type ScaleResult struct {
+	Devices int
+	Workers int
+	// Ticks is the total number of firmware cycles executed.
+	Ticks uint64
+	// Frames/Delivered/Lost/Retransmits/Switches aggregate the slab's wire
+	// accounting; MaxWindow is the widest ARQ window any device reached.
+	Frames      uint64
+	Delivered   uint64
+	Lost        uint64
+	Retransmits uint64
+	Switches    uint64
+	MaxWindow   uint16
+	// VirtualSeconds is the aggregate simulated time (Devices × Duration);
+	// WallSeconds the wall-clock cost; RealTimeFactor their ratio — above
+	// 1.0 the box simulates the whole fleet faster than real time.
+	VirtualSeconds float64
+	WallSeconds    float64
+	RealTimeFactor float64
+	// TicksPerSecond is the firmware-cycle throughput against wall time.
+	TicksPerSecond float64
+}
+
+// RunScale simulates a packed slab fleet: Workers stripes of contiguous
+// devices, each stripe driven by its own virtual clock and timing-wheel
+// scheduler whose single periodic event advances the whole stripe through
+// one firmware cycle per wheel turn. Construction is batched (one slab,
+// no per-device allocation) and the tick path allocates nothing, which is
+// what lets one box push a million devices faster than real time.
+func RunScale(cfg ScaleConfig) (ScaleResult, error) {
+	if cfg.Devices < 1 {
+		return ScaleResult{}, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 40 * time.Millisecond
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Devices {
+		workers = cfg.Devices
+	}
+
+	slab, err := core.NewStateSlab(core.SlabConfig{
+		Devices:  cfg.Devices,
+		Seed:     cfg.Seed,
+		Entries:  cfg.Entries,
+		LossProb: cfg.LossProb,
+	})
+	if err != nil {
+		return ScaleResult{}, err
+	}
+
+	res := ScaleResult{Devices: cfg.Devices, Workers: workers}
+	ticksPerDevice := uint64(cfg.Duration / cfg.SamplePeriod)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	stripe := (cfg.Devices + workers - 1) / workers
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > cfg.Devices {
+			hi = cfg.Devices
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// One wheel turn = one stripe sweep: the scheduler carries a
+			// single periodic event, so its hot path stays allocation-free
+			// and the per-tick cost is the linear walk over the stripe.
+			clock := sim.NewClock(0)
+			sched := sim.NewScheduler(clock)
+			sched.Every(cfg.SamplePeriod, func(at time.Duration) {
+				slab.TickStripe(lo, hi, at)
+			})
+			errs[w] = sched.Run(cfg.Duration)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res.WallSeconds = time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("fleet: scale stripe: %w", err)
+		}
+	}
+
+	t := slab.Totals(0, slab.Len())
+	res.Frames = t.Sent
+	res.Delivered = t.Delivered
+	res.Lost = t.Lost
+	res.Retransmits = t.Retransmits
+	res.Switches = t.Switches
+	res.MaxWindow = t.MaxWindow
+	res.Ticks = ticksPerDevice * uint64(cfg.Devices)
+	res.VirtualSeconds = cfg.Duration.Seconds() * float64(cfg.Devices)
+	if res.WallSeconds > 0 {
+		res.RealTimeFactor = res.VirtualSeconds / res.WallSeconds
+		res.TicksPerSecond = float64(res.Ticks) / res.WallSeconds
+	}
+	return res, nil
+}

@@ -5,17 +5,23 @@
 // Nothing in the simulation reads wall-clock time. All models advance on a
 // *Clock owned by the caller, which makes every experiment reproducible from
 // its seed.
+//
+// Two scheduler implementations share one contract (EventScheduler): the
+// default Scheduler is a hierarchical timing wheel with slab-allocated event
+// storage (no per-event allocation, no comparison heap on the hot path), and
+// HeapScheduler is the original container/heap implementation kept as the
+// executable reference semantics. A differential test drives both with the
+// same schedules and requires identical event order, so per-seed determinism
+// is provable rather than assumed.
 package sim
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
 	"time"
 )
 
-// ErrStopped is returned by Scheduler.Run when the scheduler was stopped
-// before the horizon was reached.
+// ErrStopped is returned by Run when the scheduler was stopped before the
+// horizon was reached.
 var ErrStopped = errors.New("scheduler stopped")
 
 // Clock is a virtual clock. The zero value starts at t=0.
@@ -47,134 +53,48 @@ func (c *Clock) Set(t time.Duration) {
 	}
 }
 
-// Event is a scheduled callback. The callback receives the time at which it
-// fires.
-type Event struct {
-	At time.Duration
-	Do func(at time.Duration)
-
-	seq int // tie-break so equal-time events fire in schedule order
+// EventScheduler is the contract both scheduler implementations satisfy.
+// Every caller in the repository (firmware tick, ARQ retransmit timers, link
+// delivery, fleet scripts) programs against this interface, so the wheel and
+// the heap are interchangeable — and differentially testable.
+//
+// Semantics all implementations must share:
+//
+//   - Events run in (time, schedule order): equal-time events fire FIFO.
+//   - Events scheduled in the past clamp to the current time and still run.
+//   - Events scheduled from inside a callback at the current time run within
+//     the same Run, after the already-queued equal-time events.
+//   - Every with a non-positive period schedules nothing and returns a
+//     callable no-op cancel (see Scheduler.Every).
+//   - Run leaves the clock exactly at the horizon when it returns nil —
+//     whether the queue drained early or the next event lies beyond it — and
+//     at the stopping event's time when it returns ErrStopped.
+type EventScheduler interface {
+	// Clock returns the scheduler's clock.
+	Clock() *Clock
+	// At schedules fn to run at absolute virtual time t. Events scheduled
+	// in the past run at the current time.
+	At(t time.Duration, fn func(at time.Duration))
+	// After schedules fn to run d after the current virtual time.
+	After(d time.Duration, fn func(at time.Duration))
+	// Every schedules fn to run periodically with the given period, starting
+	// one period from now, until the returned cancel function is called.
+	// A non-positive period schedules nothing and returns a no-op cancel.
+	Every(period time.Duration, fn func(at time.Duration)) (cancel func())
+	// Step executes the next queued event, advancing the clock to its time.
+	// It reports whether an event was executed.
+	Step() bool
+	// Run executes events until the queue is empty or the horizon is passed,
+	// leaving the clock at the horizon. It returns ErrStopped if Stop was
+	// called from a callback.
+	Run(horizon time.Duration) error
+	// Pending reports the number of queued events.
+	Pending() int
+	// Stop aborts a Run in progress (from inside a callback).
+	Stop()
 }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		panic(fmt.Sprintf("sim: pushed %T onto event queue", x))
-	}
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
-// Scheduler executes events in virtual-time order on a shared Clock.
-// It is single-threaded by design: callbacks run on the caller's goroutine.
-type Scheduler struct {
-	clock   *Clock
-	queue   eventQueue
-	nextSeq int
-	stopped bool
-}
-
-// NewScheduler returns a scheduler driving the given clock.
-func NewScheduler(clock *Clock) *Scheduler {
-	return &Scheduler{clock: clock}
-}
-
-// Clock returns the scheduler's clock.
-func (s *Scheduler) Clock() *Clock { return s.clock }
-
-// At schedules fn to run at absolute virtual time t. Events scheduled in the
-// past run at the current time.
-func (s *Scheduler) At(t time.Duration, fn func(at time.Duration)) {
-	if t < s.clock.Now() {
-		t = s.clock.Now()
-	}
-	ev := &Event{At: t, Do: fn, seq: s.nextSeq}
-	s.nextSeq++
-	heap.Push(&s.queue, ev)
-}
-
-// After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func(at time.Duration)) {
-	s.At(s.clock.Now()+d, fn)
-}
-
-// Every schedules fn to run periodically with the given period, starting one
-// period from now, until the returned cancel function is called.
-func (s *Scheduler) Every(period time.Duration, fn func(at time.Duration)) (cancel func()) {
-	if period <= 0 {
-		period = time.Nanosecond
-	}
-	active := true
-	var tick func(at time.Duration)
-	tick = func(at time.Duration) {
-		if !active {
-			return
-		}
-		fn(at)
-		if active {
-			s.At(at+period, tick)
-		}
-	}
-	s.At(s.clock.Now()+period, tick)
-	return func() { active = false }
-}
-
-// Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
-
-// Stop aborts a Run in progress (from inside a callback).
-func (s *Scheduler) Stop() { s.stopped = true }
-
-// Step executes the next queued event, advancing the clock to its time.
-// It reports whether an event was executed.
-func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
-		return false
-	}
-	ev, ok := heap.Pop(&s.queue).(*Event)
-	if !ok {
-		return false
-	}
-	s.clock.Set(ev.At)
-	ev.Do(ev.At)
-	return true
-}
-
-// Run executes events until the queue is empty or the horizon is passed.
-// The clock is left at the time of the last executed event (or at horizon if
-// no event reached it). Run returns ErrStopped if Stop was called.
-func (s *Scheduler) Run(horizon time.Duration) error {
-	s.stopped = false
-	for len(s.queue) > 0 {
-		if s.stopped {
-			return ErrStopped
-		}
-		if s.queue[0].At > horizon {
-			s.clock.Set(horizon)
-			return nil
-		}
-		s.Step()
-	}
-	return nil
-}
+var (
+	_ EventScheduler = (*Scheduler)(nil)
+	_ EventScheduler = (*HeapScheduler)(nil)
+)

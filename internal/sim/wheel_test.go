@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSchedulerDifferential drives the wheel and the heap reference with
+// identical randomized schedules — bursts of equal times, nested scheduling
+// from callbacks, periodic timers with cancellation, far-future overflow
+// events, and staged Run horizons — and requires the exact same event
+// sequence (time and identity) from both. This is the proof that swapping the
+// heap for the wheel preserves per-seed determinism.
+func TestSchedulerDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			wheelTrace := differentialTrace(NewScheduler(NewClock(0)), seed)
+			heapTrace := differentialTrace(NewHeapScheduler(NewClock(0)), seed)
+			if len(wheelTrace) != len(heapTrace) {
+				t.Fatalf("trace lengths differ: wheel %d, heap %d", len(wheelTrace), len(heapTrace))
+			}
+			for i := range wheelTrace {
+				if wheelTrace[i] != heapTrace[i] {
+					t.Fatalf("traces diverge at %d: wheel %q, heap %q", i, wheelTrace[i], heapTrace[i])
+				}
+			}
+			if len(wheelTrace) == 0 {
+				t.Fatal("empty trace: the differential test exercised nothing")
+			}
+		})
+	}
+}
+
+// differentialTrace runs one randomized schedule against s and returns the
+// ordered (id, time) trace of every event execution. The schedule depends
+// only on the seed, never on the scheduler, so both implementations see the
+// same program.
+func differentialTrace(s EventScheduler, seed uint64) []string {
+	rng := NewRand(seed)
+	var trace []string
+	note := func(id int) func(time.Duration) {
+		return func(at time.Duration) {
+			trace = append(trace, fmt.Sprintf("%d@%d", id, at))
+		}
+	}
+	nextID := 0
+	id := func() int { nextID++; return nextID }
+
+	// randomAt picks times clustered enough to force equal-time collisions
+	// and spread enough to cross wheel levels and the overflow list.
+	randomAt := func(now time.Duration) time.Duration {
+		switch rng.Intn(4) {
+		case 0: // same-slot cluster: collisions at the current millisecond
+			return now + time.Duration(rng.Intn(4))*time.Millisecond
+		case 1: // near future, level 0-2 territory
+			return now + time.Duration(rng.Intn(2_000_000))
+		case 2: // mid future, level 3 territory
+			return now + time.Duration(rng.Intn(4_000_000_000))
+		default: // far future: overflow list
+			return now + time.Duration(4_000_000_000+rng.Intn(30_000_000_000))
+		}
+	}
+
+	var cancels []func()
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			eid := id()
+			at := randomAt(s.Clock().Now())
+			nest := rng.Intn(3) == 0
+			s.At(at, func(now time.Duration) {
+				note(eid)(now)
+				if nest {
+					// Nested scheduling, sometimes at the callback's own time
+					// to exercise same-tick ordering.
+					inner := id()
+					innerAt := now
+					if rng2 := (eid+int(now))%2 == 0; rng2 {
+						innerAt += time.Duration(eid%5) * time.Millisecond
+					}
+					s.At(innerAt, note(inner))
+				}
+			})
+		case 3:
+			s.After(time.Duration(rng.Intn(50_000_000)), note(id()))
+		case 4:
+			period := time.Duration(rng.Intn(20_000_000))
+			if rng.Intn(5) == 0 {
+				period = 0 // exercise the non-positive no-op contract
+			}
+			cancels = append(cancels, s.Every(period, note(id())))
+		case 5:
+			if len(cancels) > 0 {
+				k := rng.Intn(len(cancels))
+				cancels[k]()
+			}
+		}
+		// Occasionally advance through a partial horizon mid-construction so
+		// schedules interleave with execution.
+		if rng.Intn(4) == 0 {
+			horizon := s.Clock().Now() + time.Duration(rng.Intn(3_000_000_000))
+			if err := s.Run(horizon); err != nil {
+				trace = append(trace, fmt.Sprintf("err=%v", err))
+			}
+			trace = append(trace, fmt.Sprintf("clock@%d", s.Clock().Now()))
+		}
+	}
+	for _, c := range cancels {
+		c()
+	}
+	if err := s.Run(s.Clock().Now() + 10*time.Second); err != nil {
+		trace = append(trace, fmt.Sprintf("err=%v", err))
+	}
+	trace = append(trace, fmt.Sprintf("final@%d pending=%d", s.Clock().Now(), s.Pending()))
+	return trace
+}
+
+// TestSchedulerZeroAlloc pins the allocation-free contract of the wheel hot
+// path: once the slab has grown to the schedule's working set, At + Step
+// recycle event records through the free list and allocate nothing.
+func TestSchedulerZeroAlloc(t *testing.T) {
+	clock := NewClock(0)
+	s := NewScheduler(clock)
+	fn := func(time.Duration) {}
+	// Warm the slab beyond the steady-state working set.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	for s.Step() {
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(40*time.Millisecond, fn)
+		s.After(40*time.Millisecond, fn)
+		s.After(200*time.Millisecond, fn)
+		s.Step()
+		s.Step()
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("scheduler hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSchedulerSlabReuse checks the free list actually recycles records: a
+// sustained periodic load must not grow the slab beyond its working set.
+func TestSchedulerSlabReuse(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	s.Every(time.Millisecond, func(time.Duration) {})
+	if err := s.Run(50 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	grown := len(s.slab)
+	if err := s.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(s.slab) != grown {
+		t.Fatalf("slab grew from %d to %d under steady periodic load", grown, len(s.slab))
+	}
+}
+
+func benchScheduler(b *testing.B, s EventScheduler) {
+	fn := func(time.Duration) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(40*time.Millisecond, fn)
+		s.After(41*time.Millisecond, fn)
+		s.After(200*time.Millisecond, fn)
+		s.Step()
+		s.Step()
+		s.Step()
+	}
+}
+
+func BenchmarkSchedulerWheel(b *testing.B) {
+	benchScheduler(b, NewScheduler(NewClock(0)))
+}
+
+func BenchmarkSchedulerHeap(b *testing.B) {
+	benchScheduler(b, NewHeapScheduler(NewClock(0)))
+}
