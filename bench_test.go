@@ -10,6 +10,8 @@ package distscroll_test
 //	go test -bench=. -benchmem
 
 import (
+	"io"
+	"net/http"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -22,6 +24,7 @@ import (
 	"github.com/hcilab/distscroll/internal/gp2d120"
 	"github.com/hcilab/distscroll/internal/mapping"
 	"github.com/hcilab/distscroll/internal/menu"
+	"github.com/hcilab/distscroll/internal/ops"
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/smartits"
@@ -460,4 +463,61 @@ func BenchmarkFleetScale(b *testing.B) {
 		factor = res.RealTimeFactor
 	}
 	b.ReportMetric(factor, "rt_factor")
+}
+
+// BenchmarkFleetScaleInstrumented is BenchmarkFleetScale with the full ops
+// plane attached: a telemetry registry fed by the striped shard collectors,
+// an HTTP ops server on a loopback port, and a scraper hitting /metrics at
+// roughly 1 Hz while the run is in flight. The tick path stays observation-
+// only — worker-local histogram shards, no atomics, no allocations — so the
+// design budget over the plain run is ≤5%; the CI bench gate compares the
+// two medians.
+func BenchmarkFleetScaleInstrumented(b *testing.B) {
+	reg := telemetry.New()
+	srv, err := ops.Serve("127.0.0.1:0", ops.Config{Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	var scrapes atomic.Uint64
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				resp, err := http.Get(srv.URL() + "/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					scrapes.Add(1)
+				}
+			}
+		}
+	}()
+	var factor float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.RunScale(fleet.ScaleConfig{
+			Devices:  10_000,
+			Seed:     1,
+			Duration: time.Second,
+			LossProb: 0.01,
+			Metrics:  reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = res.RealTimeFactor
+	}
+	b.StopTimer()
+	close(stop)
+	if c := reg.Snapshot().Counters[telemetry.MetricFwCycles]; c == 0 {
+		b.Fatal("instrumented run recorded no cycles")
+	}
+	b.ReportMetric(factor, "rt_factor")
+	b.ReportMetric(float64(scrapes.Load()), "scrapes")
 }

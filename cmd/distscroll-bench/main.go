@@ -14,6 +14,8 @@
 //	distscroll-bench -fleet 64 -reliable -loss 0.05  # ARQ on a 5%-loss link
 //	distscroll-bench -bench-csv bench.csv            # demux overhead CSV
 //	distscroll-bench -bench-json BENCH_4.json        # perf baseline, old vs new hub
+//	distscroll-bench -devices 100000 -ops-listen 127.0.0.1:9100  # live /metrics
+//	distscroll-bench -devices 100000 -slo-stall 10s  # watchdog on the scale run
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/ops"
 	"github.com/hcilab/distscroll/internal/telemetry"
 	"github.com/hcilab/distscroll/internal/tracing"
 )
@@ -69,6 +72,11 @@ func run(args []string, stdout io.Writer) error {
 		traceOut  = fs.String("trace-out", "", "record frame-level causal spans and write a Perfetto/Chrome trace JSON to this file (open in ui.perfetto.dev)")
 		flightRec = fs.Bool("flight-recorder", false, "bounded per-device trace rings: anomalies (abandoned frames, seq gaps, SLO breaches) dump the last events to stderr")
 		traceSLO  = fs.Duration("trace-slo", 0, "end-to-end latency SLO; a frame exceeding it raises a flight-recorder anomaly (0 = off)")
+		opsListen = fs.String("ops-listen", "", "serve the live ops plane (/metrics, /vars, /healthz, /debug/pprof) on this address during a -fleet or scale run (e.g. 127.0.0.1:9100; port 0 picks one)")
+		sloP99    = fs.Float64("slo-p99", 0, "SLO watchdog: breach when the windowed e2e latency p99 exceeds this many milliseconds (0 = off)")
+		sloMinFPS = fs.Float64("slo-min-fps", 0, "SLO watchdog: breach when decoded frames per second drop below this floor (0 = off)")
+		sloStall  = fs.Duration("slo-stall", 0, "SLO watchdog: breach when the run's progress clock stops advancing for this long (0 = off)")
+		sloEvery  = fs.Duration("slo-interval", time.Second, "SLO watchdog evaluation interval")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 		rtTrace   = fs.String("runtime-trace", "", "write a Go runtime execution trace of the run to this file (go tool trace)")
@@ -160,21 +168,56 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("tracing flags (-trace-out, -flight-recorder, -trace-slo) require -fleet")
 	}
 
+	scaleMode := devicesSet || len(sweep) > 0 || *scaleJSON != ""
+	sloSet := *sloP99 > 0 || *sloMinFPS > 0 || *sloStall > 0
+	opsSet := *opsListen != "" || sloSet
+	metricsSet := *metrics || *metOut != ""
+	if scaleMode && *fleetN > 0 {
+		return fmt.Errorf("-fleet cannot be combined with the scale flags (-devices/-scale/-scale-json); pick one path")
+	}
+	if scaleMode && (*reliable || *burst > 0 || *burstLen > 0 || *ackLoss > 0) {
+		return fmt.Errorf("-reliable/-burst/-burst-len/-ack-loss shape the session fleet's link; the scale path models loss via -loss only")
+	}
+	if opsSet && !scaleMode && *fleetN <= 0 {
+		return fmt.Errorf("-ops-listen and -slo-* flags require a live run (-fleet, -devices or -scale)")
+	}
+	if *scaleJSON != "" && (metricsSet || opsSet) {
+		return fmt.Errorf("-scale-json is the batch baseline writer; -metrics, -metrics-out, -ops-listen and -slo-* need -devices or -scale")
+	}
+
 	if *scaleJSON != "" {
 		if len(sweep) == 0 {
 			sweep = defaultScaleSweep
 		}
-		if err := writeScaleJSON(*scaleJSON, sweep, *seed, *fleetWrk, *scaleDur, stdout); err != nil {
+		if err := writeScaleJSON(*scaleJSON, sweep, *seed, *fleetWrk, *scaleDur, *loss, stdout); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote scaling baseline to %s\n", *scaleJSON)
 		return nil
 	}
-	if devicesSet || len(sweep) > 0 {
+	if scaleMode {
 		if devicesSet {
 			sweep = append([]int{*devicesN}, sweep...)
 		}
-		return runScaleSweep(sweep, *seed, *fleetWrk, *scaleDur, stdout)
+		if metricsSet && len(sweep) > 1 {
+			return fmt.Errorf("-metrics/-metrics-out merge one run's telemetry; use a single-point scale run (-devices N), not a %d-point sweep", len(sweep))
+		}
+		return runScaleSweep(scaleSweepOpts{
+			sweep:      sweep,
+			seed:       *seed,
+			workers:    *fleetWrk,
+			dur:        *scaleDur,
+			loss:       *loss,
+			metrics:    *metrics,
+			metricsOut: *metOut,
+			ops: opsOpts{
+				listen:   *opsListen,
+				p99:      *sloP99,
+				minFPS:   *sloMinFPS,
+				stall:    *sloStall,
+				interval: *sloEvery,
+			},
+		}, stdout)
 	}
 
 	if *fleetN > 0 {
@@ -193,6 +236,13 @@ func run(args []string, stdout io.Writer) error {
 			traceOut:   *traceOut,
 			flightRec:  *flightRec,
 			traceSLO:   *traceSLO,
+			ops: opsOpts{
+				listen:   *opsListen,
+				p99:      *sloP99,
+				minFPS:   *sloMinFPS,
+				stall:    *sloStall,
+				interval: *sloEvery,
+			},
 		}, stdout)
 	}
 
@@ -254,6 +304,77 @@ type fleetOpts struct {
 	traceOut         string
 	flightRec        bool
 	traceSLO         time.Duration
+	ops              opsOpts
+}
+
+// opsOpts carries the live-ops-plane flags (-ops-listen, -slo-*).
+type opsOpts struct {
+	listen   string
+	p99      float64
+	minFPS   float64
+	stall    time.Duration
+	interval time.Duration
+}
+
+// enabled reports whether any ops-plane feature was requested.
+func (o opsOpts) enabled() bool {
+	return o.listen != "" || o.p99 > 0 || o.minFPS > 0 || o.stall > 0
+}
+
+// opsPlane bundles the running server and watchdog of one invocation.
+type opsPlane struct {
+	srv *ops.Server
+	wd  *ops.Watchdog
+}
+
+// startOpsPlane starts the watchdog and (if requested) the HTTP server.
+// stallClock names the series whose advancement proves the run is alive:
+// sim_virtual_seconds on the scale path, hub_frames_decoded_total for the
+// session fleet.
+func startOpsPlane(o opsOpts, reg *telemetry.Registry, tracer *tracing.Tracer, stallClock string, stdout io.Writer) (*opsPlane, error) {
+	wd := ops.StartWatchdog(ops.WatchdogConfig{
+		Registry:        reg,
+		Interval:        o.interval,
+		LatencyMaxP99Ms: o.p99,
+		StallGauge:      stallClock,
+		StallAfter:      o.stall,
+		MinRate:         minRateRules(o.minFPS),
+		Tracer:          tracer,
+		OnBreach: func(b ops.Breach) {
+			fmt.Fprintf(os.Stderr, "slo watchdog: %s\n", b)
+		},
+	})
+	p := &opsPlane{wd: wd}
+	if o.listen != "" {
+		srv, err := ops.Serve(o.listen, ops.Config{Registry: reg, Watchdog: wd})
+		if err != nil {
+			wd.Stop()
+			return nil, err
+		}
+		p.srv = srv
+		fmt.Fprintf(stdout, "ops plane listening on %s (metrics, vars, healthz, debug/pprof)\n", srv.URL())
+	}
+	return p, nil
+}
+
+func minRateRules(minFPS float64) map[string]float64 {
+	if minFPS <= 0 {
+		return nil
+	}
+	return map[string]float64{telemetry.MetricHubDecoded: minFPS}
+}
+
+// close stops the watchdog before the server so /healthz never serves a
+// half-stopped state, and reports the verdict.
+func (p *opsPlane) close(report io.Writer) {
+	if p == nil {
+		return
+	}
+	p.wd.Stop()
+	p.srv.Close()
+	if breaches := p.wd.Breaches(); len(breaches) > 0 {
+		fmt.Fprintf(report, "slo watchdog: %d breach(es); first: %s\n", len(breaches), breaches[0])
+	}
 }
 
 // runFleet simulates n devices concurrently against one hub and prints the
@@ -288,15 +409,30 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 		cfg.Tracing = tracer
 	}
 	var reg *telemetry.Registry
-	if o.metrics || o.metricsOut != "" {
+	if o.metrics || o.metricsOut != "" || o.ops.enabled() {
 		reg = telemetry.New()
 		cfg.Metrics = reg
+	}
+	if o.metrics || o.metricsOut != "" {
 		// Heartbeat progress on stderr while the run is in flight.
 		cfg.ReportEvery = 2 * time.Second
 		cfg.OnReport = func(s *telemetry.Snapshot) {
 			fmt.Fprintf(os.Stderr, "fleet: %d frames decoded, %d sent\n",
 				s.Counters[telemetry.MetricHubDecoded], s.Counters[telemetry.MetricRFSent])
 		}
+	}
+	var opsSummary strings.Builder
+	var plane *opsPlane
+	if o.ops.enabled() {
+		// The session fleet has no virtual-time gauge; decoded frames are
+		// its liveness clock.
+		var err error
+		plane, err = startOpsPlane(o.ops, reg, tracer, telemetry.MetricHubDecoded, stdout)
+		if err != nil {
+			return err
+		}
+		// Repeated close is safe; the deferred one covers error returns.
+		defer plane.close(io.Discard)
 	}
 	r, err := fleet.New(cfg)
 	if err != nil {
@@ -305,6 +441,9 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 	results, err := r.RunAll()
 	if err != nil {
 		return err
+	}
+	if plane != nil {
+		plane.close(&opsSummary)
 	}
 
 	var report strings.Builder
@@ -327,6 +466,7 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 	}
 	fmt.Fprintf(&report, "virtual time %.1f s, decode throughput %.1f frames/s\n",
 		tot.VirtualSeconds, tot.FramesPerSecond)
+	report.WriteString(opsSummary.String())
 
 	var snap *telemetry.Snapshot
 	if reg != nil {

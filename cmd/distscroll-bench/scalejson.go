@@ -13,6 +13,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // This file implements -devices / -scale / -scale-json: the devices-vs-
@@ -43,31 +44,121 @@ func parseScaleList(s string) ([]int, error) {
 	return out, nil
 }
 
-// runScalePoint simulates one device count on the scale path.
-func runScalePoint(devices int, seed uint64, workers int, dur time.Duration) (fleet.ScaleResult, error) {
+// defaultScaleLoss is the modelled per-frame loss when -loss is not given.
+const defaultScaleLoss = 0.01
+
+// runScalePoint simulates one device count on the scale path. A negative
+// loss takes the stock model loss; reg, when non-nil, receives the live
+// striped telemetry.
+func runScalePoint(devices int, seed uint64, workers int, dur time.Duration, loss float64, reg *telemetry.Registry) (fleet.ScaleResult, error) {
+	if loss < 0 {
+		loss = defaultScaleLoss
+	}
 	return fleet.RunScale(fleet.ScaleConfig{
 		Devices:  devices,
 		Seed:     seed,
 		Workers:  workers,
 		Duration: dur,
-		LossProb: 0.01,
+		LossProb: loss,
+		Metrics:  reg,
 	})
 }
 
+// scaleSweepOpts parameterises -devices/-scale runs, including the live
+// ops plane and the telemetry outputs that used to be fleet-only.
+type scaleSweepOpts struct {
+	sweep      []int
+	seed       uint64
+	workers    int
+	dur        time.Duration
+	loss       float64
+	metrics    bool
+	metricsOut string
+	ops        opsOpts
+}
+
 // runScaleSweep prints the devices-vs-throughput table for -devices/-scale.
-func runScaleSweep(sweep []int, seed uint64, workers int, dur time.Duration, stdout io.Writer) error {
-	fmt.Fprintf(stdout, "DistScroll scale sweep (seed %d, %s virtual per device)\n", seed, dur)
-	fmt.Fprintf(stdout, "%s\n", strings.Repeat("=", 76))
-	fmt.Fprintf(stdout, "%9s %8s %12s %12s %14s %12s\n",
-		"devices", "workers", "wall_s", "ticks/s", "rt_factor", "frames")
-	for _, n := range sweep {
-		res, err := runScalePoint(n, seed, workers, dur)
+// Single-point runs may attach telemetry (-metrics/-metrics-out) and the
+// ops plane (-ops-listen, -slo-*); run() rejects the unsupported combos.
+func runScaleSweep(o scaleSweepOpts, stdout io.Writer) error {
+	var reg *telemetry.Registry
+	if o.metrics || o.metricsOut != "" || o.ops.enabled() {
+		reg = telemetry.New()
+	}
+	var opsSummary strings.Builder
+	var plane *opsPlane
+	if o.ops.enabled() {
+		var err error
+		plane, err = startOpsPlane(o.ops, reg, nil, telemetry.MetricSimVirtualSeconds, stdout)
 		if err != nil {
 			return err
 		}
+		defer plane.close(io.Discard)
+	}
+
+	fmt.Fprintf(stdout, "DistScroll scale sweep (seed %d, %s virtual per device)\n", o.seed, o.dur)
+	fmt.Fprintf(stdout, "%s\n", strings.Repeat("=", 76))
+	fmt.Fprintf(stdout, "%9s %8s %12s %12s %14s %12s\n",
+		"devices", "workers", "wall_s", "ticks/s", "rt_factor", "frames")
+	var last fleet.ScaleResult
+	for _, n := range o.sweep {
+		res, err := runScalePoint(n, o.seed, o.workers, o.dur, o.loss, reg)
+		if err != nil {
+			return err
+		}
+		last = res
 		fmt.Fprintf(stdout, "%9d %8d %12.3f %12.0f %14.0f %12d\n",
 			res.Devices, res.Workers, res.WallSeconds, res.TicksPerSecond,
 			res.RealTimeFactor, res.Frames)
+	}
+	if plane != nil {
+		plane.close(&opsSummary)
+		if _, err := io.WriteString(stdout, opsSummary.String()); err != nil {
+			return err
+		}
+	}
+
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if o.metrics {
+		fmt.Fprintf(stdout, "\nTelemetry (Prometheus exposition)\n%s\n", strings.Repeat("-", 76))
+		if lat, ok := snap.Histogram(telemetry.MetricHubE2ELatency); ok {
+			fmt.Fprintf(stdout, "# e2e latency: p50=%.2fms p90=%.2fms p99=%.2fms over %d frames\n",
+				lat.P50, lat.P90, lat.P99, lat.Count)
+		}
+		if err := snap.WritePrometheus(stdout); err != nil {
+			return err
+		}
+	}
+	if o.metricsOut != "" {
+		if err := writeScaleTelemetryJSON(o.metricsOut, o.seed, last, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote telemetry report to %s\n", o.metricsOut)
+	}
+	return nil
+}
+
+// scaleTelemetryReport is the scale-mode -metrics-out document: the run's
+// throughput summary plus the merged metrics snapshot.
+type scaleTelemetryReport struct {
+	Seed    uint64              `json:"seed"`
+	Result  fleet.ScaleResult   `json:"result"`
+	Metrics *telemetry.Snapshot `json:"metrics"`
+}
+
+func writeScaleTelemetryJSON(path string, seed uint64, res fleet.ScaleResult, snap *telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry report: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(scaleTelemetryReport{Seed: seed, Result: res, Metrics: snap}); err != nil {
+		return fmt.Errorf("telemetry report: %w", err)
 	}
 	return nil
 }
@@ -124,7 +215,7 @@ type scaleBaseline struct {
 
 // writeScaleJSON measures the schedulers and the scaling curve and writes
 // the machine-readable baseline.
-func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time.Duration, stdout io.Writer) error {
+func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time.Duration, loss float64, stdout io.Writer) error {
 	heap := benchEventScheduler(sim.NewHeapScheduler(sim.NewClock(0)))
 	wheel := benchEventScheduler(sim.NewScheduler(sim.NewClock(0)))
 
@@ -140,7 +231,7 @@ func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time
 		doc.SchedulerSpeedup = doc.Before[0].NsPerOp / ns
 	}
 	for _, n := range sweep {
-		res, err := runScalePoint(n, seed, workers, dur)
+		res, err := runScalePoint(n, seed, workers, dur, loss, nil)
 		if err != nil {
 			return err
 		}

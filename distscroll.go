@@ -68,6 +68,9 @@ type Option func(*config) error
 type config struct {
 	core core.Config
 	root *Item
+	// opsAddr and slo configure the fleet-only live ops plane (ops.go).
+	opsAddr string
+	slo     *SLO
 }
 
 // WithMenu sets the navigated structure. Required unless WithEntries is
@@ -302,6 +305,9 @@ func New(opts ...Option) (*Device, error) {
 	}
 	if cfg.root == nil {
 		return nil, errors.New("distscroll: a menu is required (WithMenu or WithEntries)")
+	}
+	if cfg.opsAddr != "" || cfg.slo != nil {
+		return nil, errors.New("distscroll: the ops plane watches a fleet run; use NewFleet with WithOpsServer/WithSLOWatchdog")
 	}
 	root := cfg.root.toNode()
 	inner, err := core.NewDevice(cfg.core, root)

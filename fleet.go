@@ -26,6 +26,7 @@ type Fleet struct {
 	runner  *fleet.Runner
 	metrics *telemetry.Registry
 	tracing *Tracing
+	ops     *opsState
 
 	onScroll func(device int, e Event)
 	onSelect func(device int, e Event)
@@ -49,6 +50,11 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if cfg.root == nil {
 		return nil, errors.New("distscroll: a menu is required (WithMenu or WithEntries)")
 	}
+	if (cfg.opsAddr != "" || cfg.slo != nil) && cfg.core.Metrics == nil {
+		// The ops plane implies telemetry: scrape targets and SLO rules
+		// both read the registry.
+		cfg.core.Metrics = telemetry.New()
+	}
 	runner, err := fleet.New(fleet.Config{
 		Devices:  n,
 		Seed:     cfg.core.Seed,
@@ -65,6 +71,13 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	f := &Fleet{runner: runner, metrics: cfg.core.Metrics}
 	if cfg.core.Tracing != nil {
 		f.tracing = &Tracing{tracer: cfg.core.Tracing}
+	}
+	if cfg.opsAddr != "" || cfg.slo != nil {
+		st, err := startOps(&cfg, f.metrics)
+		if err != nil {
+			return nil, err
+		}
+		f.ops = st
 	}
 	return f, nil
 }
@@ -134,7 +147,9 @@ type FleetReport struct {
 // registered handlers in device order, so handler invocations are
 // deterministic given the fleet seed.
 func (f *Fleet) RunAll() (FleetReport, error) {
+	f.beginRun()
 	results, runErr := f.runner.RunAll()
+	f.endRun()
 	f.replay()
 
 	var rep FleetReport

@@ -8,6 +8,7 @@ import (
 	"github.com/hcilab/distscroll/internal/firmware"
 	"github.com/hcilab/distscroll/internal/gp2d120"
 	"github.com/hcilab/distscroll/internal/mapping"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // StateSlab is the struct-of-arrays layout for the million-device scale
@@ -207,7 +208,12 @@ func (s *StateSlab) approxNorm(i int) float64 {
 
 // Tick advances one device through one firmware cycle: motion, sample,
 // quantise, filter, map, emit. It allocates nothing.
-func (s *StateSlab) Tick(i int) {
+func (s *StateSlab) Tick(i int) { s.tick(i, nil) }
+
+// tick is Tick with an optional latency accumulator: every emitted frame
+// bins its modelled end-to-end latency. A nil bins costs one predictable
+// branch per frame, keeping the uninstrumented path identical.
+func (s *StateSlab) tick(i int, bins *latencyBins) {
 	// Hand motion: dwell at a reached target, then glide to the next.
 	d := s.dist[i]
 	switch {
@@ -234,7 +240,7 @@ func (s *StateSlab) Tick(i int) {
 	if v < 0 {
 		v = 0
 	}
-	code := int(v/adc.DefaultVref*float64(adc.MaxCode+1)) // truncating ADC
+	code := int(v / adc.DefaultVref * float64(adc.MaxCode+1)) // truncating ADC
 	if code > adc.MaxCode {
 		code = adc.MaxCode
 	}
@@ -270,7 +276,7 @@ func (s *StateSlab) Tick(i int) {
 	if idx >= 0 && idx != int(s.cur[i]) {
 		s.cur[i] = int16(idx)
 		s.switches[i]++
-		s.emitFrame(i)
+		s.emitFrame(i, bins)
 	} else if idx >= 0 {
 		s.cur[i] = int16(idx)
 	}
@@ -305,16 +311,68 @@ func (s *StateSlab) mapVoltage(i int, v float64) int {
 // emitFrame accounts one scroll frame through the modelled reliable link:
 // a lost first copy is retransmitted and delivered (the ARQ guarantee),
 // and the window bookkeeping records it on the air until next tick's ack.
-func (s *StateSlab) emitFrame(i int) {
+// With a latency accumulator attached it also bins the frame's modelled
+// end-to-end latency.
+func (s *StateSlab) emitFrame(i int, bins *latencyBins) {
 	s.seq[i]++
 	s.sent[i]++
 	s.outstanding[i]++
 	s.ackPend[i]++
-	if s.lossProb > 0 && u64ToFloat(s.nextU64(i)) < s.lossProb {
+	lost := s.lossProb > 0 && u64ToFloat(s.nextU64(i)) < s.lossProb
+	if lost {
 		s.lost[i]++
 		s.retransmits[i]++
 	}
 	s.delivered[i]++
+	if bins != nil {
+		bins[s.latencyBin(i, lost)]++
+	}
+}
+
+// latencyBins accumulates a sweep's modelled latency observations. The
+// model produces only 16 distinct values (8 hash bins × delivered-first-
+// try / retransmitted), so the per-frame instrumentation cost is a single
+// array increment; TickStripeObserved flushes the bins into the real
+// histogram once per stripe sweep.
+type latencyBins [16]uint64
+
+// flush drains the bins into lat and zeroes them.
+func (b *latencyBins) flush(lat *telemetry.LocalHistogram) {
+	for k, n := range b {
+		if n != 0 {
+			lat.ObserveN(binLatencyMs(k), n)
+			b[k] = 0
+		}
+	}
+}
+
+// binLatencyMs is bin k's modelled end-to-end latency in ms.
+func binLatencyMs(k int) float64 {
+	ms := 8.0 + float64(k&7)*0.5
+	if k >= 8 {
+		ms += 50
+	}
+	return ms
+}
+
+// latencyBin derives a frame's modelled latency bin from a hash of
+// (slot, seq) rather than from the device RNG stream, so instrumented and
+// plain runs tick through identical random walks. The base (bins 0-7,
+// 8-11.5 ms in 0.5 ms steps) models the firmware path — one 40 ms cycle's
+// worth of sampling plus RF and hub time; a lost first copy (bins 8-15)
+// adds a 50 ms retransmit round trip. Every value is an exact multiple of
+// 0.5 ms, so float64 partial sums are exact and histogram merges are
+// independent of stripe grouping.
+func (s *StateSlab) latencyBin(i int, lost bool) int {
+	z := (uint64(i)<<16 | uint64(s.seq[i])) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	k := int(z & 7)
+	if lost {
+		k |= 8
+	}
+	return k
 }
 
 // TickStripe advances the contiguous device range [lo, hi) through one
@@ -322,8 +380,22 @@ func (s *StateSlab) emitFrame(i int) {
 // scheduler event per stripe, not one per device.
 func (s *StateSlab) TickStripe(lo, hi int, _ time.Duration) {
 	for i := lo; i < hi; i++ {
-		s.Tick(i)
+		s.tick(i, nil)
 	}
+}
+
+// TickStripeObserved is TickStripe with a caller-synchronised latency
+// histogram: each emitted frame in the stripe bins its modelled end-to-end
+// latency into a stack accumulator, flushed into lat once per sweep. The
+// caller (one RunScale worker per stripe) owns lat exclusively during the
+// tick, so no synchronisation happens on this path and it still allocates
+// nothing.
+func (s *StateSlab) TickStripeObserved(lo, hi int, _ time.Duration, lat *telemetry.LocalHistogram) {
+	var bins latencyBins
+	for i := lo; i < hi; i++ {
+		s.tick(i, &bins)
+	}
+	bins.flush(lat)
 }
 
 // SlabTotals aggregates slab counters (see fleet.RunScale).
@@ -333,6 +405,7 @@ type SlabTotals struct {
 	Lost        uint64
 	Retransmits uint64
 	Switches    uint64
+	Outstanding uint64
 	MaxWindow   uint16
 }
 
@@ -346,11 +419,33 @@ func (s *StateSlab) Totals(lo, hi int) SlabTotals {
 		t.Lost += uint64(s.lost[i])
 		t.Retransmits += uint64(s.retransmits[i])
 		t.Switches += uint64(s.switches[i])
+		t.Outstanding += uint64(s.outstanding[i])
 		if s.outstanding[i] > t.MaxWindow {
 			t.MaxWindow = s.outstanding[i]
 		}
 	}
 	return t
+}
+
+// Contribute folds the totals into a telemetry snapshot under the same
+// canonical names the session-based pipeline uses, so a scale run and a
+// session run are comparable in one scrape. The slab models firmware,
+// link and hub as one fused loop, so several layers share source counters:
+// every island switch is one scroll event, one firmware frame, and (plus
+// retransmits) one copy on the air; the ARQ guarantee delivers each frame
+// exactly once to the hub.
+func (t SlabTotals) Contribute(s *telemetry.Snapshot) {
+	s.AddCounter(telemetry.MetricFwScrollEvents, t.Switches)
+	s.AddCounter(telemetry.MetricFwFramesSent, t.Sent)
+	s.AddCounter(telemetry.MetricFwIslandSwitches, t.Switches)
+	s.AddCounter(telemetry.MetricRFSent, t.Sent+t.Retransmits)
+	s.AddCounter(telemetry.MetricRFLost, t.Lost)
+	s.AddCounter(telemetry.MetricRFDelivered, t.Delivered)
+	s.AddCounter(telemetry.MetricARQEnqueued, t.Sent)
+	s.AddCounter(telemetry.MetricARQAcked, t.Delivered)
+	s.AddCounter(telemetry.MetricARQRetransmits, t.Retransmits)
+	s.AddCounter(telemetry.MetricHubDecoded, t.Delivered)
+	s.AddCounter(telemetry.MetricHubEvents, t.Delivered)
 }
 
 func median3(a, b, c float64) float64 {

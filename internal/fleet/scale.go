@@ -8,6 +8,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/sim"
+	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
 // ScaleConfig parameterises a struct-of-arrays scale run: the path that
@@ -32,6 +33,23 @@ type ScaleConfig struct {
 	Entries int
 	// LossProb is the modelled per-frame loss probability.
 	LossProb float64
+
+	// Metrics, when non-nil, turns on the live ops plane for this run:
+	// each worker owns a per-stripe telemetry shard (plain counters and a
+	// LocalHistogram — no atomics on the tick path, still 0 allocs/op)
+	// and periodically publishes it; a Collector registered here merges
+	// the shards on every Snapshot into the canonical fw_*/rf_*/arq_*/
+	// hub_* names plus the sim_* engine gauges. The merged counters and
+	// histograms are deterministic and worker-count independent; the
+	// gauges describe the machine (wall-clock rates, wheel occupancy).
+	// The collector stays registered after the run ends, so a post-run
+	// scrape reads the final totals.
+	Metrics *telemetry.Registry
+	// ReportEvery, with OnReport, emits a merged snapshot at this
+	// wall-clock interval during the run (plus one final snapshot).
+	ReportEvery time.Duration
+	// OnReport receives each periodic snapshot. Ignored without Metrics.
+	OnReport func(*telemetry.Snapshot)
 }
 
 // ScaleResult is the outcome of one scale run.
@@ -58,12 +76,122 @@ type ScaleResult struct {
 	TicksPerSecond float64
 }
 
+// scaleShard is one worker's telemetry stripe. The owner-side fields are
+// touched on the tick path by exactly one goroutine with no
+// synchronisation; publish copies them under mu at a coarse cadence
+// (~1 s of virtual time), and the registry collector reads only the
+// published copies — so a mid-run scrape never races the hot loop and
+// never waits on it.
+type scaleShard struct {
+	lo, hi int
+
+	// Owner-only: written by the stripe's worker, never read elsewhere.
+	lat    *telemetry.LocalHistogram
+	ticks  uint64
+	sweeps uint64
+
+	mu         sync.Mutex
+	pubTicks   uint64
+	pubTotals  core.SlabTotals
+	pubLat     telemetry.HistogramSnapshot
+	pubVirtual time.Duration
+	pubWheel   sim.WheelStats
+	pubElapsed float64
+}
+
+// publish copies the shard's live state into its published fields. Runs on
+// the worker goroutine between sweeps; cost is one stripe walk for totals
+// plus a histogram copy, amortised to noise by the coarse cadence.
+func (sh *scaleShard) publish(slab *core.StateSlab, sched *sim.Scheduler, at time.Duration, start time.Time) {
+	totals := slab.Totals(sh.lo, sh.hi)
+	wheel := sched.Stats()
+	elapsed := time.Since(start).Seconds()
+	sh.mu.Lock()
+	sh.pubTicks = sh.ticks
+	sh.pubTotals = totals
+	sh.lat.SnapshotInto(&sh.pubLat)
+	sh.pubVirtual = at
+	sh.pubWheel = wheel
+	sh.pubElapsed = elapsed
+	sh.mu.Unlock()
+}
+
+// scaleCollector merges published shard state into a snapshot. Shards are
+// visited in stripe order and every merged quantity is either an integer
+// sum or a float64 sum of exactly-representable values (see
+// core.StateSlab's latency model), so the merged counters and histograms
+// do not depend on the worker count.
+type scaleCollector struct {
+	cfg     ScaleConfig
+	workers int
+	shards  []*scaleShard
+}
+
+func (sc *scaleCollector) collect(s *telemetry.Snapshot) {
+	var ticks uint64
+	var totals core.SlabTotals
+	var wheel sim.WheelStats
+	minVirtual := time.Duration(-1)
+	var maxElapsed float64
+	for _, sh := range sc.shards {
+		sh.mu.Lock()
+		ticks += sh.pubTicks
+		totals.Sent += sh.pubTotals.Sent
+		totals.Delivered += sh.pubTotals.Delivered
+		totals.Lost += sh.pubTotals.Lost
+		totals.Retransmits += sh.pubTotals.Retransmits
+		totals.Switches += sh.pubTotals.Switches
+		totals.Outstanding += sh.pubTotals.Outstanding
+		if sh.pubTotals.MaxWindow > totals.MaxWindow {
+			totals.MaxWindow = sh.pubTotals.MaxWindow
+		}
+		if len(sh.pubLat.Bounds) > 0 {
+			s.MergeHistogram(telemetry.MetricHubE2ELatency, sh.pubLat)
+		}
+		if minVirtual < 0 || sh.pubVirtual < minVirtual {
+			minVirtual = sh.pubVirtual
+		}
+		if sh.pubElapsed > maxElapsed {
+			maxElapsed = sh.pubElapsed
+		}
+		wheel.Pending += sh.pubWheel.Pending
+		wheel.SlotsOccupied += sh.pubWheel.SlotsOccupied
+		wheel.Overflow += sh.pubWheel.Overflow
+		sh.mu.Unlock()
+	}
+	if minVirtual < 0 {
+		minVirtual = 0
+	}
+
+	s.AddCounter(telemetry.MetricFwCycles, ticks)
+	totals.Contribute(s)
+
+	s.SetGauge(telemetry.MetricSimDevices, float64(sc.cfg.Devices))
+	s.SetGauge(telemetry.MetricSimWorkers, float64(sc.workers))
+	// The slowest stripe's virtual clock: the fleet as a whole has
+	// simulated at least this far.
+	s.SetGauge(telemetry.MetricSimVirtualSeconds, minVirtual.Seconds())
+	s.SetGauge(telemetry.MetricSimFramesInFlight, float64(totals.Outstanding))
+	s.SetGauge(telemetry.MetricSimWheelPending, float64(wheel.Pending))
+	s.SetGauge(telemetry.MetricSimWheelOccupied, float64(wheel.SlotsOccupied))
+	s.SetGauge(telemetry.MetricSimWheelOverflow, float64(wheel.Overflow))
+	if maxElapsed > 0 {
+		tps := float64(ticks) / maxElapsed
+		s.SetGauge(telemetry.MetricSimTicksPerSec, tps)
+		s.SetGauge(telemetry.MetricSimDevSecPerSec, tps*sc.cfg.SamplePeriod.Seconds())
+	}
+}
+
 // RunScale simulates a packed slab fleet: Workers stripes of contiguous
 // devices, each stripe driven by its own virtual clock and timing-wheel
 // scheduler whose single periodic event advances the whole stripe through
 // one firmware cycle per wheel turn. Construction is batched (one slab,
 // no per-device allocation) and the tick path allocates nothing, which is
 // what lets one box push a million devices faster than real time.
+//
+// With cfg.Metrics set the run is live-observable: scraping the registry
+// mid-run (see internal/ops) reads each stripe's most recently published
+// telemetry without touching the hot loop.
 func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 	if cfg.Devices < 1 {
 		return ScaleResult{}, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
@@ -94,11 +222,42 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 
 	res := ScaleResult{Devices: cfg.Devices, Workers: workers}
 	ticksPerDevice := uint64(cfg.Duration / cfg.SamplePeriod)
+	stripe := (cfg.Devices + workers - 1) / workers
+
+	// publishSweeps spaces shard publishes about one second of virtual
+	// time apart: frequent enough for a 1 Hz scrape to see motion, coarse
+	// enough that the copy cost disappears into the stripe walk.
+	publishSweeps := uint64(time.Second / cfg.SamplePeriod)
+	if publishSweeps < 1 {
+		publishSweeps = 1
+	}
+
+	var shards []*scaleShard
+	var reporter *telemetry.Reporter
+	observed := cfg.Metrics != nil
+	if observed {
+		shards = make([]*scaleShard, workers)
+		for w := range shards {
+			lo := w * stripe
+			hi := lo + stripe
+			if hi > cfg.Devices {
+				hi = cfg.Devices
+			}
+			shards[w] = &scaleShard{
+				lo:  lo,
+				hi:  hi,
+				lat: telemetry.NewLocalHistogram(telemetry.LatencyBucketsMs),
+			}
+		}
+		cfg.Metrics.RegisterCollector((&scaleCollector{cfg: cfg, workers: workers, shards: shards}).collect)
+		if cfg.OnReport != nil {
+			reporter = telemetry.StartReporter(cfg.Metrics, cfg.ReportEvery, cfg.OnReport)
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	stripe := (cfg.Devices + workers - 1) / workers
 	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * stripe
@@ -113,14 +272,31 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 			// and the per-tick cost is the linear walk over the stripe.
 			clock := sim.NewClock(0)
 			sched := sim.NewScheduler(clock)
-			sched.Every(cfg.SamplePeriod, func(at time.Duration) {
-				slab.TickStripe(lo, hi, at)
-			})
-			errs[w] = sched.Run(cfg.Duration)
+			if observed {
+				sh := shards[w]
+				sched.Every(cfg.SamplePeriod, func(at time.Duration) {
+					slab.TickStripeObserved(lo, hi, at, sh.lat)
+					sh.ticks += uint64(hi - lo)
+					sh.sweeps++
+					if sh.sweeps%publishSweeps == 0 {
+						sh.publish(slab, sched, at, start)
+					}
+				})
+				errs[w] = sched.Run(cfg.Duration)
+				// Final publish so post-run scrapes read the complete
+				// stripe, whatever the cadence remainder was.
+				sh.publish(slab, sched, cfg.Duration, start)
+			} else {
+				sched.Every(cfg.SamplePeriod, func(at time.Duration) {
+					slab.TickStripe(lo, hi, at)
+				})
+				errs[w] = sched.Run(cfg.Duration)
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	res.WallSeconds = time.Since(start).Seconds()
+	reporter.Stop()
 	for _, err := range errs {
 		if err != nil {
 			return res, fmt.Errorf("fleet: scale stripe: %w", err)

@@ -1,0 +1,160 @@
+// Package ops is the live operations plane of the DistScroll reproduction:
+// a dependency-free HTTP server that exposes a running fleet's telemetry
+// registry while the run is in flight. The paper measures DistScroll after
+// the fact; a service pushing a million simulated devices needs to be
+// watchable *during* the run — scrape progress, spot a stall, pull a
+// profile — without stopping it.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition of a registry snapshot
+//	/vars          the same snapshot as indented JSON
+//	/healthz       200 while the SLO watchdog is clean, 503 with the
+//	               breach list once it fires (or always 200 without one)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Every scrape takes one registry snapshot: counters are atomics and the
+// scale path's shard collector reads only published copies, so scraping
+// never blocks a tick loop. Overhead is bounded by snapshot cost times
+// scrape rate, not by fleet size per request beyond the merge itself.
+package ops
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// Config wires a server to its data sources.
+type Config struct {
+	// Registry is scraped on every /metrics and /vars request.
+	Registry *telemetry.Registry
+	// Watchdog, when set, drives /healthz: 503 once it has breached.
+	Watchdog *Watchdog
+}
+
+// Server is a running ops HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	wd  atomic.Pointer[Watchdog]
+}
+
+// Serve starts the ops plane on addr (host:port; port 0 picks a free one)
+// and returns once the listener is bound, so the reported Addr is always
+// scrapeable. The HTTP loop runs on its own goroutine until Close.
+func Serve(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	if cfg.Watchdog != nil {
+		s.wd.Store(cfg.Watchdog)
+	}
+	s.srv = &http.Server{
+		// /healthz reads the watchdog through the server so SetWatchdog
+		// can attach one after the listener is already up (a fleet binds
+		// its port at construction, its watchdog at run start).
+		Handler:           handler(cfg.Registry, s.wd.Load),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// SetWatchdog points /healthz at w (nil detaches, making the endpoint
+// always healthy). Safe while serving and safe on nil.
+func (s *Server) SetWatchdog(w *Watchdog) {
+	if s == nil {
+		return
+	}
+	s.wd.Store(w)
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the listener and the HTTP loop. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Handler builds the ops mux without binding a listener — the unit-test
+// and embedding entry point.
+func Handler(cfg Config) http.Handler {
+	return handler(cfg.Registry, func() *Watchdog { return cfg.Watchdog })
+}
+
+// handler is the mux over a registry and a watchdog accessor (read per
+// request, so a served fleet can attach its watchdog late).
+func handler(reg *telemetry.Registry, watchdog func() *Watchdog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "distscroll ops plane\n\n"+
+			"/metrics       Prometheus exposition\n"+
+			"/vars          JSON snapshot\n"+
+			"/healthz       SLO watchdog state\n"+
+			"/debug/pprof/  Go profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		wd := watchdog()
+		if wd.Healthy() {
+			fmt.Fprint(w, "ok\n")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, "slo breach\n")
+		for _, b := range wd.Breaches() {
+			fmt.Fprintf(w, "%s\n", b)
+		}
+	})
+	// net/http/pprof self-registers on DefaultServeMux at import; wire its
+	// handlers onto this private mux instead so the ops port is the only
+	// place they appear.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,300 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
+)
+
+// Breach is one SLO violation observed by the watchdog.
+type Breach struct {
+	// Rule names the rule that fired: "min-rate", "latency-p99", "stall".
+	Rule string
+	// Metric is the series the rule evaluated.
+	Metric string
+	// Value is the observed quantity, Limit the configured threshold
+	// (units depend on the rule: per-second rate, milliseconds, seconds).
+	Value, Limit float64
+}
+
+// String renders the breach for /healthz and log lines.
+func (b Breach) String() string {
+	return fmt.Sprintf("%s: %s %.3g (limit %.3g)", b.Rule, b.Metric, b.Value, b.Limit)
+}
+
+// WatchdogConfig parameterises an SLO watchdog.
+type WatchdogConfig struct {
+	// Registry is snapshotted every Interval; rules evaluate the deltas
+	// between consecutive snapshots (windowed, so a long healthy history
+	// cannot mask a current outage).
+	Registry *telemetry.Registry
+	// Interval is the evaluation period (default 1 s).
+	Interval time.Duration
+
+	// MinRate maps counter names to their minimum healthy per-second
+	// rate-of-change. A window where delta/dt drops below the floor is a
+	// drain (the pipeline stopped producing).
+	MinRate map[string]float64
+
+	// LatencyMaxP99Ms, when > 0, breaches if the named histogram's p99
+	// over the window exceeds it. LatencyMetric defaults to
+	// hub_e2e_latency_ms. Windows with no observations are skipped —
+	// absence of traffic is MinRate's job.
+	LatencyMetric   string
+	LatencyMaxP99Ms float64
+
+	// StallAfter, when > 0, breaches if the StallGauge (default
+	// sim_virtual_seconds) fails to advance for that long of wall time —
+	// the stuck-clock detector for a wedged worker. A name with no gauge
+	// falls back to the counter of the same name, so progress counters
+	// (e.g. hub_frames_decoded_total) work as stall clocks too.
+	StallGauge string
+	StallAfter time.Duration
+
+	// OnBreach is called for every breach as it is detected (watchdog
+	// goroutine; keep it fast).
+	OnBreach func(Breach)
+	// Tracer, when set, receives a flight-recorder anomaly per breach:
+	// the watchdog owns its own recorder, so the dump machinery's
+	// single-writer contract holds, and the bounded dump triggers exactly
+	// as it does for in-pipeline anomalies.
+	Tracer *tracing.Tracer
+}
+
+// Watchdog evaluates SLO rules over windowed snapshot deltas on a
+// wall-clock loop. Health is latched: once any rule fires the watchdog
+// stays unhealthy (and /healthz stays 503) so a flapping breach cannot
+// hide from a slow scraper.
+type Watchdog struct {
+	cfg      WatchdogConfig
+	recorder *tracing.Recorder
+	start    time.Time
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	breaches []Breach
+
+	// Stall tracking (watchdog goroutine only).
+	stallVal  float64
+	stallSeen time.Time
+}
+
+// maxBreaches bounds the retained breach list; /healthz needs the shape of
+// the failure, not an unbounded log.
+const maxBreaches = 32
+
+// StartWatchdog begins evaluating cfg's rules until Stop. Returns nil (a
+// no-op watchdog that is always healthy) when cfg.Registry is nil or no
+// rule is configured.
+func StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Registry == nil {
+		return nil
+	}
+	if len(cfg.MinRate) == 0 && cfg.LatencyMaxP99Ms <= 0 && cfg.StallAfter <= 0 {
+		return nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.LatencyMetric == "" {
+		cfg.LatencyMetric = telemetry.MetricHubE2ELatency
+	}
+	if cfg.StallGauge == "" {
+		cfg.StallGauge = telemetry.MetricSimVirtualSeconds
+	}
+	w := &Watchdog{
+		cfg:   cfg,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.Tracer != nil {
+		w.recorder = cfg.Tracer.NewRecorder("slo-watchdog", 0)
+	}
+	go w.loop()
+	return w
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	prev := w.cfg.Registry.Snapshot()
+	last := time.Now()
+	w.stallSeen = last
+	w.stallVal = stallValue(prev, w.cfg.StallGauge)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-ticker.C:
+			cur := w.cfg.Registry.Snapshot()
+			dt := now.Sub(last)
+			for _, b := range Evaluate(w.cfg, prev, cur, dt) {
+				w.report(b)
+			}
+			if b, ok := w.checkStall(cur, now); ok {
+				w.report(b)
+			}
+			prev, last = cur, now
+		}
+	}
+}
+
+// checkStall tracks the stall gauge across windows: any change resets the
+// clock; StallAfter of wall time without one is a breach.
+func (w *Watchdog) checkStall(cur *telemetry.Snapshot, now time.Time) (Breach, bool) {
+	if w.cfg.StallAfter <= 0 {
+		return Breach{}, false
+	}
+	v := stallValue(cur, w.cfg.StallGauge)
+	if v != w.stallVal {
+		w.stallVal = v
+		w.stallSeen = now
+		return Breach{}, false
+	}
+	stuck := now.Sub(w.stallSeen)
+	if stuck < w.cfg.StallAfter {
+		return Breach{}, false
+	}
+	w.stallSeen = now // re-arm so a persistent stall fires once per StallAfter
+	return Breach{
+		Rule:   "stall",
+		Metric: w.cfg.StallGauge,
+		Value:  stuck.Seconds(),
+		Limit:  w.cfg.StallAfter.Seconds(),
+	}, true
+}
+
+// stallValue reads the stall clock: the named gauge, or the counter of the
+// same name when no such gauge exists.
+func stallValue(s *telemetry.Snapshot, name string) float64 {
+	if v, ok := s.Gauges[name]; ok {
+		return v
+	}
+	return float64(s.Counters[name])
+}
+
+// Evaluate runs the windowed rules (min-rate, latency-p99) over a pair of
+// snapshots dt apart and returns every breach. Pure: no watchdog state, so
+// rule semantics are unit-testable without a clock. Stall detection needs
+// cross-window memory and lives in the watchdog loop.
+func Evaluate(cfg WatchdogConfig, prev, cur *telemetry.Snapshot, dt time.Duration) []Breach {
+	var out []Breach
+	if dt <= 0 {
+		return nil
+	}
+	for name, floor := range cfg.MinRate {
+		delta := float64(cur.Counters[name] - prev.Counters[name])
+		rate := delta / dt.Seconds()
+		if rate < floor {
+			out = append(out, Breach{Rule: "min-rate", Metric: name, Value: rate, Limit: floor})
+		}
+	}
+	if cfg.LatencyMaxP99Ms > 0 {
+		name := cfg.LatencyMetric
+		if name == "" {
+			name = telemetry.MetricHubE2ELatency
+		}
+		ch, ok := cur.Histogram(name)
+		if ok {
+			ph, _ := prev.Histogram(name)
+			if d, ok := deltaHist(ph, ch); ok && d.Count > 0 {
+				if p99 := d.Quantile(0.99); p99 > cfg.LatencyMaxP99Ms {
+					out = append(out, Breach{Rule: "latency-p99", Metric: name, Value: p99, Limit: cfg.LatencyMaxP99Ms})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// deltaHist subtracts prev's bucket counts from cur's, yielding the
+// histogram of just this window. An empty prev passes cur through; a shape
+// mismatch or a counter regression (registry replaced mid-flight) reports
+// not-ok rather than inventing negative buckets.
+func deltaHist(prev, cur telemetry.HistogramSnapshot) (telemetry.HistogramSnapshot, bool) {
+	if len(prev.Counts) == 0 {
+		return cur, true
+	}
+	if len(prev.Counts) != len(cur.Counts) || prev.Count > cur.Count {
+		return telemetry.HistogramSnapshot{}, false
+	}
+	d := telemetry.HistogramSnapshot{
+		Bounds: cur.Bounds,
+		Counts: make([]uint64, len(cur.Counts)),
+		Count:  cur.Count - prev.Count,
+		Sum:    cur.Sum - prev.Sum,
+	}
+	for i := range cur.Counts {
+		if cur.Counts[i] < prev.Counts[i] {
+			return telemetry.HistogramSnapshot{}, false
+		}
+		d.Counts[i] = cur.Counts[i] - prev.Counts[i]
+	}
+	return d, true
+}
+
+// report latches unhealthy, records the breach, notifies OnBreach, and
+// fires the flight recorder.
+func (w *Watchdog) report(b Breach) {
+	w.mu.Lock()
+	if len(w.breaches) < maxBreaches {
+		w.breaches = append(w.breaches, b)
+	}
+	w.mu.Unlock()
+	if w.recorder != nil {
+		at := time.Since(w.start)
+		w.recorder.Anomaly(tracing.HopSessionSLO, 0, at,
+			clampU32(b.Value), clampU32(b.Limit), b.String())
+	}
+	if w.cfg.OnBreach != nil {
+		w.cfg.OnBreach(b)
+	}
+}
+
+func clampU32(v float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}
+
+// Healthy reports whether no rule has fired. A nil watchdog is healthy.
+func (w *Watchdog) Healthy() bool {
+	if w == nil {
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.breaches) == 0
+}
+
+// Breaches returns the recorded breaches in detection order.
+func (w *Watchdog) Breaches() []Breach {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Breach(nil), w.breaches...)
+}
+
+// Stop halts the evaluation loop and waits for it. Safe on nil and safe to
+// call twice.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

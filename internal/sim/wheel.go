@@ -77,12 +77,41 @@ type Scheduler struct {
 	pos    int64 // wheel position: last advanced-to virtual nanosecond
 
 	// overflow holds events beyond the level-3 block as a FIFO list in the
-	// slab; ovMin is the exact minimum time in the list.
+	// slab; ovMin is the exact minimum time in the list and ovCount its
+	// length (maintained incrementally so Stats never walks the list).
 	ovHead, ovTail int32
 	ovMin          int64
+	ovCount        int
 
 	pending int
 	stopped bool
+}
+
+// WheelStats is a point-in-time occupancy view of a timing-wheel scheduler —
+// the live gauge source for the ops plane (sim_wheel_* metrics).
+type WheelStats struct {
+	// Pending is the number of queued events (all levels plus overflow).
+	Pending int
+	// SlotsOccupied counts non-empty slots across every level.
+	SlotsOccupied int
+	// Overflow is the number of events parked beyond the level-3 block.
+	Overflow int
+	// SlabCap is the event slab capacity (high-water mark of simultaneously
+	// scheduled events since construction).
+	SlabCap int
+}
+
+// Stats reports the wheel's occupancy. Cost is a popcount over the level
+// bitmaps (16 words); safe only from the goroutine driving the scheduler,
+// like every other method.
+func (s *Scheduler) Stats() WheelStats {
+	st := WheelStats{Pending: s.pending, Overflow: s.ovCount, SlabCap: len(s.slab)}
+	for l := range s.levels {
+		for _, w := range s.levels[l].bits {
+			st.SlotsOccupied += bits.OnesCount64(w)
+		}
+	}
+	return st
 }
 
 // NewScheduler returns a timing-wheel scheduler driving the given clock.
@@ -158,6 +187,7 @@ func (s *Scheduler) insert(idx int32) {
 			s.slab[s.ovTail].next = idx
 		}
 		s.ovTail = idx
+		s.ovCount++
 		if t < s.ovMin {
 			s.ovMin = t
 		}
@@ -278,6 +308,7 @@ func (s *Scheduler) repatriate() {
 	s.ovHead = noEvent
 	s.ovTail = noEvent
 	s.ovMin = math.MaxInt64
+	s.ovCount = 0
 	for idx != noEvent {
 		next := s.slab[idx].next
 		s.slab[idx].next = noEvent

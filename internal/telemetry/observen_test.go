@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestLocalHistogramObserveN pins ObserveN against the equivalent Observe
+// loop: identical buckets, count and sum, plus the non-finite guards.
+func TestLocalHistogramObserveN(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	batched := NewLocalHistogram(bounds)
+	looped := NewLocalHistogram(bounds)
+	for _, c := range []struct {
+		v float64
+		n uint64
+	}{{0.5, 3}, {8.5, 1000}, {58.0, 7}, {1e6, 2}} {
+		batched.ObserveN(c.v, c.n)
+		for i := uint64(0); i < c.n; i++ {
+			looped.Observe(c.v)
+		}
+	}
+	a, b := batched.Snapshot(), looped.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("batched %+v != looped %+v", a, b)
+	}
+	if a.Count != 1012 {
+		t.Fatalf("count = %d", a.Count)
+	}
+
+	before := batched.Snapshot()
+	batched.ObserveN(5, 0)          // n=0 is a no-op
+	batched.ObserveN(math.NaN(), 4) // NaN dropped
+	var nilHist *LocalHistogram
+	nilHist.ObserveN(5, 1) // nil-safe
+	if got := batched.Snapshot(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("guarded ObserveN mutated: %+v != %+v", got, before)
+	}
+	batched.ObserveN(math.Inf(1), 2) // Inf counted, no sum contribution
+	after := batched.Snapshot()
+	if after.Count != before.Count+2 || after.Sum != before.Sum {
+		t.Fatalf("Inf handling: %+v vs %+v", after, before)
+	}
+}

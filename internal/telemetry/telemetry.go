@@ -165,6 +165,40 @@ func (h *LocalHistogram) Observe(v float64) {
 	h.sum += v
 }
 
+// ObserveN records n observations of the same value in one bucket walk —
+// the flush path for callers that pre-bin a hot loop's observations (the
+// scale path's tick sweep bins its 16 distinct modeled latencies into a
+// stack array and flushes once per sweep). Caller synchronises. Same
+// non-finite guard as Observe.
+func (h *LocalHistogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 || math.IsNaN(v) {
+		return
+	}
+	h.counts[bucketFor(h.bounds, v)] += n
+	if math.IsInf(v, 0) {
+		return
+	}
+	h.sum += v * float64(n)
+}
+
+// SnapshotInto copies the histogram state into dst, reusing dst's slices
+// when their shape matches — the publish path of a periodically snapshotted
+// shard stays allocation-free after the first copy. Caller synchronises.
+func (h *LocalHistogram) SnapshotInto(dst *HistogramSnapshot) {
+	if h == nil {
+		*dst = HistogramSnapshot{}
+		return
+	}
+	dst.Bounds = append(dst.Bounds[:0], h.bounds...)
+	dst.Counts = append(dst.Counts[:0], h.counts...)
+	dst.Sum = h.sum
+	dst.Count = 0
+	for _, c := range h.counts {
+		dst.Count += c
+	}
+	dst.P50, dst.P90, dst.P99 = 0, 0, 0
+}
+
 // Snapshot copies the histogram state. Caller synchronises.
 func (h *LocalHistogram) Snapshot() HistogramSnapshot {
 	if h == nil {

@@ -1,0 +1,156 @@
+package distscroll
+
+import (
+	"errors"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/ops"
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// SLO declares the service-level objectives an observed fleet run must
+// hold. Rules are evaluated over windowed telemetry deltas on a wall-clock
+// loop, so a long healthy history cannot mask a current outage. Zero
+// values disable their rule.
+type SLO struct {
+	// LatencyP99 breaches when the end-to-end latency p99 of a window
+	// exceeds it.
+	LatencyP99 time.Duration
+	// MinFramesPerSec breaches when decoded frames per wall-clock second
+	// drop below this floor (drain detection).
+	MinFramesPerSec float64
+	// StallAfter breaches when the hub decodes nothing for this long (the
+	// stuck-clock detector).
+	StallAfter time.Duration
+	// Interval is the evaluation period (default 1 s).
+	Interval time.Duration
+}
+
+// configured reports whether any rule is active.
+func (s SLO) configured() bool {
+	return s.LatencyP99 > 0 || s.MinFramesPerSec > 0 || s.StallAfter > 0
+}
+
+// SLOBreach is one recorded objective violation; see SLOBreaches.
+type SLOBreach = ops.Breach
+
+// WithOpsServer serves the live ops plane — GET /metrics (Prometheus),
+// /vars (JSON), /healthz, /debug/pprof — on addr (host:port; port 0 picks
+// a free one, see Fleet.OpsURL) for the lifetime of the fleet. Telemetry
+// is implied: a registry is created automatically unless WithMetrics
+// supplied one. Fleet-only; New rejects it.
+func WithOpsServer(addr string) Option {
+	return func(c *config) error {
+		if addr == "" {
+			return errors.New("distscroll: empty ops server address")
+		}
+		c.opsAddr = addr
+		return nil
+	}
+}
+
+// WithSLOWatchdog guards RunAll with the given objectives: breaches latch
+// /healthz to 503 (with WithOpsServer), are reported by Fleet.Healthy and
+// Fleet.SLOBreaches, and fire a flight-recorder dump when the fleet also
+// has WithTracing. Telemetry is implied, as with WithOpsServer.
+// Fleet-only; New rejects it.
+func WithSLOWatchdog(slo SLO) Option {
+	return func(c *config) error {
+		if !slo.configured() {
+			return errors.New("distscroll: SLO watchdog needs at least one rule (LatencyP99, MinFramesPerSec or StallAfter)")
+		}
+		c.slo = &slo
+		return nil
+	}
+}
+
+// opsState is the fleet's live ops plane: the HTTP server runs from
+// NewFleet until CloseOps; the watchdog runs during RunAll and keeps its
+// latched verdict afterwards.
+type opsState struct {
+	srv      *ops.Server
+	slo      *SLO
+	watchdog *ops.Watchdog
+}
+
+// startOps builds the fleet's ops plane from a parsed config. Called by
+// NewFleet after the registry exists.
+func startOps(cfg *config, reg *telemetry.Registry) (*opsState, error) {
+	st := &opsState{slo: cfg.slo}
+	if cfg.opsAddr != "" {
+		srv, err := ops.Serve(cfg.opsAddr, ops.Config{Registry: reg})
+		if err != nil {
+			return nil, err
+		}
+		st.srv = srv
+	}
+	return st, nil
+}
+
+// beginRun starts the SLO watchdog for one RunAll and points /healthz at
+// it.
+func (f *Fleet) beginRun() {
+	if f.ops == nil || f.ops.slo == nil {
+		return
+	}
+	slo := f.ops.slo
+	cfg := ops.WatchdogConfig{
+		Registry:        f.metrics,
+		Interval:        slo.Interval,
+		LatencyMaxP99Ms: float64(slo.LatencyP99) / float64(time.Millisecond),
+		StallGauge:      telemetry.MetricHubDecoded,
+		StallAfter:      slo.StallAfter,
+	}
+	if slo.MinFramesPerSec > 0 {
+		cfg.MinRate = map[string]float64{telemetry.MetricHubDecoded: slo.MinFramesPerSec}
+	}
+	if f.tracing != nil {
+		cfg.Tracer = f.tracing.tracer
+	}
+	f.ops.watchdog = ops.StartWatchdog(cfg)
+	// Point the running server's /healthz at this run's watchdog.
+	f.ops.srv.SetWatchdog(f.ops.watchdog)
+}
+
+// endRun stops the watchdog; its latched verdict stays readable.
+func (f *Fleet) endRun() {
+	if f.ops != nil {
+		f.ops.watchdog.Stop()
+	}
+}
+
+// OpsURL returns the base URL of the ops server ("" without
+// WithOpsServer).
+func (f *Fleet) OpsURL() string {
+	if f.ops == nil {
+		return ""
+	}
+	return f.ops.srv.URL()
+}
+
+// CloseOps stops the ops HTTP server and the watchdog. Safe to call
+// without WithOpsServer and safe to call twice.
+func (f *Fleet) CloseOps() error {
+	if f.ops == nil {
+		return nil
+	}
+	f.ops.watchdog.Stop()
+	return f.ops.srv.Close()
+}
+
+// Healthy reports whether the SLO watchdog has recorded no breaches. A
+// fleet without WithSLOWatchdog is always healthy.
+func (f *Fleet) Healthy() bool {
+	if f.ops == nil {
+		return true
+	}
+	return f.ops.watchdog.Healthy()
+}
+
+// SLOBreaches returns the watchdog's recorded breaches in detection order.
+func (f *Fleet) SLOBreaches() []SLOBreach {
+	if f.ops == nil {
+		return nil
+	}
+	return f.ops.watchdog.Breaches()
+}
