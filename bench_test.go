@@ -22,6 +22,7 @@ import (
 	"github.com/hcilab/distscroll/internal/firmware"
 	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/hubnet"
 	"github.com/hcilab/distscroll/internal/mapping"
 	"github.com/hcilab/distscroll/internal/menu"
 	"github.com/hcilab/distscroll/internal/ops"
@@ -412,6 +413,45 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 	if delivered != b.N {
 		b.Fatalf("delivered %d frames, want %d", delivered, b.N)
 	}
+}
+
+// BenchmarkHubnetIngest measures the networked hub's server-side hot path:
+// a prebuilt byte stream of framed v1 messages from 64 devices pushed
+// through one stream ingest into a 4-shard gateway — stream decode, CRC
+// check, message decode and shard routing, no socket. Reported per frame;
+// steady state must stay allocation-free (the FeedFunc decode path plus
+// already-created sessions).
+func BenchmarkHubnetIngest(b *testing.B) {
+	const devices, rounds = 64, 8
+	gw := hubnet.NewGateway(hubnet.Config{Shards: 4})
+	var stream []byte
+	payload := make([]byte, 0, 64)
+	for seq := 0; seq < rounds; seq++ {
+		for dev := uint32(1); dev <= devices; dev++ {
+			msg := rf.Message{Device: dev, Kind: rf.MsgScroll, Seq: uint16(seq), AtMillis: uint32(seq) * 40}
+			payload = msg.AppendBinary(payload[:0])
+			var err error
+			stream, err = rf.AppendEncode(stream, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	in := gw.NewIngest(nil)
+	in.Feed(stream) // warm-up: create every session before timing
+	frames := uint64(devices * rounds)
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Feed(stream)
+	}
+	b.StopTimer()
+	ns := gw.NetStats()
+	if ns.Frames != frames*uint64(b.N+1) || ns.BadFrames != 0 {
+		b.Fatalf("ingested %d frames (%d bad), want %d", ns.Frames, ns.BadFrames, frames*uint64(b.N+1))
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(frames*uint64(b.N)), "ns/frame")
 }
 
 // BenchmarkSchedulerWheel measures the timing-wheel scheduler's hot path:

@@ -32,6 +32,7 @@ import (
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/hubnet"
 	"github.com/hcilab/distscroll/internal/ops"
 	"github.com/hcilab/distscroll/internal/telemetry"
 	"github.com/hcilab/distscroll/internal/tracing"
@@ -80,6 +81,10 @@ func run(args []string, stdout io.Writer) error {
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 		rtTrace   = fs.String("runtime-trace", "", "write a Go runtime execution trace of the run to this file (go tool trace)")
+		serveAddr = fs.String("serve", "", "run the networked hub: accept frame-ingest connections on this address (e.g. 127.0.0.1:9200; port 0 picks one) instead of simulating")
+		serveFor  = fs.Duration("serve-for", 0, "with -serve: stop after this long (0 = serve until SIGINT/SIGTERM)")
+		hubShards = fs.Int("hub-shards", 0, "with -serve: number of hub shards; frames route by device id modulo the shard count (default 1)")
+		connect   = fs.String("connect", "", "stream the run's frames to a hubnet server at this address instead of the in-process hub (-fleet forwards each device's frames; -devices/-scale export one stream per worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -91,12 +96,9 @@ func run(args []string, stdout io.Writer) error {
 	// Scale-flag validation: a silent zero-device run would report an empty
 	// curve, so reject it loudly; an over-provisioned worker pool is legal
 	// but wasteful, so warn.
-	devicesSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "devices" {
-			devicesSet = true
-		}
-	})
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	devicesSet := set["devices"]
 	if devicesSet && *devicesN < 1 {
 		return fmt.Errorf("-devices must be at least 1, got %d", *devicesN)
 	}
@@ -106,6 +108,79 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if devicesSet && *fleetWrk > *devicesN {
 		fmt.Fprintf(stdout, "warning: -workers %d exceeds -devices %d; extra workers will idle\n", *fleetWrk, *devicesN)
+	}
+
+	scaleMode := devicesSet || len(sweep) > 0 || *scaleJSON != ""
+	sloSet := *sloP99 > 0 || *sloMinFPS > 0 || *sloStall > 0
+	opsSet := *opsListen != "" || sloSet
+	metricsSet := *metrics || *metOut != ""
+	if scaleMode && *fleetN > 0 {
+		return fmt.Errorf("-fleet cannot be combined with the scale flags (-devices/-scale/-scale-json); pick one path")
+	}
+	if scaleMode && (*reliable || *burst > 0 || *burstLen > 0 || *ackLoss > 0) {
+		return fmt.Errorf("-reliable/-burst/-burst-len/-ack-loss shape the session fleet's link; the scale path models loss via -loss only")
+	}
+	if opsSet && !scaleMode && *fleetN <= 0 && *serveAddr == "" {
+		return fmt.Errorf("-ops-listen and -slo-* flags require a live run (-fleet, -devices, -scale or -serve)")
+	}
+	if *scaleJSON != "" && (metricsSet || opsSet) {
+		return fmt.Errorf("-scale-json is the batch baseline writer; -metrics, -metrics-out, -ops-listen and -slo-* need -devices or -scale")
+	}
+	if (*traceOut != "" || *flightRec || *traceSLO > 0) && *fleetN <= 0 {
+		return fmt.Errorf("tracing flags (-trace-out, -flight-recorder, -trace-slo) require -fleet")
+	}
+
+	// Flag-combination validation, networked-hub and experiment-path edition:
+	// every combination that would silently ignore a flag errors instead.
+	simMode := *fleetN > 0 || scaleMode
+	benchMode := *benchCSV != "" || *benchJSON != ""
+	serveSet := *serveAddr != ""
+	connectSet := *connect != ""
+	switch {
+	case serveSet && connectSet:
+		return fmt.Errorf("-serve and -connect are mutually exclusive; run the server in one process and point a second process at it")
+	case serveSet && simMode:
+		return fmt.Errorf("-serve runs the ingest server only; simulate in a second process with -connect")
+	case serveSet && benchMode:
+		return fmt.Errorf("-bench-csv/-bench-json measure in-process baselines; they do not apply to -serve")
+	case serveSet && (set["run"] || *csvDir != "" || *outPath != ""):
+		return fmt.Errorf("-run/-csv/-o belong to a simulation run; -serve does not run one")
+	case serveSet && (*reliable || set["loss"] || *burst > 0 || *burstLen > 0 || *ackLoss > 0):
+		return fmt.Errorf("-reliable/-loss/-burst/-burst-len/-ack-loss shape a simulated link; they do not apply to -serve")
+	case serveSet && set["workers"]:
+		return fmt.Errorf("-workers bounds simulation concurrency; it does not apply to -serve")
+	case serveSet && metricsSet:
+		return fmt.Errorf("-metrics/-metrics-out report a simulation; scrape the server live via -ops-listen instead")
+	case !serveSet && set["hub-shards"]:
+		return fmt.Errorf("-hub-shards configures the -serve ingest server")
+	case !serveSet && set["serve-for"]:
+		return fmt.Errorf("-serve-for bounds a -serve run")
+	case set["hub-shards"] && *hubShards < 1:
+		return fmt.Errorf("-hub-shards must be at least 1, got %d", *hubShards)
+	case connectSet && !simMode:
+		return fmt.Errorf("-connect streams a simulation's frames; combine it with -fleet, -devices or -scale")
+	case connectSet && *scaleJSON != "":
+		return fmt.Errorf("-scale-json measures the in-process baseline; it cannot stream to -connect")
+	case connectSet && *reliable:
+		return fmt.Errorf("-reliable needs the in-process ack loop; acks cannot cross the -connect byte stream")
+	}
+	switch {
+	case scaleMode && benchMode:
+		return fmt.Errorf("-bench-csv/-bench-json measure the demux and pipeline baselines; they cannot be combined with the scale flags")
+	case simMode && set["run"]:
+		return fmt.Errorf("-run selects experiments; it cannot be combined with -fleet or the scale flags")
+	case simMode && *csvDir != "":
+		return fmt.Errorf("-csv writes the experiment path's study CSVs; it cannot be combined with -fleet or the scale flags")
+	case scaleMode && *outPath != "":
+		return fmt.Errorf("-o writes the experiment or fleet report; the scale path prints to stdout only")
+	case set["workers"] && !simMode:
+		return fmt.Errorf("-workers bounds a -fleet or scale run")
+	case *burstLen > 0 && *burst <= 0:
+		return fmt.Errorf("-burst-len sets the length of -burst bursts; set -burst > 0 as well")
+	case *ackLoss > 0 && !*reliable:
+		return fmt.Errorf("-ack-loss drops acks on the -reliable back-channel; add -reliable")
+	case set["loss"] && !simMode:
+		return fmt.Errorf("-loss shapes the simulated link; combine it with -fleet, -devices or -scale")
 	}
 
 	if *cpuProf != "" {
@@ -144,6 +219,25 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
+	if serveSet {
+		shards := *hubShards
+		if shards < 1 {
+			shards = 1
+		}
+		return runServe(serveOpts{
+			addr:   *serveAddr,
+			shards: shards,
+			dur:    *serveFor,
+			ops: opsOpts{
+				listen:   *opsListen,
+				p99:      *sloP99,
+				minFPS:   *sloMinFPS,
+				stall:    *sloStall,
+				interval: *sloEvery,
+			},
+		}, stdout)
+	}
+
 	if *benchCSV != "" {
 		if err := writeBenchCSV(*benchCSV); err != nil {
 			return err
@@ -162,27 +256,6 @@ func run(args []string, stdout io.Writer) error {
 		if *fleetN <= 0 {
 			return nil
 		}
-	}
-
-	if (*traceOut != "" || *flightRec || *traceSLO > 0) && *fleetN <= 0 {
-		return fmt.Errorf("tracing flags (-trace-out, -flight-recorder, -trace-slo) require -fleet")
-	}
-
-	scaleMode := devicesSet || len(sweep) > 0 || *scaleJSON != ""
-	sloSet := *sloP99 > 0 || *sloMinFPS > 0 || *sloStall > 0
-	opsSet := *opsListen != "" || sloSet
-	metricsSet := *metrics || *metOut != ""
-	if scaleMode && *fleetN > 0 {
-		return fmt.Errorf("-fleet cannot be combined with the scale flags (-devices/-scale/-scale-json); pick one path")
-	}
-	if scaleMode && (*reliable || *burst > 0 || *burstLen > 0 || *ackLoss > 0) {
-		return fmt.Errorf("-reliable/-burst/-burst-len/-ack-loss shape the session fleet's link; the scale path models loss via -loss only")
-	}
-	if opsSet && !scaleMode && *fleetN <= 0 {
-		return fmt.Errorf("-ops-listen and -slo-* flags require a live run (-fleet, -devices or -scale)")
-	}
-	if *scaleJSON != "" && (metricsSet || opsSet) {
-		return fmt.Errorf("-scale-json is the batch baseline writer; -metrics, -metrics-out, -ops-listen and -slo-* need -devices or -scale")
 	}
 
 	if *scaleJSON != "" {
@@ -210,6 +283,7 @@ func run(args []string, stdout io.Writer) error {
 			loss:       *loss,
 			metrics:    *metrics,
 			metricsOut: *metOut,
+			connect:    *connect,
 			ops: opsOpts{
 				listen:   *opsListen,
 				p99:      *sloP99,
@@ -236,6 +310,7 @@ func run(args []string, stdout io.Writer) error {
 			traceOut:   *traceOut,
 			flightRec:  *flightRec,
 			traceSLO:   *traceSLO,
+			connect:    *connect,
 			ops: opsOpts{
 				listen:   *opsListen,
 				p99:      *sloP99,
@@ -304,6 +379,7 @@ type fleetOpts struct {
 	traceOut         string
 	flightRec        bool
 	traceSLO         time.Duration
+	connect          string
 	ops              opsOpts
 }
 
@@ -434,6 +510,17 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 		// Repeated close is safe; the deferred one covers error returns.
 		defer plane.close(io.Discard)
 	}
+	var remote *hubnet.Remote
+	if o.connect != "" {
+		conn, err := hubnet.Dial(o.connect)
+		if err != nil {
+			return fmt.Errorf("connect %s: %w", o.connect, err)
+		}
+		defer conn.Close()
+		remote = hubnet.NewRemote(conn)
+		cfg.Hub = remote
+		fmt.Fprintf(stdout, "hubnet: forwarding frames to %s\n", o.connect)
+	}
 	r, err := fleet.New(cfg)
 	if err != nil {
 		return err
@@ -441,6 +528,11 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 	results, err := r.RunAll()
 	if err != nil {
 		return err
+	}
+	if remote != nil {
+		if err := remote.Err(); err != nil {
+			return fmt.Errorf("hubnet stream to %s: %w", o.connect, err)
+		}
 	}
 	if plane != nil {
 		plane.close(&opsSummary)
@@ -466,6 +558,9 @@ func runFleet(o fleetOpts, stdout io.Writer) error {
 	}
 	fmt.Fprintf(&report, "virtual time %.1f s, decode throughput %.1f frames/s\n",
 		tot.VirtualSeconds, tot.FramesPerSecond)
+	if remote != nil {
+		fmt.Fprintf(&report, "frames forwarded to %s; host-side accounting (events, seq gaps) lives in the serving process\n", o.connect)
+	}
 	report.WriteString(opsSummary.String())
 
 	var snap *telemetry.Snapshot

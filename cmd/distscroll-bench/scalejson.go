@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/hubnet"
 	"github.com/hcilab/distscroll/internal/sim"
 	"github.com/hcilab/distscroll/internal/telemetry"
 )
@@ -49,19 +50,43 @@ const defaultScaleLoss = 0.01
 
 // runScalePoint simulates one device count on the scale path. A negative
 // loss takes the stock model loss; reg, when non-nil, receives the live
-// striped telemetry.
-func runScalePoint(devices int, seed uint64, workers int, dur time.Duration, loss float64, reg *telemetry.Registry) (fleet.ScaleResult, error) {
+// striped telemetry; connect, when non-empty, streams every emitted frame
+// to a hubnet server over one TCP connection per worker, flushed once per
+// stripe sweep. Slab slot s maps to wire device id s+1, matching the
+// session fleet's numbering.
+func runScalePoint(devices int, seed uint64, workers int, dur time.Duration, loss float64, reg *telemetry.Registry, connect string) (fleet.ScaleResult, error) {
 	if loss < 0 {
 		loss = defaultScaleLoss
 	}
-	return fleet.RunScale(fleet.ScaleConfig{
+	cfg := fleet.ScaleConfig{
 		Devices:  devices,
 		Seed:     seed,
 		Workers:  workers,
 		Duration: dur,
 		LossProb: loss,
 		Metrics:  reg,
-	})
+	}
+	if connect != "" {
+		cfg.Emit = func(worker, lo, hi int) (*fleet.StripeSink, error) {
+			conn, err := hubnet.Dial(connect)
+			if err != nil {
+				return nil, err
+			}
+			sender := hubnet.NewFrameSender(conn, 1)
+			return &fleet.StripeSink{
+				Emit:  sender.Emit,
+				Flush: sender.Flush,
+				Close: func() error {
+					err := sender.Flush()
+					if cerr := conn.Close(); err == nil {
+						err = cerr
+					}
+					return err
+				},
+			}, nil
+		}
+	}
+	return fleet.RunScale(cfg)
 }
 
 // scaleSweepOpts parameterises -devices/-scale runs, including the live
@@ -74,6 +99,7 @@ type scaleSweepOpts struct {
 	loss       float64
 	metrics    bool
 	metricsOut string
+	connect    string
 	ops        opsOpts
 }
 
@@ -100,9 +126,12 @@ func runScaleSweep(o scaleSweepOpts, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "%s\n", strings.Repeat("=", 76))
 	fmt.Fprintf(stdout, "%9s %8s %12s %12s %14s %12s\n",
 		"devices", "workers", "wall_s", "ticks/s", "rt_factor", "frames")
+	if o.connect != "" {
+		fmt.Fprintf(stdout, "hubnet: streaming frames to %s (one connection per worker)\n", o.connect)
+	}
 	var last fleet.ScaleResult
 	for _, n := range o.sweep {
-		res, err := runScalePoint(n, o.seed, o.workers, o.dur, o.loss, reg)
+		res, err := runScalePoint(n, o.seed, o.workers, o.dur, o.loss, reg, o.connect)
 		if err != nil {
 			return err
 		}
@@ -231,7 +260,7 @@ func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time
 		doc.SchedulerSpeedup = doc.Before[0].NsPerOp / ns
 	}
 	for _, n := range sweep {
-		res, err := runScalePoint(n, seed, workers, dur, loss, nil)
+		res, err := runScalePoint(n, seed, workers, dur, loss, nil, "")
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/hubnet"
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// This file implements -serve: the networked hub. The process listens for
+// frame-ingest connections, demultiplexes the stream across hub shards,
+// and (with -ops-listen) exposes the per-shard hub_* and net_* series
+// live. A second distscroll-bench process points -connect at it.
+
+// serveOpts parameterises a -serve invocation.
+type serveOpts struct {
+	addr   string
+	shards int
+	dur    time.Duration
+	ops    opsOpts
+}
+
+// runServe serves frame ingest until the -serve-for deadline or an
+// interrupt, then prints the gateway's accounting.
+func runServe(o serveOpts, stdout io.Writer) error {
+	reg := telemetry.New()
+	srv, err := hubnet.Serve(o.addr, hubnet.Config{
+		Shards:   o.shards,
+		Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "hubnet: serving frame ingest on %s (%d shard(s))\n",
+		srv.Addr(), srv.Gateway().Shards())
+
+	var opsSummary strings.Builder
+	var plane *opsPlane
+	if o.ops.enabled() {
+		// Ingested frames are the server's liveness clock: the stall rule
+		// falls back to the counter when no gauge carries the name.
+		plane, err = startOpsPlane(o.ops, reg, nil, telemetry.MetricNetFrames, stdout)
+		if err != nil {
+			return err
+		}
+		defer plane.close(io.Discard)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	var deadline <-chan time.Time
+	if o.dur > 0 {
+		t := time.NewTimer(o.dur)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-sig:
+		fmt.Fprintln(stdout, "hubnet: interrupted, draining")
+	case <-deadline:
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if plane != nil {
+		plane.close(&opsSummary)
+	}
+
+	gw := srv.Gateway()
+	ns := gw.NetStats()
+	hs := gw.Stats()
+	fmt.Fprintf(stdout, "net: %d conn(s) (%d still open), %d bytes in, %d frames (%d bad, %d short reads, %d resync bytes)\n",
+		ns.ConnsTotal, ns.ConnsOpen, ns.BytesRead, ns.Frames, ns.BadFrames, ns.ShortReads, ns.Resyncs)
+	fmt.Fprintf(stdout, "hub: %d device(s), %d frames decoded, %d events, %d seq gaps\n",
+		hs.Devices, hs.Decoded, hs.Events, hs.MissedSeq)
+	for i, st := range gw.ShardStats() {
+		fmt.Fprintf(stdout, "  shard %d: %d device(s), %d decoded\n", i, st.Devices, st.Decoded)
+	}
+	_, err = io.WriteString(stdout, opsSummary.String())
+	return err
+}

@@ -71,6 +71,9 @@ type config struct {
 	// opsAddr and slo configure the fleet-only live ops plane (ops.go).
 	opsAddr string
 	slo     *SLO
+	// hubShards routes fleet frames through the networked ingest gateway
+	// in loopback mode (fleet.go); 0 keeps the plain in-process hub.
+	hubShards int
 }
 
 // WithMenu sets the navigated structure. Required unless WithEntries is
@@ -224,6 +227,23 @@ func WithLinkFaults(burstProb float64, burstLen int, ackLossProb float64) Option
 	}
 }
 
+// WithLoopbackHub routes the fleet's frames through the networked
+// ingest gateway in its deterministic in-process (loopback) mode: every
+// frame is framed for the wire, stream-decoded and demultiplexed across
+// the given number of hub shards exactly as the TCP server would do it —
+// but synchronously, with no socket and no wall clock, so a seeded fleet
+// run reports byte-identical results to the plain in-process hub. Fleet
+// only, like the ops plane. Shards <= 0 takes 1.
+func WithLoopbackHub(shards int) Option {
+	return func(c *config) error {
+		if shards < 1 {
+			shards = 1
+		}
+		c.hubShards = shards
+		return nil
+	}
+}
+
 // WithoutRadio removes the RF link (pure on-device operation).
 func WithoutRadio() Option {
 	return func(c *config) error {
@@ -308,6 +328,9 @@ func New(opts ...Option) (*Device, error) {
 	}
 	if cfg.opsAddr != "" || cfg.slo != nil {
 		return nil, errors.New("distscroll: the ops plane watches a fleet run; use NewFleet with WithOpsServer/WithSLOWatchdog")
+	}
+	if cfg.hubShards > 0 {
+		return nil, errors.New("distscroll: the loopback hub serves a fleet; use NewFleet with WithLoopbackHub")
 	}
 	root := cfg.root.toNode()
 	inner, err := core.NewDevice(cfg.core, root)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/hubnet"
 	"github.com/hcilab/distscroll/internal/menu"
 	"github.com/hcilab/distscroll/internal/rf"
 	"github.com/hcilab/distscroll/internal/telemetry"
@@ -55,6 +56,18 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		// both read the registry.
 		cfg.core.Metrics = telemetry.New()
 	}
+	var hub fleet.HubBackend
+	if cfg.hubShards > 0 {
+		// The loopback gateway stands in for the in-process hub: same
+		// sessions, same telemetry registry, same retained event logs for
+		// handler replay — plus the networked path's framing, stream
+		// decode and shard routing in between.
+		hub = hubnet.NewLoopback(hubnet.Config{
+			Shards:   cfg.hubShards,
+			KeepLogs: true,
+			Registry: cfg.core.Metrics,
+		})
+	}
 	runner, err := fleet.New(fleet.Config{
 		Devices:  n,
 		Seed:     cfg.core.Seed,
@@ -64,6 +77,7 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		Reliable: cfg.core.Reliable,
 		ARQ:      cfg.core.ARQ,
 		Tracing:  cfg.core.Tracing,
+		Hub:      hub,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,77 @@
+package distscroll
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// runFleetPair runs the same seeded fleet workload twice — once in-process
+// and once through the loopback networked hub — capturing the report and
+// the replayed handler event order for each.
+func runFleetPair(t *testing.T, shards int, opts ...Option) (direct, looped FleetReport, devents, levents []string) {
+	t.Helper()
+	run := func(extra ...Option) (FleetReport, []string) {
+		f, err := NewFleet(16, append(append([]Option(nil), opts...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seen []string
+		f.OnScroll(func(device int, e Event) {
+			seen = append(seen, fmt.Sprintf("scroll/%d/%d/%d", device, e.Index, e.At/time.Microsecond))
+		})
+		f.OnSelect(func(device int, e Event) {
+			seen = append(seen, fmt.Sprintf("select/%d/%d", device, e.Index))
+		})
+		rep, err := f.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, seen
+	}
+	direct, devents = run()
+	looped, levents = run(WithLoopbackHub(shards))
+	return direct, looped, devents, levents
+}
+
+// TestFleetNetworkedIdentical pins the public-API transparency guarantee of
+// WithLoopbackHub: encoding every frame onto the wire format, stream-decoding
+// it and routing it across hub shards must not change a single byte of the
+// run — same report, same handler replay, same ordering.
+func TestFleetNetworkedIdentical(t *testing.T) {
+	direct, looped, devents, levents := runFleetPair(t, 4,
+		WithEntries(12), WithSeed(12345))
+	if !reflect.DeepEqual(direct, looped) {
+		t.Fatalf("loopback hub changed the run:\ndirect %+v\nlooped %+v", direct, looped)
+	}
+	if !reflect.DeepEqual(devents, levents) {
+		t.Fatalf("loopback hub changed the handler replay:\ndirect %v\nlooped %v", devents, levents)
+	}
+	if len(devents) == 0 {
+		t.Fatal("workload replayed no events; the comparison is vacuous")
+	}
+	if direct.Events == 0 || direct.Frames == 0 {
+		t.Fatalf("empty run: %+v", direct)
+	}
+}
+
+// TestFleetNetworkedIdenticalUnderFaults repeats the transparency check with
+// a lossy channel and reliable delivery, where retransmissions, acks and
+// skip notices all cross the (virtual) network too.
+func TestFleetNetworkedIdenticalUnderFaults(t *testing.T) {
+	direct, looped, devents, levents := runFleetPair(t, 3,
+		WithEntries(10), WithSeed(777),
+		WithRadioLink(0.15, 2*time.Millisecond),
+		WithLinkFaults(0.05, 3, 0.1),
+		WithReliableDelivery())
+	if !reflect.DeepEqual(direct, looped) {
+		t.Fatalf("loopback hub changed the lossy run:\ndirect %+v\nlooped %+v", direct, looped)
+	}
+	if !reflect.DeepEqual(devents, levents) {
+		t.Fatalf("loopback hub changed the lossy handler replay")
+	}
+	if direct.Retransmits == 0 {
+		t.Fatal("lossy reliable run retransmitted nothing; the test exercised nothing")
+	}
+}

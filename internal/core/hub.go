@@ -100,6 +100,19 @@ func NewHubWithMetrics(keepLogs bool, reg *telemetry.Registry) *Hub {
 	return h
 }
 
+// NewHubDetached returns a hub whose sessions are instrumented against the
+// registry exactly like NewHubWithMetrics, but which does NOT register its
+// own pull collector. The networked gateway uses it for hub shards: each
+// shard's sessions still record per-device counters and latency histograms,
+// while the gateway registers one collector of its own that aggregates
+// every shard via Collect — a per-shard collector would overwrite the
+// hub_devices gauge with the last shard's count instead of the fleet total.
+func NewHubDetached(keepLogs bool, reg *telemetry.Registry) *Hub {
+	h := &Hub{keepLogs: keepLogs, metrics: reg}
+	h.table.Store(emptyTable)
+	return h
+}
+
 // sessions returns every session in registration order.
 func (h *Hub) sessionsInOrder() []*Session {
 	h.mu.Lock()
@@ -115,12 +128,22 @@ func (h *Hub) sessionsInOrder() []*Session {
 // collect contributes every session's counters, the per-device and
 // aggregate latency histograms, and the hub-level gauges to a snapshot.
 func (h *Hub) collect(snap *telemetry.Snapshot) {
+	snap.SetGauge(telemetry.MetricHubDevices, float64(h.Collect(snap)))
+}
+
+// Collect contributes every session's counters, the per-device and
+// aggregate latency histograms, and the hub-level bad-frame counter to a
+// snapshot, returning the session count. Unlike the registered collector it
+// does not set the hub_devices gauge, so several hubs (the gateway's
+// shards) can fold into one snapshot additively and the caller sets the
+// gauge once from the sum.
+func (h *Hub) Collect(snap *telemetry.Snapshot) int {
 	sessions := h.sessionsInOrder()
-	snap.SetGauge(telemetry.MetricHubDevices, float64(len(sessions)))
 	snap.AddCounter(telemetry.MetricHubBadFrames, h.badFrames.Load())
 	for _, s := range sessions {
 		collectSession(s, snap)
 	}
+	return len(sessions)
 }
 
 // Session returns the session for the given device id, creating it if the
@@ -194,6 +217,14 @@ func (h *Hub) Handle(payload []byte, at time.Duration) {
 		h.badFrames.Add(1)
 		return
 	}
+	h.Consume(m, at)
+}
+
+// Consume routes an already-decoded message to the sending device's
+// session — the decode-once entry point for ingest paths (the networked
+// gateway) that decoded the frame at the wire edge. Same concurrency
+// contract as Handle.
+func (h *Hub) Consume(m rf.Message, at time.Duration) {
 	s := h.table.Load().lookup(m.Device)
 	if s == nil {
 		s = h.Session(m.Device)

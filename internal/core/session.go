@@ -169,6 +169,13 @@ func (s *Session) AttachTracer(r *tracing.Recorder) {
 	s.traceSLO = r.SLO()
 }
 
+// Tracer returns the attached flight recorder, nil when tracing is off.
+// Ingest paths in front of the session (the networked gateway) use it to
+// record their own hop on the same per-device recorder, preserving the
+// single-writer contract: whoever delivers a device's frames is the only
+// writer of its recorder.
+func (s *Session) Tracer() *tracing.Recorder { return s.trace }
+
 // AwaitSeq returns the next sequence number the reliable receive state
 // expects — after a full drain it equals the sender's total sequenced
 // frames, which is the invariant the fleet's post-drain gap audit checks.

@@ -206,14 +206,23 @@ func (s *StateSlab) approxNorm(i int) float64 {
 	return (sum - 2) * 1.7320508075688772 // sqrt(12/4): unit variance
 }
 
+// FrameEmitter receives one emitted scale frame: the device slot, the
+// frame's wire sequence number, the island index it reports and the sweep's
+// virtual timestamp in milliseconds. Emission consumes no device RNG and
+// mutates no slab state, so a run with an emitter attached ticks through
+// random walks bit-identical to a plain run — the networked scale path uses
+// it to marshal real v1 frames onto a TCP connection.
+type FrameEmitter func(slot int, seq uint16, island int16, atMillis uint32)
+
 // Tick advances one device through one firmware cycle: motion, sample,
 // quantise, filter, map, emit. It allocates nothing.
-func (s *StateSlab) Tick(i int) { s.tick(i, nil) }
+func (s *StateSlab) Tick(i int) { s.tick(i, nil, nil, 0) }
 
-// tick is Tick with an optional latency accumulator: every emitted frame
-// bins its modelled end-to-end latency. A nil bins costs one predictable
-// branch per frame, keeping the uninstrumented path identical.
-func (s *StateSlab) tick(i int, bins *latencyBins) {
+// tick is Tick with an optional latency accumulator and frame emitter:
+// every emitted frame bins its modelled end-to-end latency and/or is handed
+// to emit. Nil hooks cost one predictable branch per frame, keeping the
+// uninstrumented path identical.
+func (s *StateSlab) tick(i int, bins *latencyBins, emit FrameEmitter, atMillis uint32) {
 	// Hand motion: dwell at a reached target, then glide to the next.
 	d := s.dist[i]
 	switch {
@@ -276,7 +285,7 @@ func (s *StateSlab) tick(i int, bins *latencyBins) {
 	if idx >= 0 && idx != int(s.cur[i]) {
 		s.cur[i] = int16(idx)
 		s.switches[i]++
-		s.emitFrame(i, bins)
+		s.emitFrame(i, bins, emit, atMillis)
 	} else if idx >= 0 {
 		s.cur[i] = int16(idx)
 	}
@@ -313,7 +322,7 @@ func (s *StateSlab) mapVoltage(i int, v float64) int {
 // and the window bookkeeping records it on the air until next tick's ack.
 // With a latency accumulator attached it also bins the frame's modelled
 // end-to-end latency.
-func (s *StateSlab) emitFrame(i int, bins *latencyBins) {
+func (s *StateSlab) emitFrame(i int, bins *latencyBins, emit FrameEmitter, atMillis uint32) {
 	s.seq[i]++
 	s.sent[i]++
 	s.outstanding[i]++
@@ -326,6 +335,12 @@ func (s *StateSlab) emitFrame(i int, bins *latencyBins) {
 	s.delivered[i]++
 	if bins != nil {
 		bins[s.latencyBin(i, lost)]++
+	}
+	if emit != nil {
+		// One call per frame regardless of modelled loss: the slab models a
+		// reliable link, so every frame is (eventually) delivered exactly
+		// once — the emitter carries the post-ARQ stream.
+		emit(i, s.seq[i], s.cur[i], atMillis)
 	}
 }
 
@@ -380,7 +395,17 @@ func (s *StateSlab) latencyBin(i int, lost bool) int {
 // scheduler event per stripe, not one per device.
 func (s *StateSlab) TickStripe(lo, hi int, _ time.Duration) {
 	for i := lo; i < hi; i++ {
-		s.tick(i, nil)
+		s.tick(i, nil, nil, 0)
+	}
+}
+
+// TickStripeEmit is TickStripe with a frame emitter: every frame the stripe
+// emits is handed to emit stamped with the sweep's virtual time. The caller
+// (one RunScale worker per stripe) owns emit exclusively during the tick.
+func (s *StateSlab) TickStripeEmit(lo, hi int, at time.Duration, emit FrameEmitter) {
+	atMillis := uint32(at / time.Millisecond)
+	for i := lo; i < hi; i++ {
+		s.tick(i, nil, emit, atMillis)
 	}
 }
 
@@ -393,7 +418,18 @@ func (s *StateSlab) TickStripe(lo, hi int, _ time.Duration) {
 func (s *StateSlab) TickStripeObserved(lo, hi int, _ time.Duration, lat *telemetry.LocalHistogram) {
 	var bins latencyBins
 	for i := lo; i < hi; i++ {
-		s.tick(i, &bins)
+		s.tick(i, &bins, nil, 0)
+	}
+	bins.flush(lat)
+}
+
+// TickStripeObservedEmit combines TickStripeObserved and TickStripeEmit:
+// latency binning and frame emission in one sweep.
+func (s *StateSlab) TickStripeObservedEmit(lo, hi int, at time.Duration, lat *telemetry.LocalHistogram, emit FrameEmitter) {
+	atMillis := uint32(at / time.Millisecond)
+	var bins latencyBins
+	for i := lo; i < hi; i++ {
+		s.tick(i, &bins, emit, atMillis)
 	}
 	bins.flush(lat)
 }

@@ -103,6 +103,27 @@ type Config struct {
 	// causal trace of the run (export with WritePerfetto / WriteText). Nil
 	// disables tracing at the cost of one predictable branch per hop.
 	Tracing *tracing.Tracer
+	// Hub overrides the host side the fleet delivers into. Nil builds the
+	// default in-process core.Hub; a hubnet.Loopback routes every frame
+	// through the networked gateway's full encode→decode→shard path, and
+	// a hubnet.Remote forwards frames to an out-of-process server. The
+	// backend must retain session event logs for handler replay to see
+	// anything (hubnet honours its KeepLogs config).
+	Hub HubBackend
+}
+
+// HubBackend is the host side a fleet delivers into: the subset of
+// *core.Hub the runner needs, satisfied as-is by the in-process hub and
+// by the networked gateway's loopback and remote modes.
+type HubBackend interface {
+	// Handle is the rf sink shared by every device's link.
+	Handle(payload []byte, at time.Duration)
+	// Session returns (creating if new) the session a device id routes
+	// to; the runner pre-registers and wires tracers/acks through it.
+	Session(id uint32) *core.Session
+	// DeviceStats returns one device's receive accounting, false when
+	// the backend cannot see it locally (remote hubs).
+	DeviceStats(id uint32) (core.HostStats, bool)
 }
 
 // Result is one device's outcome, deterministic given the fleet seed.
@@ -155,10 +176,10 @@ type Totals struct {
 	FramesPerSecond float64
 }
 
-// Runner owns a fleet of assembled devices and the shared hub.
+// Runner owns a fleet of assembled devices and the shared hub backend.
 type Runner struct {
 	cfg     Config
-	hub     *core.Hub
+	hub     HubBackend
 	devices []*core.Device
 	ids     []uint32
 }
@@ -178,7 +199,11 @@ func New(cfg Config) (*Runner, error) {
 		cfg.Core = core.DefaultConfig()
 	}
 
-	r := &Runner{cfg: cfg, hub: core.NewHubWithMetrics(true, cfg.Metrics)}
+	hub := cfg.Hub
+	if hub == nil {
+		hub = core.NewHubWithMetrics(true, cfg.Metrics)
+	}
+	r := &Runner{cfg: cfg, hub: hub}
 	master := sim.NewRand(cfg.Seed)
 	for i := 0; i < cfg.Devices; i++ {
 		id := uint32(i + 1)
@@ -226,9 +251,15 @@ func New(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-// Hub returns the shared host hub (register per-device handlers on its
-// sessions before RunAll).
-func (r *Runner) Hub() *core.Hub { return r.hub }
+// Hub returns the shared in-process host hub, nil when the fleet runs
+// against a networked backend (use Backend then).
+func (r *Runner) Hub() *core.Hub {
+	h, _ := r.hub.(*core.Hub)
+	return h
+}
+
+// Backend returns the hub backend the fleet delivers into.
+func (r *Runner) Backend() HubBackend { return r.hub }
 
 // Len returns the fleet size.
 func (r *Runner) Len() int { return len(r.devices) }
@@ -380,12 +411,10 @@ func (r *Runner) runDevice(i int) Result {
 }
 
 // transportStats reads the channel accounting of whichever transport the
-// device was assembled with.
+// device was assembled with (*rf.Link, *rf.Pipe, and any custom backend
+// that exposes link-shaped counters).
 func transportStats(dev *core.Device) rf.LinkStats {
-	switch tr := dev.Transport.(type) {
-	case *rf.Link:
-		return tr.Stats()
-	case *rf.Pipe:
+	if tr, ok := dev.Transport.(interface{ Stats() rf.LinkStats }); ok {
 		return tr.Stats()
 	}
 	return rf.LinkStats{}

@@ -50,6 +50,28 @@ type ScaleConfig struct {
 	ReportEvery time.Duration
 	// OnReport receives each periodic snapshot. Ignored without Metrics.
 	OnReport func(*telemetry.Snapshot)
+
+	// Emit, when set, is called once per worker before its stripe starts
+	// and returns the stripe's frame sink: every frame the slab emits is
+	// handed to the sink on the worker's own goroutine, the sink is
+	// flushed once per sweep, and closed when the stripe completes. This
+	// is how a scale run exports its frame stream off-box — the hubnet
+	// client's FrameSender satisfies the contract over one TCP
+	// connection per worker. Emission never consumes randomness, so a
+	// run's results are bit-identical with or without it.
+	Emit func(worker, lo, hi int) (*StripeSink, error)
+}
+
+// StripeSink receives one stripe's emitted frames. Emit must not be nil;
+// Flush and Close may be.
+type StripeSink struct {
+	// Emit receives each frame the stripe's devices send.
+	Emit core.FrameEmitter
+	// Flush runs once per sweep (one firmware cycle across the stripe) —
+	// the batching boundary for buffered network senders.
+	Flush func() error
+	// Close runs when the stripe has simulated its full duration.
+	Close func() error
 }
 
 // ScaleResult is the outcome of one scale run.
@@ -272,10 +294,34 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 			// and the per-tick cost is the linear walk over the stripe.
 			clock := sim.NewClock(0)
 			sched := sim.NewScheduler(clock)
+			var sink *StripeSink
+			if cfg.Emit != nil {
+				var err error
+				if sink, err = cfg.Emit(w, lo, hi); err != nil {
+					errs[w] = fmt.Errorf("emit sink for stripe %d: %w", w, err)
+					return
+				}
+			}
+			// flush batches the sweep's emitted frames out; the first
+			// sink error is kept, emission after it is the sink's problem
+			// (network senders go dark rather than wedging the tick loop).
+			var sinkErr error
+			flush := func() {
+				if sink != nil && sink.Flush != nil {
+					if err := sink.Flush(); err != nil && sinkErr == nil {
+						sinkErr = err
+					}
+				}
+			}
 			if observed {
 				sh := shards[w]
 				sched.Every(cfg.SamplePeriod, func(at time.Duration) {
-					slab.TickStripeObserved(lo, hi, at, sh.lat)
+					if sink != nil {
+						slab.TickStripeObservedEmit(lo, hi, at, sh.lat, sink.Emit)
+						flush()
+					} else {
+						slab.TickStripeObserved(lo, hi, at, sh.lat)
+					}
 					sh.ticks += uint64(hi - lo)
 					sh.sweeps++
 					if sh.sweeps%publishSweeps == 0 {
@@ -288,9 +334,22 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 				sh.publish(slab, sched, cfg.Duration, start)
 			} else {
 				sched.Every(cfg.SamplePeriod, func(at time.Duration) {
-					slab.TickStripe(lo, hi, at)
+					if sink != nil {
+						slab.TickStripeEmit(lo, hi, at, sink.Emit)
+						flush()
+					} else {
+						slab.TickStripe(lo, hi, at)
+					}
 				})
 				errs[w] = sched.Run(cfg.Duration)
+			}
+			if sink != nil && sink.Close != nil {
+				if err := sink.Close(); err != nil && sinkErr == nil {
+					sinkErr = err
+				}
+			}
+			if errs[w] == nil && sinkErr != nil {
+				errs[w] = fmt.Errorf("emit sink for stripe %d: %w", w, sinkErr)
 			}
 		}(w, lo, hi)
 	}

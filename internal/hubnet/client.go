@@ -1,0 +1,198 @@
+package hubnet
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// Conn is the client side of a hubnet link: one TCP socket carrying
+// framed telemetry payloads from any number of simulated devices. Writes
+// are mutex-serialised, so device goroutines share a connection safely;
+// frames from a single device stay in order because each device's sends
+// are already ordered on its own goroutine and TCP preserves stream
+// order.
+type Conn struct {
+	c net.Conn
+
+	mu   sync.Mutex
+	w    *bufio.Writer
+	enc  []byte // framing scratch, reused across sends
+	sent uint64
+	err  error // first write error; latched, the stream is dead after one
+}
+
+// Dial connects to a hubnet server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c, w: bufio.NewWriterSize(c, readBuf)}, nil
+}
+
+// write frames one payload into the connection's scratch and hands it to
+// the buffered writer, optionally flushing. A framing error (oversized
+// payload) is the caller's fault and leaves the stream usable; a write
+// error is latched — a byte stream that dropped bytes mid-frame cannot
+// carry further frames coherently.
+func (c *Conn) write(payload []byte, flush bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	frame, err := rf.AppendEncode(c.enc[:0], payload)
+	if err != nil {
+		return err
+	}
+	c.enc = frame[:0]
+	if _, err := c.w.Write(frame); err != nil {
+		c.err = err
+		return err
+	}
+	c.sent++
+	if flush {
+		if err := c.w.Flush(); err != nil {
+			c.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Forward frames one payload and flushes it to the socket — the uplink
+// for interactive fleet devices, where each frame should reach the hub
+// as it is emitted.
+func (c *Conn) Forward(payload []byte) error { return c.write(payload, true) }
+
+// Send frames one payload into the write buffer without flushing — the
+// bulk uplink for scale runs, paired with Flush once per sweep.
+func (c *Conn) Send(payload []byte) error { return c.write(payload, false) }
+
+// Flush drains the write buffer to the socket.
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the latched stream error, if any.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats reports the connection's channel accounting in link terms: TCP
+// neither loses nor corrupts, so every framed payload that entered the
+// stream counts as sent and delivered.
+func (c *Conn) Stats() rf.LinkStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return rf.LinkStats{Sent: c.sent, Delivered: c.sent, SentV1: c.sent}
+}
+
+// Close flushes and closes the socket.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	flushErr := c.w.Flush()
+	c.mu.Unlock()
+	if err := c.c.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}
+
+// Remote is a fleet hub backend that forwards every delivered frame over
+// a client connection to an out-of-process gateway. Host-side accounting
+// (sessions, events, sequence audit) lives in the server; Session hands
+// out local shadow sessions so fleet wiring that registers handlers or
+// tracers has a target, and DeviceStats reports not-found — per-device
+// host stats must be read from the server's gateway.
+type Remote struct {
+	conn   *Conn
+	shadow *core.Hub
+}
+
+// NewRemote wraps a dialled connection as a fleet hub backend.
+func NewRemote(conn *Conn) *Remote {
+	return &Remote{conn: conn, shadow: core.NewHub(false)}
+}
+
+// Handle forwards one payload to the server. The virtual arrival time
+// cannot cross the wire (the frame format predates the network path), so
+// the server stamps frames on its own ingest clock.
+func (r *Remote) Handle(payload []byte, at time.Duration) { _ = r.conn.Forward(payload) }
+
+// Session returns the local shadow session for a device id.
+func (r *Remote) Session(id uint32) *core.Session { return r.shadow.Session(id) }
+
+// DeviceStats always reports not-found: receive accounting lives in the
+// server process.
+func (r *Remote) DeviceStats(id uint32) (core.HostStats, bool) { return core.HostStats{}, false }
+
+// Err surfaces the connection's latched stream error.
+func (r *Remote) Err() error { return r.conn.Err() }
+
+// FrameSender adapts a connection to the scale path's frame emission
+// hook (core.FrameEmitter): each emitted slab frame is marshalled as a
+// v1 scroll message and buffered onto the connection; the worker flushes
+// once per stripe sweep. One FrameSender per worker, on the worker's own
+// connection — emission is single-goroutine, so the marshal scratch
+// needs no lock.
+type FrameSender struct {
+	conn *Conn
+	base uint32
+	pbuf []byte
+	err  error
+}
+
+// NewFrameSender returns a sender mapping slab slot s to wire device id
+// idBase + s.
+func NewFrameSender(conn *Conn, idBase uint32) *FrameSender {
+	return &FrameSender{conn: conn, base: idBase}
+}
+
+// Emit marshals and buffers one frame. After the first stream error
+// emission goes dark rather than panicking the tick loop; the error
+// surfaces from Flush.
+func (fs *FrameSender) Emit(slot int, seq uint16, island int16, atMillis uint32) {
+	if fs.err != nil {
+		return
+	}
+	m := rf.Message{
+		Kind:     rf.MsgScroll,
+		Device:   fs.base + uint32(slot),
+		Seq:      seq,
+		AtMillis: atMillis,
+		Index:    island,
+		Island:   island,
+	}
+	fs.pbuf = m.AppendBinary(fs.pbuf[:0])
+	fs.err = fs.conn.Send(fs.pbuf)
+}
+
+// Flush drains buffered frames to the socket and returns the first
+// stream error, if any.
+func (fs *FrameSender) Flush() error {
+	if fs.err != nil {
+		return fs.err
+	}
+	fs.err = fs.conn.Flush()
+	return fs.err
+}
+
+// Err returns the sender's first error.
+func (fs *FrameSender) Err() error { return fs.err }

@@ -1,0 +1,212 @@
+package hubnet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// These tests pin the networked hub's transparency contract: the gateway
+// path (frame → stream decode → shard route) must be invisible to the
+// simulation. A seeded fleet run through the loopback gateway is
+// byte-identical to one against the plain in-process hub, and a run over
+// real localhost TCP delivers every CRC-clean frame into the server's
+// shards.
+
+// sig flattens one device's hub event log into a comparable signature.
+func sig(events []core.Event) string {
+	s := ""
+	for _, e := range events {
+		s += fmt.Sprintf("%d:%d:%d:%d;", e.Kind, e.Index, e.DeviceTime/time.Microsecond, e.HostTime/time.Microsecond)
+	}
+	return s
+}
+
+// runPair runs the same seeded fleet twice — once against the in-process
+// hub, once through a loopback gateway with the given shard count — and
+// returns both runners and result sets.
+func runPair(t *testing.T, cfg fleet.Config, shards int, reg *telemetry.Registry) (direct, looped *fleet.Runner, dres, lres []fleet.Result) {
+	t.Helper()
+	run := func(c fleet.Config) (*fleet.Runner, []fleet.Result) {
+		r, err := fleet.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, res
+	}
+	direct, dres = run(cfg)
+	lcfg := cfg
+	lcfg.Metrics = reg
+	lcfg.Core.Metrics = reg
+	lcfg.Hub = NewLoopback(Config{Shards: shards, KeepLogs: true, Registry: reg})
+	looped, lres = run(lcfg)
+	return direct, looped, dres, lres
+}
+
+func assertIdentical(t *testing.T, direct, looped *fleet.Runner, dres, lres []fleet.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(dres, lres) {
+		for i := range dres {
+			if !reflect.DeepEqual(dres[i], lres[i]) {
+				t.Fatalf("device %d diverged through the gateway:\ndirect   %+v\nloopback %+v", i+1, dres[i], lres[i])
+			}
+		}
+		t.Fatalf("results diverged")
+	}
+	for i := 0; i < direct.Len(); i++ {
+		ds, ls := sig(direct.Session(i).Events()), sig(looped.Session(i).Events())
+		if ds != ls {
+			t.Fatalf("device %d event stream diverged through the gateway:\ndirect   %s\nloopback %s", i+1, ds, ls)
+		}
+		if ds == "" {
+			t.Fatalf("device %d produced no events", i+1)
+		}
+	}
+}
+
+func TestFleetLoopbackIdentical(t *testing.T) {
+	cfg := fleet.Config{Devices: 12, Seed: 42, Workers: 4}
+	direct, looped, dres, lres := runPair(t, cfg, 4, nil)
+	assertIdentical(t, direct, looped, dres, lres)
+}
+
+func TestFleetLoopbackIdenticalReliableLossy(t *testing.T) {
+	cfg := fleet.Config{Devices: 8, Seed: 7, Workers: 3, Reliable: true}
+	cfg.Core = core.DefaultConfig()
+	cfg.Core.Link.LossProb = 0.15
+	cfg.Core.Link.CorruptProb = 0.05
+	cfg.Core.Link.BurstLossProb = 0.02
+	cfg.Core.Link.AckLossProb = 0.1
+	direct, looped, dres, lres := runPair(t, cfg, 3, nil)
+	assertIdentical(t, direct, looped, dres, lres)
+	var retx uint64
+	for _, r := range lres {
+		retx += r.ARQ.Retransmits
+	}
+	if retx == 0 {
+		t.Fatal("lossy reliable run retransmitted nothing; the test exercised nothing")
+	}
+}
+
+func TestFleetLoopbackTelemetryMatchesResults(t *testing.T) {
+	reg := telemetry.New()
+	cfg := fleet.Config{Devices: 6, Seed: 11, Workers: 2}
+	cfg.Core = core.DefaultConfig()
+	cfg.Core.Link.LossProb = 0.1
+	_, looped, _, lres := runPair(t, cfg, 2, reg)
+	tot := looped.Total(lres)
+	snap := reg.Snapshot()
+	if got := snap.Counters[telemetry.MetricHubDecoded]; got != tot.Decoded {
+		t.Fatalf("hub decoded counter %d != result total %d", got, tot.Decoded)
+	}
+	if got := snap.Gauges[telemetry.MetricHubDevices]; got != float64(cfg.Devices) {
+		t.Fatalf("hub_devices %v, want %d — the shard collectors double- or under-counted", got, cfg.Devices)
+	}
+	// The wire edge saw exactly the decoded + undecodable frames.
+	if got := snap.Counters[telemetry.MetricNetFrames]; got != tot.Decoded+tot.BadFrames {
+		t.Fatalf("net frames %d != decoded %d + bad %d", got, tot.Decoded, tot.BadFrames)
+	}
+	if got := snap.Gauges[telemetry.MetricNetShards]; got != 2 {
+		t.Fatalf("net shards %v, want 2", got)
+	}
+}
+
+// runTCPFleet runs a fleet whose hub is a hubnet server across a real
+// localhost socket and returns the totals plus the server's gateway after
+// every forwarded frame has been ingested.
+func runTCPFleet(t *testing.T, cfg fleet.Config, shards int) (fleet.Totals, *Gateway) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	remote := NewRemote(conn)
+	cfg.Hub = remote
+	r, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	tot := r.Total(results)
+	gw := srv.Gateway()
+	waitFor(t, 10*time.Second, func() bool {
+		return gw.NetStats().Frames >= tot.Delivered
+	}, "forwarded frames to ingest")
+	return tot, gw
+}
+
+// TestFleetOverTCPSoak is the race soak: 32 concurrently simulated devices
+// share one socket to a sharded server under link faults. Every CRC-clean
+// frame the links delivered must come out of the server's shards, and the
+// server's sequence audit must see at most the frames the channel ate.
+func TestFleetOverTCPSoak(t *testing.T) {
+	cfg := fleet.Config{Devices: 32, Seed: 99, Workers: 8}
+	cfg.Core = core.DefaultConfig()
+	cfg.Core.Link.LossProb = 0.1
+	cfg.Core.Link.CorruptProb = 0.02
+	cfg.Core.Link.BurstLossProb = 0.02
+	tot, gw := runTCPFleet(t, cfg, 4)
+
+	if tot.Lost == 0 || tot.Corrupted == 0 {
+		t.Fatalf("fault model idle (lost %d, corrupted %d); the soak exercised nothing", tot.Lost, tot.Corrupted)
+	}
+	ns, hs := gw.NetStats(), gw.Stats()
+	if ns.Frames != tot.Delivered {
+		t.Fatalf("server ingested %d frames, links delivered %d", ns.Frames, tot.Delivered)
+	}
+	if hs.Decoded != tot.Delivered || hs.BadFrames != 0 {
+		t.Fatalf("server decoded %d (bad %d), want every delivered frame (%d)", hs.Decoded, hs.BadFrames, tot.Delivered)
+	}
+	if hs.Devices != cfg.Devices {
+		t.Fatalf("server saw %d devices, want %d", hs.Devices, cfg.Devices)
+	}
+	// Frames the channel ate are the only legal holes: trailing losses are
+	// invisible (nothing after them reveals the gap), so missed is bounded
+	// by, not equal to, the channel's kill count.
+	if kills := tot.Lost + tot.Corrupted; hs.MissedSeq > kills {
+		t.Fatalf("server missed %d seqs, channel only killed %d — frames vanished in the network path", hs.MissedSeq, kills)
+	}
+	// The shard partition covered the fleet: every shard owns 32/4 devices.
+	for i, st := range gw.ShardStats() {
+		if st.Devices != 8 {
+			t.Fatalf("shard %d has %d devices, want 8", i, st.Devices)
+		}
+	}
+}
+
+// TestFleetOverTCPLossless is the exactness half: with an ideal channel the
+// server must account for every single frame with zero sequence gaps.
+func TestFleetOverTCPLossless(t *testing.T) {
+	cfg := fleet.Config{Devices: 8, Seed: 3, Workers: 4}
+	cfg.Core = core.DefaultConfig()
+	cfg.Core.Link.LossProb = 0
+	cfg.Core.Link.CorruptProb = 0
+	cfg.Core.Link.BurstLossProb = 0
+	tot, gw := runTCPFleet(t, cfg, 2)
+	hs := gw.Stats()
+	if hs.Decoded != tot.Sent || hs.MissedSeq != 0 {
+		t.Fatalf("lossless run: server decoded %d of %d sent, missed %d — want exact, gapless delivery",
+			hs.Decoded, tot.Sent, hs.MissedSeq)
+	}
+}

@@ -1,0 +1,277 @@
+// Package hubnet promotes the in-process host Hub into a networked
+// service: a frame-ingest gateway that accepts the existing RF wire
+// format (sync + length + payload + CRC16, payload = v1 telemetry
+// message) over byte streams and demultiplexes decoded messages across N
+// hub shards partitioned by device id. The paper's host is a single PC
+// behind one receiver (Section 3.2); hubnet is that host grown into a
+// deployable ingest tier — same frames, same sessions, same telemetry —
+// reachable over loopback TCP or wired in-process for deterministic
+// tests.
+//
+// Three entry points share one Gateway core:
+//
+//   - Serve listens on TCP and feeds each connection's byte stream
+//     through a per-connection Decoder (server.go).
+//   - Dial returns the client side: a Conn carrying framed payloads from
+//     any number of simulated devices over one socket (client.go).
+//   - NewLoopback wires device sinks straight into the gateway through
+//     the full encode→decode→shard path with no socket and no extra
+//     goroutines, so a seeded fleet run through it is byte-identical to
+//     one against a plain in-process hub (loopback.go).
+package hubnet
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/core"
+	"github.com/hcilab/distscroll/internal/rf"
+	"github.com/hcilab/distscroll/internal/telemetry"
+	"github.com/hcilab/distscroll/internal/tracing"
+)
+
+// Config parameterises a gateway.
+type Config struct {
+	// Shards is the number of hub shards; messages route by
+	// deviceID % Shards. <= 0 means 1 (a single shard is exactly the
+	// in-process hub behind a network edge).
+	Shards int
+	// KeepLogs makes every shard session retain its event log, like
+	// core.NewHub(true). Fleet runs need it for handler replay.
+	KeepLogs bool
+	// Registry, when non-nil, instruments the gateway: shard sessions
+	// record per-device counters and latency histograms, and the gateway
+	// registers ONE collector that folds every shard into the canonical
+	// hub_* series, adds per-shard breakdowns, and contributes the net_*
+	// ingest counters. Shards never register their own collectors — the
+	// hub_devices gauge must be the fleet total, not the last shard's.
+	Registry *telemetry.Registry
+	// Now supplies ingest timestamps for frames arriving over TCP, where
+	// no virtual clock rides along with the bytes (default: wall time
+	// since the server started). Loopback ingest ignores it — the
+	// device's own virtual arrival time is passed through instead, which
+	// is what keeps loopback runs deterministic.
+	Now func() time.Duration
+}
+
+// Gateway is the shared ingest core: N hub shards plus the wire-edge
+// decode accounting. It is safe for concurrent use by any number of
+// connections and device goroutines; frames from any single device must
+// arrive in order (the same contract core.Hub has always had).
+type Gateway struct {
+	shards   []*core.Hub
+	keepLogs bool
+	reg      *telemetry.Registry
+
+	// Wire-edge accounting. badFrames mirrors the in-process hub's
+	// counter (payloads that failed Message decode); the rest describe
+	// the network edge itself.
+	badFrames   atomic.Uint64
+	connsTotal  atomic.Uint64
+	connsOpen   atomic.Int64
+	bytesRead   atomic.Uint64
+	frames      atomic.Uint64
+	shortReads  atomic.Uint64
+	resyncs     atomic.Uint64
+	shardFrames []atomic.Uint64
+}
+
+// NetStats is the gateway's network-edge accounting.
+type NetStats struct {
+	// ConnsTotal counts connections ever accepted; ConnsOpen the ones
+	// currently open.
+	ConnsTotal uint64
+	ConnsOpen  int64
+	// BytesRead is the raw ingest byte count (framing included).
+	BytesRead uint64
+	// Frames counts CRC-valid frames decoded off the wire; BadFrames the
+	// payloads that then failed message decode, plus CRC failures.
+	Frames    uint64
+	BadFrames uint64
+	// ShortReads counts reads that ended mid-frame (the decoder was left
+	// holding a partial frame); Resyncs the bytes skipped hunting for
+	// sync after corruption.
+	ShortReads uint64
+	Resyncs    uint64
+}
+
+// NewGateway builds the shard array. With cfg.Registry set it registers
+// the aggregating collector.
+func NewGateway(cfg Config) *Gateway {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	g := &Gateway{keepLogs: cfg.KeepLogs, reg: cfg.Registry}
+	g.shards = make([]*core.Hub, cfg.Shards)
+	for i := range g.shards {
+		g.shards[i] = core.NewHubDetached(cfg.KeepLogs, cfg.Registry)
+	}
+	g.shardFrames = make([]atomic.Uint64, cfg.Shards)
+	if cfg.Registry != nil {
+		cfg.Registry.RegisterCollector(g.collect)
+	}
+	return g
+}
+
+// Shards returns the shard count.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// Shard returns the i-th hub shard (tests and scrapers only; ingest
+// paths go through Consume so routing stays in one place).
+func (g *Gateway) Shard(i int) *core.Hub { return g.shards[i] }
+
+// ShardFor returns the shard index a device id routes to.
+func (g *Gateway) ShardFor(id uint32) int { return int(id % uint32(len(g.shards))) }
+
+// Consume routes one already-decoded message into its shard — the
+// decode-once core every ingest path (TCP, loopback) converges on. When
+// the destination session carries a trace recorder the ingest hop is
+// recorded before the session consumes the message, so a traced frame's
+// causal chain shows the network edge between the link delivery and the
+// session decision.
+func (g *Gateway) Consume(m rf.Message, at time.Duration) {
+	sh := g.ShardFor(m.Device)
+	g.shardFrames[sh].Add(1)
+	s := g.shards[sh].Session(m.Device)
+	if rec := s.Tracer(); rec != nil {
+		rec.Record(tracing.HopNetIngest, m.Seq, at, m.AtMillis, uint32(sh))
+	}
+	s.Consume(m, at)
+}
+
+// Session returns the session a device id routes to, creating it if the
+// device is new (pre-registration, handler wiring).
+func (g *Gateway) Session(id uint32) *core.Session {
+	return g.shards[g.ShardFor(id)].Session(id)
+}
+
+// DeviceStats returns one device's receive counters from its shard.
+func (g *Gateway) DeviceStats(id uint32) (core.HostStats, bool) {
+	return g.shards[g.ShardFor(id)].DeviceStats(id)
+}
+
+// Stats aggregates the per-shard hub stats plus the gateway's own
+// bad-frame count (payloads that failed decode at the wire edge and so
+// never reached a shard).
+func (g *Gateway) Stats() core.HubStats {
+	var agg core.HubStats
+	for _, st := range g.ShardStats() {
+		agg.Devices += st.Devices
+		agg.Decoded += st.Decoded
+		agg.Events += st.Events
+		agg.MissedSeq += st.MissedSeq
+		agg.Duplicates += st.Duplicates
+		agg.Reordered += st.Reordered
+		agg.Stale += st.Stale
+		agg.AheadDrops += st.AheadDrops
+		agg.Resyncs += st.Resyncs
+		agg.BadFrames += st.BadFrames
+	}
+	agg.BadFrames += g.badFrames.Load()
+	return agg
+}
+
+// ShardStats returns each shard's hub stats in shard order.
+func (g *Gateway) ShardStats() []core.HubStats {
+	out := make([]core.HubStats, len(g.shards))
+	for i, h := range g.shards {
+		out[i] = h.Stats()
+	}
+	return out
+}
+
+// NetStats returns the network-edge accounting.
+func (g *Gateway) NetStats() NetStats {
+	return NetStats{
+		ConnsTotal: g.connsTotal.Load(),
+		ConnsOpen:  g.connsOpen.Load(),
+		BytesRead:  g.bytesRead.Load(),
+		Frames:     g.frames.Load(),
+		BadFrames:  g.badFrames.Load(),
+		ShortReads: g.shortReads.Load(),
+		Resyncs:    g.resyncs.Load(),
+	}
+}
+
+// collect is the gateway's single registered collector: every shard
+// folds additively into the canonical hub_* series (sessions, latency
+// histograms, bad frames), per-shard breakdown series expose the
+// partition balance, and the net_* counters describe the wire edge.
+func (g *Gateway) collect(snap *telemetry.Snapshot) {
+	devices := 0
+	for i, h := range g.shards {
+		devices += h.Collect(snap)
+		st := h.Stats()
+		snap.SetGauge(telemetry.ShardName(telemetry.MetricHubDevices, i), float64(st.Devices))
+		snap.AddCounter(telemetry.ShardName(telemetry.MetricHubDecoded, i), st.Decoded)
+		snap.AddCounter(telemetry.ShardName(telemetry.MetricHubEvents, i), st.Events)
+		snap.AddCounter(telemetry.ShardName(telemetry.MetricNetFrames, i), g.shardFrames[i].Load())
+	}
+	snap.SetGauge(telemetry.MetricHubDevices, float64(devices))
+	snap.AddCounter(telemetry.MetricHubBadFrames, g.badFrames.Load())
+	snap.SetGauge(telemetry.MetricNetShards, float64(len(g.shards)))
+	snap.AddCounter(telemetry.MetricNetConnsTotal, g.connsTotal.Load())
+	snap.SetGauge(telemetry.MetricNetConnsOpen, float64(g.connsOpen.Load()))
+	snap.AddCounter(telemetry.MetricNetBytesRead, g.bytesRead.Load())
+	snap.AddCounter(telemetry.MetricNetFrames, g.frames.Load())
+	snap.AddCounter(telemetry.MetricNetBadFrames, g.badFrames.Load())
+	snap.AddCounter(telemetry.MetricNetShortReads, g.shortReads.Load())
+	snap.AddCounter(telemetry.MetricNetResyncs, g.resyncs.Load())
+}
+
+// Ingest is one byte stream's decode state: a frame decoder plus resync
+// bookkeeping, feeding every decoded frame into the gateway's shards.
+// Each TCP connection owns one; benchmarks drive one directly. Not safe
+// for concurrent use — one stream, one feeder.
+type Ingest struct {
+	gw  *Gateway
+	dec *rf.Decoder
+	now func() time.Duration
+
+	at        time.Duration
+	onPayload func([]byte)
+
+	lastResyncs uint64
+	lastCRC     uint64
+}
+
+// NewIngest returns a fresh per-stream ingest. now supplies arrival
+// timestamps per Feed call; nil stamps every frame at 0 (benchmarks).
+func (g *Gateway) NewIngest(now func() time.Duration) *Ingest {
+	in := &Ingest{gw: g, dec: rf.NewDecoder(), now: now}
+	in.onPayload = func(p []byte) {
+		g.frames.Add(1)
+		var m rf.Message
+		if !m.Decode(p) {
+			g.badFrames.Add(1)
+			return
+		}
+		g.Consume(m, in.at)
+	}
+	return in
+}
+
+// Feed consumes one chunk of raw stream bytes: frames are CRC-checked
+// and decoded in place (zero-copy — payloads alias the decoder scratch
+// and are fully consumed before return), and the edge counters advance.
+// A chunk that ends mid-frame counts one short read; the partial frame
+// completes on the next Feed.
+func (in *Ingest) Feed(data []byte) {
+	in.gw.bytesRead.Add(uint64(len(data)))
+	if in.now != nil {
+		in.at = in.now()
+	}
+	in.dec.FeedFunc(data, in.onPayload)
+	st := in.dec.Stats()
+	if d := st.Resyncs - in.lastResyncs; d > 0 {
+		in.gw.resyncs.Add(d)
+		in.lastResyncs = st.Resyncs
+	}
+	if d := st.CRCErrors - in.lastCRC; d > 0 {
+		in.gw.badFrames.Add(d)
+		in.lastCRC = st.CRCErrors
+	}
+	if in.dec.Buffered() > 0 {
+		in.gw.shortReads.Add(1)
+	}
+}

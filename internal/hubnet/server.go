@@ -1,0 +1,133 @@
+package hubnet
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server accepts hubnet connections and feeds each one's byte stream
+// through its own Ingest into a shared Gateway. Connections carry the RF
+// frame format verbatim — the TCP stream is the "wire", the frame CRC
+// still guards integrity, and a corrupted or truncated stream resyncs
+// exactly as the radio decoder does. One goroutine per connection;
+// batched reads through bufio amortise syscalls so a 100k-device scale
+// run can funnel its frames through a handful of sockets.
+type Server struct {
+	gw    *Gateway
+	ln    net.Listener
+	now   func() time.Duration
+	start time.Time
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// readBuf sizes the per-connection read buffer: large enough to carry
+// thousands of 25-byte frames per syscall, small enough that a thousand
+// idle connections cost megabytes, not gigabytes.
+const readBuf = 64 << 10
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves a fresh gateway
+// built from cfg until Close.
+func Serve(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		gw:    NewGateway(cfg),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		start: time.Now(),
+	}
+	s.now = cfg.Now
+	if s.now == nil {
+		s.now = func() time.Duration { return time.Since(s.start) }
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" ports).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Gateway returns the server's gateway (stats, sessions, telemetry).
+func (s *Server) Gateway() *Gateway { return s.gw }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			// Accept fails permanently once the listener closes; any
+			// transient error here would spin, so treat all errors as
+			// shutdown — the only caller of Serve's lifecycle is Close.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.gw.connsTotal.Add(1)
+		s.gw.connsOpen.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// serveConn pumps one connection: batched reads, incremental decode,
+// shard routing. The stream needs no length-prefix protocol of its own —
+// the frame format is self-delimiting and self-healing.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.gw.connsOpen.Add(-1)
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	in := s.gw.NewIngest(s.now)
+	br := bufio.NewReaderSize(c, readBuf)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := br.Read(buf)
+		if n > 0 {
+			in.Feed(buf[:n])
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every open connection, and waits for the
+// per-connection goroutines to drain. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

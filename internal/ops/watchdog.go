@@ -54,6 +54,13 @@ type WatchdogConfig struct {
 	StallGauge string
 	StallAfter time.Duration
 
+	// Now supplies the watchdog's clock (default time.Now). Injectable so
+	// rule windows are testable without sleeping, and so a harness driving
+	// virtual time can window on its own monotonic source. Go time.Time
+	// carries a monotonic reading, so windows are immune to wall-clock
+	// steps either way.
+	Now func() time.Time
+
 	// OnBreach is called for every breach as it is detected (watchdog
 	// goroutine; keep it fast).
 	OnBreach func(Breach)
@@ -71,6 +78,7 @@ type WatchdogConfig struct {
 type Watchdog struct {
 	cfg      WatchdogConfig
 	recorder *tracing.Recorder
+	now      func() time.Time
 	start    time.Time
 
 	stop     chan struct{}
@@ -80,9 +88,17 @@ type Watchdog struct {
 	mu       sync.Mutex
 	breaches []Breach
 
-	// Stall tracking (watchdog goroutine only).
-	stallVal  float64
-	stallSeen time.Time
+	// Evaluation-window state (watchdog goroutine only).
+	prev *telemetry.Snapshot
+	last time.Time
+
+	// Stall tracking (watchdog goroutine only): stallFor accumulates
+	// observed evaluation windows since the stall clock last moved. It is
+	// credited per window, clamped (see step), so a single stretched wall
+	// gap — a GC pause, a suspended CI runner — cannot alone exceed
+	// StallAfter while the run is healthy.
+	stallVal float64
+	stallFor time.Duration
 }
 
 // maxBreaches bounds the retained breach list; /healthz needs the shape of
@@ -93,6 +109,18 @@ const maxBreaches = 32
 // no-op watchdog that is always healthy) when cfg.Registry is nil or no
 // rule is configured.
 func StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	w := newWatchdog(cfg)
+	if w == nil {
+		return nil
+	}
+	go w.loop()
+	return w
+}
+
+// newWatchdog validates the config and builds a watchdog without starting
+// its loop. Tests drive evaluation windows directly through step, so rule
+// timing is exercised against the injectable clock instead of real sleeps.
+func newWatchdog(cfg WatchdogConfig) *Watchdog {
 	if cfg.Registry == nil {
 		return nil
 	}
@@ -108,16 +136,22 @@ func StartWatchdog(cfg WatchdogConfig) *Watchdog {
 	if cfg.StallGauge == "" {
 		cfg.StallGauge = telemetry.MetricSimVirtualSeconds
 	}
-	w := &Watchdog{
-		cfg:   cfg,
-		start: time.Now(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
+	w := &Watchdog{
+		cfg:  cfg,
+		now:  cfg.Now,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	w.start = w.now()
 	if cfg.Tracer != nil {
 		w.recorder = cfg.Tracer.NewRecorder("slo-watchdog", 0)
 	}
-	go w.loop()
+	w.prev = cfg.Registry.Snapshot()
+	w.last = w.start
+	w.stallVal = stallValue(w.prev, cfg.StallGauge)
 	return w
 }
 
@@ -125,45 +159,65 @@ func (w *Watchdog) loop() {
 	defer close(w.done)
 	ticker := time.NewTicker(w.cfg.Interval)
 	defer ticker.Stop()
-	prev := w.cfg.Registry.Snapshot()
-	last := time.Now()
-	w.stallSeen = last
-	w.stallVal = stallValue(prev, w.cfg.StallGauge)
 	for {
 		select {
 		case <-w.stop:
 			return
-		case now := <-ticker.C:
-			cur := w.cfg.Registry.Snapshot()
-			dt := now.Sub(last)
-			for _, b := range Evaluate(w.cfg, prev, cur, dt) {
-				w.report(b)
-			}
-			if b, ok := w.checkStall(cur, now); ok {
-				w.report(b)
-			}
-			prev, last = cur, now
+		case <-ticker.C:
+			w.step()
 		}
 	}
 }
 
+// step runs one evaluation window against the injectable clock. A window
+// stretched far beyond the configured interval means the watchdog goroutine
+// (or the whole process — a GC pause, a suspended CI runner) was starved of
+// wall time, not that the pipeline drained: counter deltas over such a
+// window measure the scheduler, not the model, so the rate/latency rules
+// skip it, and the stall accumulator is credited at most 2× Interval so one
+// giant gap cannot alone latch a stuck-clock breach on a healthy run. A
+// frozen clock yields dt <= 0, which evaluates nothing and accumulates
+// nothing — wall time that did not observably pass cannot count as stall
+// time.
+func (w *Watchdog) step() {
+	now := w.now()
+	cur := w.cfg.Registry.Snapshot()
+	dt := now.Sub(w.last)
+	window := dt
+	if max := 2 * w.cfg.Interval; window > max {
+		window = max
+	} else {
+		for _, b := range Evaluate(w.cfg, w.prev, cur, dt) {
+			w.report(b)
+		}
+	}
+	if b, ok := w.checkStall(cur, window); ok {
+		w.report(b)
+	}
+	w.prev, w.last = cur, now
+}
+
 // checkStall tracks the stall gauge across windows: any change resets the
-// clock; StallAfter of wall time without one is a breach.
-func (w *Watchdog) checkStall(cur *telemetry.Snapshot, now time.Time) (Breach, bool) {
+// accumulator; StallAfter of accumulated observed window time without one
+// is a breach.
+func (w *Watchdog) checkStall(cur *telemetry.Snapshot, window time.Duration) (Breach, bool) {
 	if w.cfg.StallAfter <= 0 {
 		return Breach{}, false
 	}
 	v := stallValue(cur, w.cfg.StallGauge)
 	if v != w.stallVal {
 		w.stallVal = v
-		w.stallSeen = now
+		w.stallFor = 0
 		return Breach{}, false
 	}
-	stuck := now.Sub(w.stallSeen)
-	if stuck < w.cfg.StallAfter {
+	if window > 0 {
+		w.stallFor += window
+	}
+	if w.stallFor < w.cfg.StallAfter {
 		return Breach{}, false
 	}
-	w.stallSeen = now // re-arm so a persistent stall fires once per StallAfter
+	stuck := w.stallFor
+	w.stallFor = 0 // re-arm so a persistent stall fires once per StallAfter
 	return Breach{
 		Rule:   "stall",
 		Metric: w.cfg.StallGauge,
@@ -250,7 +304,7 @@ func (w *Watchdog) report(b Breach) {
 	}
 	w.mu.Unlock()
 	if w.recorder != nil {
-		at := time.Since(w.start)
+		at := w.now().Sub(w.start)
 		w.recorder.Anomaly(tracing.HopSessionSLO, 0, at,
 			clampU32(b.Value), clampU32(b.Limit), b.String())
 	}

@@ -1,0 +1,180 @@
+package ops
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// These are the regression tests for the watchdog wall-clock bugfix: rule
+// windows are measured on the injectable clock, evaluation windows stretched
+// far beyond the interval are discounted, and wall time that did not
+// observably pass accumulates no stall credit. Each test drives evaluation
+// directly through newWatchdog + step, so no real sleeping is involved.
+
+// fakeClock is an injectable watchdog clock the test advances by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func stepN(w *Watchdog, c *fakeClock, n int, d time.Duration) {
+	for i := 0; i < n; i++ {
+		c.advance(d)
+		w.step()
+	}
+}
+
+// TestWatchdogFrozenClockIsNotAStall freezes the injected clock entirely:
+// windows where no wall time observably passed must accumulate no stall
+// credit and evaluate no rate rules, no matter how often the loop fires.
+// Before the fix a wall-clock step backwards (NTP, suspended laptop) could
+// produce such windows against time.Now and latch a spurious breach.
+func TestWatchdogFrozenClockIsNotAStall(t *testing.T) {
+	reg := telemetry.New()
+	reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(1)
+	clk := newFakeClock()
+	w := newWatchdog(WatchdogConfig{
+		Registry:   reg,
+		Interval:   time.Second,
+		StallAfter: 3 * time.Second,
+		MinRate:    map[string]float64{telemetry.MetricHubEvents: 100},
+		Now:        clk.now,
+	})
+	if w == nil {
+		t.Fatal("watchdog did not start")
+	}
+	// 100 evaluation passes, zero elapsed time, idle registry: the stall
+	// accumulator and the min-rate rule must both stay quiet.
+	stepN(w, clk, 100, 0)
+	if !w.Healthy() {
+		t.Fatalf("frozen clock latched a breach: %v", w.Breaches())
+	}
+}
+
+// TestWatchdogGiantWallGapDiscounted suspends the process (one evaluation
+// window of an hour) over a healthy run: per-second rates computed over the
+// gap would look drained and the stall accumulator would overshoot
+// StallAfter in one hop, so the stretched window must be skipped by the
+// windowed rules and credited at most 2×Interval of stall time.
+func TestWatchdogGiantWallGapDiscounted(t *testing.T) {
+	reg := telemetry.New()
+	reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(1)
+	clk := newFakeClock()
+	w := newWatchdog(WatchdogConfig{
+		Registry:   reg,
+		Interval:   time.Second,
+		StallAfter: 10 * time.Second,
+		MinRate:    map[string]float64{telemetry.MetricHubEvents: 100},
+		Now:        clk.now,
+	})
+
+	// Healthy cadence: 150 events and one gauge tick per 1 s window.
+	virt := 1.0
+	tick := func(n int) {
+		for i := 0; i < n; i++ {
+			reg.Counter(telemetry.MetricHubEvents).Add(150)
+			virt++
+			reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(virt)
+			clk.advance(time.Second)
+			w.step()
+		}
+	}
+	tick(5)
+	if !w.Healthy() {
+		t.Fatalf("healthy cadence breached: %v", w.Breaches())
+	}
+
+	// The runner is suspended for an hour mid-window; the counters and the
+	// gauge did not move. 150 events / 3600 s is far below the floor, but
+	// the window measured the scheduler, not the pipeline.
+	clk.advance(time.Hour)
+	w.step()
+	if !w.Healthy() {
+		t.Fatalf("one suspended window latched a breach: %v", w.Breaches())
+	}
+	// Back to the healthy cadence: the gap credited at most 2 s of stall, so
+	// even several idle-gauge windows later the 10 s budget has room — but
+	// the run resumes advancing, which resets the accumulator anyway.
+	tick(5)
+	if !w.Healthy() {
+		t.Fatalf("post-gap cadence breached: %v", w.Breaches())
+	}
+}
+
+// TestWatchdogGenuineStallStillFires is the other half of the gap
+// discounting: a real stall — wall time passing one interval at a time with
+// a frozen stall clock — must still accumulate and breach, and the
+// accumulator must re-arm so a persistent stall fires again.
+func TestWatchdogGenuineStallStillFires(t *testing.T) {
+	reg := telemetry.New()
+	reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(1)
+	clk := newFakeClock()
+	w := newWatchdog(WatchdogConfig{
+		Registry:   reg,
+		Interval:   time.Second,
+		StallAfter: 3 * time.Second,
+		Now:        clk.now,
+	})
+	stepN(w, clk, 2, time.Second)
+	if !w.Healthy() {
+		t.Fatalf("breached before StallAfter elapsed: %v", w.Breaches())
+	}
+	stepN(w, clk, 1, time.Second)
+	bs := w.Breaches()
+	if len(bs) != 1 || bs[0].Rule != "stall" || bs[0].Metric != telemetry.MetricSimVirtualSeconds {
+		t.Fatalf("genuine stall not detected: %v", bs)
+	}
+	if bs[0].Value < 3 {
+		t.Fatalf("stall breach reports %.1f s stuck, want >= 3", bs[0].Value)
+	}
+	// Still stuck: the re-armed accumulator fires again after another budget.
+	stepN(w, clk, 3, time.Second)
+	if got := len(w.Breaches()); got != 2 {
+		t.Fatalf("persistent stall fired %d times over two budgets, want 2", got)
+	}
+	// Progress clears the accumulator: no further breaches while advancing.
+	reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(2)
+	stepN(w, clk, 2, time.Second)
+	reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(3)
+	stepN(w, clk, 2, time.Second)
+	if got := len(w.Breaches()); got != 2 {
+		t.Fatalf("advancing clock accrued breaches: %v", w.Breaches())
+	}
+}
+
+// TestHealthzImmuneToWallClockSteps wires an injected-clock watchdog into
+// the ops handler and walks the clock through a freeze and a giant step over
+// a healthy run: /healthz must stay 200 throughout, and must flip to 503
+// only for a genuine stall.
+func TestHealthzImmuneToWallClockSteps(t *testing.T) {
+	reg := telemetry.New()
+	reg.Gauge(telemetry.MetricSimVirtualSeconds).Set(1)
+	clk := newFakeClock()
+	w := newWatchdog(WatchdogConfig{
+		Registry:   reg,
+		Interval:   time.Second,
+		StallAfter: 3 * time.Second,
+		Now:        clk.now,
+	})
+	h := handler(reg, func() *Watchdog { return w })
+	health := func() int {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rr.Code
+	}
+
+	stepN(w, clk, 10, 0)   // frozen wall clock
+	clk.advance(time.Hour) // giant step
+	w.step()
+	if got := health(); got != http.StatusOK {
+		t.Fatalf("/healthz = %d after clock chaos on a healthy run, want 200", got)
+	}
+	stepN(w, clk, 3, time.Second) // genuine stall
+	if got := health(); got != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d after a genuine stall, want 503", got)
+	}
+}

@@ -139,8 +139,13 @@ func (c *arqCounters) stats() ARQStats {
 // range so the stream stays contiguous, and carries a MsgSkip notice telling
 // the receiver to advance past the hole (skipCount seqs ending at seq).
 type arqFrame struct {
-	seq       uint16
-	ver       PayloadVersion
+	seq uint16
+	ver PayloadVersion
+	// device is extracted once at enqueue (PayloadDevice), so converting the
+	// frame into a skip filler never needs to re-parse the payload — a
+	// sequenced payload that does not round-trip through Message must still
+	// get a filler, or the receiver waits on its seq forever.
+	device    uint32
 	payload   []byte
 	attempts  int
 	skip      bool
@@ -226,7 +231,8 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 	a.cnt.enqueued.Add(1)
 	a.trace.Record(tracing.HopArqEnqueue, seq, a.sched.Clock().Now(),
 		uint32(len(a.inflight)+len(a.queue)), 0)
-	fr := &arqFrame{seq: seq, ver: ver, payload: append([]byte(nil), payload...)}
+	fr := &arqFrame{seq: seq, ver: ver, device: PayloadDevice(payload),
+		payload: append([]byte(nil), payload...)}
 	if len(a.inflight) < a.cfg.Window {
 		wasEmpty := len(a.inflight) == 0
 		a.inflight = append(a.inflight, fr)
@@ -242,18 +248,33 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 	// to the receiver, so the stream stays contiguous and the receiver
 	// advances past the gap with certainty.
 	for len(a.queue) >= a.cfg.Queue {
-		head := a.queue[0]
+		// The merge head is the first element that is not already a filler at
+		// the widest range a skip notice can represent (half the sequence
+		// space). A maxed filler is immutable: widening it once clamped used
+		// to slide its end seq forward while the count stayed put, silently
+		// shrinking the announced range from the front — the receiver then
+		// classified the notice as ahead of its cursor and stalled forever.
+		// Maxed fillers are instead left in place (a frame of overshoot per
+		// 32767 drops) and merging continues behind them.
+		h := 0
+		for h < len(a.queue) && a.queue[h].skip && a.queue[h].skipCount >= 0x7fff {
+			h++
+		}
+		if h >= a.cfg.Queue {
+			// The whole budget is maxed fillers; nothing can be collapsed.
+			a.queue = append(a.queue, fr)
+			return a.sched.Clock().Now(), nil
+		}
+		head := a.queue[h]
 		switch {
-		case head.skip && len(a.queue) > 1:
+		case head.skip && len(a.queue) > h+1:
 			// Extend the filler over the oldest real payload, freeing a slot.
-			// The count clamps below half the sequence space — the widest
-			// hole 16-bit wrapping arithmetic can represent; an outage that
-			// long has outrun the sequence numbering itself.
-			head.seq = a.queue[1].seq
-			if head.skipCount < 0x7fff {
-				head.skipCount++
-			}
-			a.queue = append(a.queue[:1], a.queue[2:]...)
+			// The h-scan guarantees head is below the clamp, and fillers only
+			// ever form a prefix of the queue, so queue[h+1] is a real frame
+			// covering exactly one seq.
+			head.seq = a.queue[h+1].seq
+			head.skipCount++
+			a.queue = append(a.queue[:h+1], a.queue[h+2:]...)
 			a.cnt.queueDrops.Add(1)
 			a.trace.Record(tracing.HopArqOverflow, head.seq, a.sched.Clock().Now(),
 				uint32(head.skipCount), 0)
@@ -261,9 +282,7 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 		case !head.skip:
 			// Abandon the oldest payload in place; the next loop pass merges
 			// its successor into the filler and frees the slot.
-			if !a.toSkip(head) {
-				a.queue = a.queue[1:] // unparseable: plain drop
-			}
+			a.toSkip(head)
 			a.cnt.queueDrops.Add(1)
 			a.trace.Record(tracing.HopArqOverflow, head.seq, a.sched.Clock().Now(),
 				uint32(head.skipCount), 0)
@@ -279,24 +298,20 @@ func (a *ARQ) SendTagged(payload []byte, ver PayloadVersion) (time.Duration, err
 }
 
 // toSkip converts a tracked frame into a skip filler covering its own
-// sequence number, reporting false when the payload cannot be parsed.
-func (a *ARQ) toSkip(fr *arqFrame) bool {
-	var m Message
-	if err := m.UnmarshalBinary(fr.payload); err != nil {
-		return false
-	}
+// sequence number. It never fails: the frame entered the window because
+// PayloadSeq found a sequence number, so that seq MUST be announced to the
+// receiver even when the payload does not round-trip through Message — a
+// silently dropped seq is a phantom gap the reliable receiver waits on
+// forever. The device id was captured at enqueue for exactly this case.
+func (a *ARQ) toSkip(fr *arqFrame) {
 	fr.skip, fr.skipCount, fr.attempts = true, 1, 0
 	a.refreshSkip(fr)
-	return true
 }
 
 // refreshSkip rebuilds a filler's MsgSkip payload from its current range.
 func (a *ARQ) refreshSkip(fr *arqFrame) {
-	var m Message
-	if err := m.UnmarshalBinary(fr.payload); err == nil {
-		fr.payload = buildSkip(m.Device, fr.seq, fr.skipCount, fr.ver,
-			uint32(a.sched.Clock().Now()/time.Millisecond))
-	}
+	fr.payload = buildSkip(fr.device, fr.seq, fr.skipCount, fr.ver,
+		uint32(a.sched.Clock().Now()/time.Millisecond))
 }
 
 // buildSkip marshals a MsgSkip notice covering count seqs ending at last.
@@ -378,9 +393,7 @@ func (a *ARQ) onTimer(gen int) {
 			}
 			dropLast = fr.seq
 			dropped++
-			if !a.toSkip(fr) {
-				continue
-			}
+			a.toSkip(fr)
 		}
 		a.transmit(fr)
 		kept = append(kept, fr)
@@ -389,11 +402,13 @@ func (a *ARQ) onTimer(gen int) {
 	if dropped > 0 && a.trace != nil {
 		// One anomaly covers the whole pass: the flight-recorder dump names
 		// the exact abandoned seq range so a post-mortem can correlate it
-		// with the receiver's resync.
+		// with the receiver's resync. The span is computed in wrapping
+		// uint16 arithmetic so a window straddling 0xFFFF→0 reports its true
+		// width instead of an inverted (negative-looking) range.
 		a.trace.Anomaly(tracing.HopArqExhausted, dropLast, a.sched.Clock().Now(),
 			uint32(dropped), 0,
-			fmt.Sprintf("retry budget exhausted: seqs %d..%d abandoned after %d attempts",
-				dropFirst, dropLast, a.cfg.MaxRetries))
+			fmt.Sprintf("retry budget exhausted: seqs %d..%d abandoned (span %d) after %d attempts",
+				dropFirst, dropLast, dropLast-dropFirst+1, a.cfg.MaxRetries))
 	}
 	a.promote()
 	a.rto = time.Duration(float64(a.rto) * a.cfg.Backoff)

@@ -107,6 +107,11 @@ func NewDecoder() *Decoder { return &Decoder{} }
 // Stats returns the decoder statistics.
 func (d *Decoder) Stats() DecoderStats { return d.stats }
 
+// Buffered reports how many unconsumed bytes the decoder is holding — the
+// tail of a frame split across reads. Network ingest paths use it to count
+// short reads (reads that ended mid-frame).
+func (d *Decoder) Buffered() int { return len(d.buf) }
+
 // Feed consumes raw link bytes and returns any complete payloads. Every
 // returned payload is a stable copy owned by the caller: it never aliases
 // the decoder's internal buffer and survives any number of further feeds.

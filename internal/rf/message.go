@@ -147,6 +147,17 @@ func PayloadSeq(payload []byte) (uint16, bool) {
 	}
 }
 
+// PayloadDevice extracts the device id from a marshalled telemetry payload
+// without decoding the whole message. Legacy v0 payloads carry no device
+// field and report the conventional zero id, as does anything too short to
+// classify — the result is best-effort routing information, never a parse.
+func PayloadDevice(payload []byte) uint32 {
+	if VersionOf(payload) == PayloadV1 {
+		return binary.BigEndian.Uint32(payload[1:5])
+	}
+	return 0
+}
+
 // seqLE reports a <= b in wrapping uint16 sequence space: the distance from
 // a forward to b is less than half the space.
 func seqLE(a, b uint16) bool { return b-a < 0x8000 }

@@ -88,6 +88,19 @@ const (
 	MetricSimWheelPending   = "sim_wheel_pending_events"
 	MetricSimWheelOccupied  = "sim_wheel_slots_occupied"
 	MetricSimWheelOverflow  = "sim_wheel_overflow_events"
+
+	// Networked hub gateway counters (internal/hubnet): the TCP/loopback
+	// ingest edge in front of the sharded hubs. Bytes/frames/resyncs count
+	// raw wire activity before demux; short reads are ingest reads that
+	// ended mid-frame (the decoder is holding a partial frame).
+	MetricNetConnsTotal = "net_conns_total"
+	MetricNetConnsOpen  = "net_conns_open"
+	MetricNetBytesRead  = "net_bytes_read_total"
+	MetricNetFrames     = "net_frames_total"
+	MetricNetBadFrames  = "net_bad_frames_total"
+	MetricNetShortReads = "net_short_reads_total"
+	MetricNetResyncs    = "net_decode_resyncs_total"
+	MetricNetShards     = "net_hub_shards"
 )
 
 // LatencyBucketsMs are the default end-to-end latency bucket bounds in
@@ -107,6 +120,13 @@ var DispatchBucketsSec = []float64{
 // e.g. `hub_e2e_latency_ms{device="7"}`.
 func DeviceLatencyName(device uint32) string {
 	return fmt.Sprintf("%s{device=%q}", MetricHubE2ELatency, fmt.Sprint(device))
+}
+
+// ShardName returns the per-shard variant of a gateway series name, e.g.
+// `hub_frames_decoded_total{shard="3"}`. The gateway publishes both the
+// canonical aggregate and one labelled series per hub shard.
+func ShardName(name string, shard int) string {
+	return fmt.Sprintf("%s{shard=%q}", name, fmt.Sprint(shard))
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.

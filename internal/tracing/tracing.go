@@ -85,6 +85,10 @@ const (
 	// HopSessionSLO is a frame whose end-to-end latency exceeded the
 	// configured SLO. Arg carries the latency in milliseconds.
 	HopSessionSLO
+	// HopNetIngest is the networked-hub gateway decoding a frame off the
+	// wire (TCP or loopback) before demuxing it into a shard. Arg carries
+	// the device-side origin tick in milliseconds, Arg2 the shard index.
+	HopNetIngest
 )
 
 // String returns the stable export name of the hop.
@@ -114,6 +118,8 @@ func (h Hop) String() string {
 		return "session.gap"
 	case HopSessionSLO:
 		return "session.slo_breach"
+	case HopNetIngest:
+		return "net.ingest"
 	default:
 		return fmt.Sprintf("hop(%d)", uint8(h))
 	}
