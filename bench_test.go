@@ -10,6 +10,7 @@ package distscroll_test
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -452,6 +453,94 @@ func BenchmarkHubnetIngest(b *testing.B) {
 		b.Fatalf("ingested %d frames (%d bad), want %d", ns.Frames, ns.BadFrames, frames*uint64(b.N+1))
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(frames*uint64(b.N)), "ns/frame")
+}
+
+// BenchmarkHubnetSaturate is the ingest saturation grid: prebuilt byte
+// streams from `conns` concurrent feeders (each its own goroutine, its own
+// Ingest, disjoint device sets — exactly what serveConn does minus the
+// socket) pushed into a 4-shard gateway, with the ring pipeline off
+// (direct synchronous consume, the PR-8 shape) and on (batched hand-off to
+// single-writer shard workers). Reported per frame across all conns;
+// steady state must stay allocation-free in both modes. The committed
+// BENCH_6.json curve extends this grid with a live PR-8 replica baseline —
+// `distscroll-bench -saturate` regenerates it.
+func BenchmarkHubnetSaturate(b *testing.B) {
+	const devices, rounds, shards = 64, 8, 4
+	for _, pipelined := range []bool{false, true} {
+		mode := "direct"
+		if pipelined {
+			mode = "pipeline"
+		}
+		for _, conns := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/conns=%d", mode, conns), func(b *testing.B) {
+				gw := hubnet.NewGateway(hubnet.Config{Shards: shards, Pipeline: pipelined})
+				defer gw.Close()
+				// Per-conn streams over disjoint device ranges, one frame
+				// per device per round, seq counting up.
+				streams := make([][]byte, conns)
+				payload := make([]byte, 0, 64)
+				for c := range streams {
+					for seq := 0; seq < rounds; seq++ {
+						for d := 0; d < devices/conns; d++ {
+							dev := uint32(1 + c*(devices/conns) + d)
+							msg := rf.Message{Device: dev, Kind: rf.MsgScroll, Seq: uint16(seq), AtMillis: uint32(seq) * 40}
+							payload = msg.AppendBinary(payload[:0])
+							var err error
+							streams[c], err = rf.AppendEncode(streams[c], payload)
+							if err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+				// Long-lived feeder goroutines driven by channel tokens, so
+				// the timed loop measures ingest, not goroutine spawning,
+				// and the steady state stays allocation-free.
+				ins := make([]*hubnet.Ingest, conns)
+				total := 0
+				starts := make([]chan struct{}, conns)
+				fed := make(chan struct{}, conns)
+				for c := range ins {
+					ins[c] = gw.NewIngest(nil)
+					ins[c].Feed(streams[c]) // warm-up: sessions + scratch
+					total += len(streams[c])
+					starts[c] = make(chan struct{})
+					go func(c int) {
+						for range starts[c] {
+							ins[c].Feed(streams[c])
+							fed <- struct{}{}
+						}
+					}(c)
+				}
+				defer func() {
+					for _, ch := range starts {
+						close(ch)
+					}
+				}()
+				gw.Drain()
+				frames := uint64(devices * rounds)
+				b.SetBytes(int64(total))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, ch := range starts {
+						ch <- struct{}{}
+					}
+					for range ins {
+						<-fed
+					}
+					gw.Drain()
+				}
+				b.StopTimer()
+				ns := gw.NetStats()
+				want := frames * uint64(b.N+1)
+				if ns.Frames != want || ns.BadFrames != 0 || ns.RingDropped != 0 {
+					b.Fatalf("ingested %d frames (%d bad, %d dropped), want %d", ns.Frames, ns.BadFrames, ns.RingDropped, want)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(frames*uint64(b.N)), "ns/frame")
+			})
+		}
+	}
 }
 
 // BenchmarkSchedulerWheel measures the timing-wheel scheduler's hot path:

@@ -59,7 +59,8 @@ func TestGoldenHelpOutput(t *testing.T) {
 	if err := run([]string{"-h"}, &out); err != nil {
 		t.Fatalf("-h errored: %v", err)
 	}
-	for _, flagName := range []string{"-devices", "-scale", "-scale-json", "-scale-duration"} {
+	for _, flagName := range []string{"-devices", "-scale", "-scale-json", "-scale-duration",
+		"-saturate", "-saturate-json", "-conns", "-ingest-pipeline", "-ring-slots", "-ring-batch", "-ring-policy"} {
 		if !bytes.Contains(out.Bytes(), []byte(flagName)) {
 			t.Fatalf("help output missing %s:\n%s", flagName, out.String())
 		}

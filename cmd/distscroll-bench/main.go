@@ -84,7 +84,16 @@ func run(args []string, stdout io.Writer) error {
 		serveAddr = fs.String("serve", "", "run the networked hub: accept frame-ingest connections on this address (e.g. 127.0.0.1:9200; port 0 picks one) instead of simulating")
 		serveFor  = fs.Duration("serve-for", 0, "with -serve: stop after this long (0 = serve until SIGINT/SIGTERM)")
 		hubShards = fs.Int("hub-shards", 0, "with -serve: number of hub shards; frames route by device id modulo the shard count (default 1)")
-		connect   = fs.String("connect", "", "stream the run's frames to a hubnet server at this address instead of the in-process hub (-fleet forwards each device's frames; -devices/-scale export one stream per worker)")
+		connect   = fs.String("connect", "", "stream the run's frames to a hubnet server at this address instead of the in-process hub (-fleet forwards each device's frames; -devices/-scale export one stream per worker; -saturate blasts load-generator connections)")
+		saturate  = fs.Bool("saturate", false, "measure the ingest saturation grid (PR-8 replica vs direct vs pipelined consume) in process, or, with -connect, blast frames at a -serve process as a load generator")
+		satJSON   = fs.String("saturate-json", "", "with -saturate: also write the machine-readable throughput baseline (BENCH_6.json) to this file")
+		connsStr  = fs.String("conns", "", "comma-separated concurrent-connection counts for the -saturate grid (default 1,8); with -connect, the single load-generator connection count")
+		satShards = fs.String("saturate-shards", "", "comma-separated shard counts for the -saturate grid (default 1,4)")
+		satDur    = fs.Duration("saturate-duration", 5*time.Second, "with -saturate -connect: how long the load generator streams frames")
+		ingestPL  = fs.Bool("ingest-pipeline", true, "with -serve: hand decoded frames to per-shard ring workers in batches (false = direct per-frame consume on the connection goroutine)")
+		ringSlots = fs.Int("ring-slots", 0, "with -serve: per-shard ring capacity in batches (0 = default 256)")
+		ringBatch = fs.Int("ring-batch", 0, "with -serve: frames per ring hand-off batch (0 = default 64)")
+		ringFull  = fs.String("ring-policy", "block", "with -serve: what a full shard ring does to its producer — block (lossless backpressure) or drop (shed batches, count them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -105,6 +114,19 @@ func run(args []string, stdout io.Writer) error {
 	sweep, err := parseScaleList(*scaleList)
 	if err != nil {
 		return err
+	}
+	connsList, err := parseCountList("-conns", *connsStr, []int{1, 8})
+	if err != nil {
+		return err
+	}
+	shardsList, err := parseCountList("-saturate-shards", *satShards, []int{1, 4})
+	if err != nil {
+		return err
+	}
+	for _, n := range connsList {
+		if n > saturateDevices {
+			return fmt.Errorf("-conns: the saturation workload carries %d devices; %d connections would leave some idle", saturateDevices, n)
+		}
 	}
 	if devicesSet && *fleetWrk > *devicesN {
 		fmt.Fprintf(stdout, "warning: -workers %d exceeds -devices %d; extra workers will idle\n", *fleetWrk, *devicesN)
@@ -143,6 +165,8 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-serve runs the ingest server only; simulate in a second process with -connect")
 	case serveSet && benchMode:
 		return fmt.Errorf("-bench-csv/-bench-json measure in-process baselines; they do not apply to -serve")
+	case serveSet && *saturate:
+		return fmt.Errorf("-saturate measures from the client side; run -serve in one process and -saturate -connect in another")
 	case serveSet && (set["run"] || *csvDir != "" || *outPath != ""):
 		return fmt.Errorf("-run/-csv/-o belong to a simulation run; -serve does not run one")
 	case serveSet && (*reliable || set["loss"] || *burst > 0 || *burstLen > 0 || *ackLoss > 0):
@@ -157,14 +181,40 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-serve-for bounds a -serve run")
 	case set["hub-shards"] && *hubShards < 1:
 		return fmt.Errorf("-hub-shards must be at least 1, got %d", *hubShards)
-	case connectSet && !simMode:
-		return fmt.Errorf("-connect streams a simulation's frames; combine it with -fleet, -devices or -scale")
+	case !serveSet && (set["ingest-pipeline"] || set["ring-slots"] || set["ring-batch"] || set["ring-policy"]):
+		return fmt.Errorf("-ingest-pipeline and -ring-* tune the -serve ingest server")
+	case set["ring-slots"] && *ringSlots < 1:
+		return fmt.Errorf("-ring-slots must be at least 1, got %d", *ringSlots)
+	case set["ring-batch"] && *ringBatch < 1:
+		return fmt.Errorf("-ring-batch must be at least 1, got %d", *ringBatch)
+	case *ringFull != "block" && *ringFull != "drop":
+		return fmt.Errorf("-ring-policy must be block or drop, got %q", *ringFull)
+	case connectSet && !simMode && !*saturate:
+		return fmt.Errorf("-connect streams a simulation's frames; combine it with -fleet, -devices, -scale or -saturate")
 	case connectSet && *scaleJSON != "":
 		return fmt.Errorf("-scale-json measures the in-process baseline; it cannot stream to -connect")
 	case connectSet && *reliable:
 		return fmt.Errorf("-reliable needs the in-process ack loop; acks cannot cross the -connect byte stream")
 	}
 	switch {
+	case *saturate && benchMode:
+		return fmt.Errorf("-saturate and -bench-csv/-bench-json are separate baseline writers; run them one at a time")
+	case *saturate && simMode:
+		return fmt.Errorf("-saturate runs its own ingest workload; it cannot be combined with -fleet or the scale flags")
+	case *saturate && (set["run"] || *csvDir != "" || *outPath != ""):
+		return fmt.Errorf("-run/-csv/-o belong to the experiment path; -saturate does not run it")
+	case *saturate && metricsSet:
+		return fmt.Errorf("-metrics/-metrics-out report a simulation; -saturate measures ingest throughput only")
+	case !*saturate && (set["conns"] || set["saturate-shards"] || set["saturate-duration"] || *satJSON != ""):
+		return fmt.Errorf("-conns/-saturate-shards/-saturate-duration/-saturate-json parameterise a -saturate run")
+	case *satJSON != "" && connectSet:
+		return fmt.Errorf("-saturate-json writes the in-process grid baseline; the -connect load generator cannot measure it")
+	case *saturate && connectSet && set["saturate-shards"]:
+		return fmt.Errorf("-saturate-shards sizes the in-process grid; the -serve process picks its own shard count")
+	case *saturate && connectSet && set["conns"] && len(connsList) > 1:
+		return fmt.Errorf("-conns with -connect takes a single load-generator connection count, got %d values", len(connsList))
+	case *saturate && !connectSet && set["saturate-duration"]:
+		return fmt.Errorf("-saturate-duration bounds the -connect load generator; the in-process grid is iteration-timed")
 	case scaleMode && benchMode:
 		return fmt.Errorf("-bench-csv/-bench-json measure the demux and pipeline baselines; they cannot be combined with the scale flags")
 	case simMode && set["run"]:
@@ -224,10 +274,18 @@ func run(args []string, stdout io.Writer) error {
 		if shards < 1 {
 			shards = 1
 		}
+		onFull := hubnet.BlockOnFull
+		if *ringFull == "drop" {
+			onFull = hubnet.DropOnFull
+		}
 		return runServe(serveOpts{
-			addr:   *serveAddr,
-			shards: shards,
-			dur:    *serveFor,
+			addr:      *serveAddr,
+			shards:    shards,
+			dur:       *serveFor,
+			pipeline:  *ingestPL,
+			ringSlots: *ringSlots,
+			ringBatch: *ringBatch,
+			onFull:    onFull,
 			ops: opsOpts{
 				listen:   *opsListen,
 				p99:      *sloP99,
@@ -236,6 +294,17 @@ func run(args []string, stdout io.Writer) error {
 				interval: *sloEvery,
 			},
 		}, stdout)
+	}
+
+	if *saturate {
+		if connectSet {
+			conns := 2
+			if set["conns"] {
+				conns = connsList[0]
+			}
+			return runSaturateLoad(loadGenOpts{addr: *connect, conns: conns, dur: *satDur}, stdout)
+		}
+		return runSaturate(saturateOpts{connsList: connsList, shardsList: shardsList, jsonPath: *satJSON}, stdout)
 	}
 
 	if *benchCSV != "" {

@@ -248,8 +248,14 @@ func TestScaleJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("baseline not JSON: %v\n%.300s", err, data)
 	}
-	if doc.PR != 5 || len(doc.Scale) != 1 || doc.Scale[0].Devices != 300 {
+	rows := scaleWorkerRows(0)
+	if doc.PR != 5 || len(doc.Scale) != len(rows) {
 		t.Fatalf("baseline shape: %+v", doc)
+	}
+	for i, p := range doc.Scale {
+		if p.Devices != 300 || p.Workers != rows[i] {
+			t.Fatalf("scale row %d: want 300 devices x %d worker(s), got %+v", i, rows[i], p)
+		}
 	}
 	if doc.After[0].Name != "SchedulerWheel" || doc.After[0].AllocsPerOp != 0 {
 		t.Fatalf("wheel hot path not allocation-free in baseline: %+v", doc.After)

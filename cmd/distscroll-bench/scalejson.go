@@ -242,8 +242,26 @@ type scaleBaseline struct {
 	Scale []scalePoint `json:"scale"`
 }
 
-// writeScaleJSON measures the schedulers and the scaling curve and writes
-// the machine-readable baseline.
+// scaleWorkerRows picks the worker counts each device point runs at: the
+// explicit -workers value when given, otherwise a small ladder (serial,
+// one extra, the full machine) so the baseline records how the striped
+// path scales with workers, not just one pool size.
+func scaleWorkerRows(workers int) []int {
+	if workers > 0 {
+		return []int{workers}
+	}
+	rows := []int{1}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		if w > rows[len(rows)-1] {
+			rows = append(rows, w)
+		}
+	}
+	return rows
+}
+
+// writeScaleJSON measures the schedulers and the scaling curve — one row
+// per device count per worker count — and writes the machine-readable
+// baseline.
 func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time.Duration, loss float64, stdout io.Writer) error {
 	heap := benchEventScheduler(sim.NewHeapScheduler(sim.NewClock(0)))
 	wheel := benchEventScheduler(sim.NewScheduler(sim.NewClock(0)))
@@ -260,22 +278,24 @@ func writeScaleJSON(path string, sweep []int, seed uint64, workers int, dur time
 		doc.SchedulerSpeedup = doc.Before[0].NsPerOp / ns
 	}
 	for _, n := range sweep {
-		res, err := runScalePoint(n, seed, workers, dur, loss, nil, "")
-		if err != nil {
-			return err
+		for _, w := range scaleWorkerRows(workers) {
+			res, err := runScalePoint(n, seed, w, dur, loss, nil, "")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "scale %d devices x %d worker(s): %.0fx real time (%.0f ticks/s)\n",
+				res.Devices, res.Workers, res.RealTimeFactor, res.TicksPerSecond)
+			doc.Scale = append(doc.Scale, scalePoint{
+				Devices:        res.Devices,
+				Workers:        res.Workers,
+				VirtualSeconds: res.VirtualSeconds,
+				WallSeconds:    res.WallSeconds,
+				RealTimeFactor: res.RealTimeFactor,
+				TicksPerSecond: res.TicksPerSecond,
+				Frames:         res.Frames,
+				Switches:       res.Switches,
+			})
 		}
-		fmt.Fprintf(stdout, "scale %d devices: %.0fx real time (%.0f ticks/s)\n",
-			res.Devices, res.RealTimeFactor, res.TicksPerSecond)
-		doc.Scale = append(doc.Scale, scalePoint{
-			Devices:        res.Devices,
-			Workers:        res.Workers,
-			VirtualSeconds: res.VirtualSeconds,
-			WallSeconds:    res.WallSeconds,
-			RealTimeFactor: res.RealTimeFactor,
-			TicksPerSecond: res.TicksPerSecond,
-			Frames:         res.Frames,
-			Switches:       res.Switches,
-		})
 	}
 
 	f, err := os.Create(path)

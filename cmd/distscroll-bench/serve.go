@@ -20,10 +20,14 @@ import (
 
 // serveOpts parameterises a -serve invocation.
 type serveOpts struct {
-	addr   string
-	shards int
-	dur    time.Duration
-	ops    opsOpts
+	addr      string
+	shards    int
+	dur       time.Duration
+	pipeline  bool
+	ringSlots int
+	ringBatch int
+	onFull    hubnet.FullPolicy
+	ops       opsOpts
 }
 
 // runServe serves frame ingest until the -serve-for deadline or an
@@ -31,8 +35,12 @@ type serveOpts struct {
 func runServe(o serveOpts, stdout io.Writer) error {
 	reg := telemetry.New()
 	srv, err := hubnet.Serve(o.addr, hubnet.Config{
-		Shards:   o.shards,
-		Registry: reg,
+		Shards:      o.shards,
+		Registry:    reg,
+		Pipeline:    o.pipeline,
+		RingSlots:   o.ringSlots,
+		BatchFrames: o.ringBatch,
+		OnFull:      o.onFull,
 	})
 	if err != nil {
 		return err
@@ -40,6 +48,21 @@ func runServe(o serveOpts, stdout io.Writer) error {
 	defer srv.Close()
 	fmt.Fprintf(stdout, "hubnet: serving frame ingest on %s (%d shard(s))\n",
 		srv.Addr(), srv.Gateway().Shards())
+	if o.pipeline {
+		policy := "block"
+		if o.onFull == hubnet.DropOnFull {
+			policy = "drop"
+		}
+		slots, batch := o.ringSlots, o.ringBatch
+		if slots <= 0 {
+			slots = hubnet.DefaultRingSlots
+		}
+		if batch <= 0 {
+			batch = hubnet.DefaultBatchFrames
+		}
+		fmt.Fprintf(stdout, "hubnet: ingest pipeline on (%d ring slot(s) x %d-frame batches per shard, %s on full)\n",
+			slots, batch, policy)
+	}
 
 	var opsSummary strings.Builder
 	var plane *opsPlane
@@ -79,6 +102,10 @@ func runServe(o serveOpts, stdout io.Writer) error {
 	hs := gw.Stats()
 	fmt.Fprintf(stdout, "net: %d conn(s) (%d still open), %d bytes in, %d frames (%d bad, %d short reads, %d resync bytes)\n",
 		ns.ConnsTotal, ns.ConnsOpen, ns.BytesRead, ns.Frames, ns.BadFrames, ns.ShortReads, ns.Resyncs)
+	if gw.Pipelined() {
+		fmt.Fprintf(stdout, "pipeline: %d ring batch(es), %d stall(s), %d dropped\n",
+			ns.RingBatches, ns.RingStalls, ns.RingDropped)
+	}
 	fmt.Fprintf(stdout, "hub: %d device(s), %d frames decoded, %d events, %d seq gaps\n",
 		hs.Devices, hs.Decoded, hs.Events, hs.MissedSeq)
 	for i, st := range gw.ShardStats() {

@@ -34,7 +34,25 @@ func TestServeConnectFlagValidation(t *testing.T) {
 		{[]string{"-serve", "127.0.0.1:0", "-hub-shards", "0"}, "-hub-shards must be at least 1"},
 		{[]string{"-hub-shards", "4"}, "configures the -serve ingest server"},
 		{[]string{"-serve-for", "5s"}, "bounds a -serve run"},
-		{[]string{"-connect", "127.0.0.1:9"}, "combine it with -fleet, -devices or -scale"},
+		{[]string{"-serve", "127.0.0.1:0", "-saturate"}, "measures from the client side"},
+		{[]string{"-ring-slots", "128"}, "tune the -serve ingest server"},
+		{[]string{"-ingest-pipeline=false"}, "tune the -serve ingest server"},
+		{[]string{"-serve", "127.0.0.1:0", "-ring-slots", "0"}, "-ring-slots must be at least 1"},
+		{[]string{"-serve", "127.0.0.1:0", "-ring-batch", "0"}, "-ring-batch must be at least 1"},
+		{[]string{"-serve", "127.0.0.1:0", "-ring-policy", "shed"}, "must be block or drop"},
+		{[]string{"-saturate", "-fleet", "2"}, "cannot be combined with -fleet or the scale flags"},
+		{[]string{"-saturate", "-bench-json", "x.json"}, "run them one at a time"},
+		{[]string{"-saturate", "-metrics"}, "ingest throughput only"},
+		{[]string{"-saturate", "-run", "F3"}, "-saturate does not run it"},
+		{[]string{"-conns", "4"}, "parameterise a -saturate run"},
+		{[]string{"-saturate-json", "x.json"}, "parameterise a -saturate run"},
+		{[]string{"-saturate", "-conns", "0"}, "counts must be at least 1"},
+		{[]string{"-saturate", "-conns", "128"}, "would leave some idle"},
+		{[]string{"-saturate", "-saturate-duration", "3s"}, "load generator"},
+		{[]string{"-saturate", "-connect", "127.0.0.1:9", "-saturate-json", "x.json"}, "cannot measure it"},
+		{[]string{"-saturate", "-connect", "127.0.0.1:9", "-saturate-shards", "2"}, "picks its own shard count"},
+		{[]string{"-saturate", "-connect", "127.0.0.1:9", "-conns", "1,2"}, "single load-generator connection count"},
+		{[]string{"-connect", "127.0.0.1:9"}, "combine it with -fleet, -devices, -scale or -saturate"},
 		{[]string{"-connect", "127.0.0.1:9", "-devices", "100", "-scale-json", "x.json"}, "cannot stream to -connect"},
 		{[]string{"-connect", "127.0.0.1:9", "-fleet", "4", "-reliable"}, "acks cannot cross the -connect byte stream"},
 		{[]string{"-fleet", "2", "-run", "F3"}, "-run selects experiments"},

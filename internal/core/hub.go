@@ -234,6 +234,29 @@ func (h *Hub) Consume(m rf.Message, at time.Duration) {
 	s.Consume(m, at)
 }
 
+// ConsumeBatch routes a batch of already-decoded messages at one timestamp.
+// It is the single-writer drain path for a pipelined ingest tier: the
+// routing table is loaded once per batch instead of once per message, and is
+// only re-loaded after an unknown device forces a registration. The optional
+// pre hook runs before each message is consumed, with the resolved session —
+// the gateway uses it to record the ingest trace hop without a second table
+// lookup. Same concurrency contract as Consume: frames from any single
+// device must arrive in order (here, within and across batches).
+func (h *Hub) ConsumeBatch(ms []rf.Message, at time.Duration, pre func(*Session, rf.Message)) {
+	t := h.table.Load()
+	for _, m := range ms {
+		s := t.lookup(m.Device)
+		if s == nil {
+			s = h.Session(m.Device)
+			t = h.table.Load()
+		}
+		if pre != nil {
+			pre(s, m)
+		}
+		s.Consume(m, at)
+	}
+}
+
 // Stats aggregates the per-device session counters.
 func (h *Hub) Stats() HubStats {
 	sessions := h.sessionsInOrder()

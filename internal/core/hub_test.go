@@ -144,6 +144,61 @@ func TestHubConcurrentHandleIsSafe(t *testing.T) {
 	}
 }
 
+// TestHubConsumeBatchMatchesSequentialConsume pins the batch drain path
+// equivalent to message-at-a-time Consume: identical per-device accounting,
+// sessions auto-created mid-batch, and the pre hook fired once per message
+// with the session the message actually routed to.
+func TestHubConsumeBatchMatchesSequentialConsume(t *testing.T) {
+	mkBatch := func() []rf.Message {
+		var ms []rf.Message
+		// Interleave three devices, one of them (77) unknown until mid-batch,
+		// with a seq gap on device 2 to exercise the loss accounting.
+		for seq := uint16(0); seq < 4; seq++ {
+			ms = append(ms, rf.Message{Kind: rf.MsgScroll, Device: 1, Seq: seq})
+			if seq != 1 && seq != 2 { // device 2 drops seq 1..2
+				ms = append(ms, rf.Message{Kind: rf.MsgHeartbeat, Device: 2, Seq: seq})
+			}
+			if seq >= 2 {
+				ms = append(ms, rf.Message{Kind: rf.MsgScroll, Device: 77, Seq: seq - 2})
+			}
+		}
+		return ms
+	}
+
+	batched, sequential := NewHub(false), NewHub(false)
+	batched.Session(1) // device 1 known up front; 2 and 77 created on demand
+	sequential.Session(1)
+
+	var preCalls int
+	ms := mkBatch()
+	batched.ConsumeBatch(ms, 5*time.Millisecond, func(s *Session, m rf.Message) {
+		if s == nil || s.Device() != m.Device {
+			t.Errorf("pre hook: session %v for message device %d", s, m.Device)
+		}
+		preCalls++
+	})
+	for _, m := range mkBatch() {
+		sequential.Consume(m, 5*time.Millisecond)
+	}
+
+	if preCalls != len(ms) {
+		t.Fatalf("pre hook ran %d times for %d messages", preCalls, len(ms))
+	}
+	if got, want := batched.Stats(), sequential.Stats(); got != want {
+		t.Fatalf("batch stats %+v, sequential %+v", got, want)
+	}
+	for _, id := range []uint32{1, 2, 77} {
+		got, ok1 := batched.DeviceStats(id)
+		want, ok2 := sequential.DeviceStats(id)
+		if !ok1 || !ok2 || got != want {
+			t.Fatalf("device %d: batch %+v (%v), sequential %+v (%v)", id, got, ok1, want, ok2)
+		}
+	}
+	if st, _ := batched.DeviceStats(2); st.MissedSeq != 2 {
+		t.Fatalf("device 2 missed = %d, want 2", st.MissedSeq)
+	}
+}
+
 func TestPerDeviceStatsSorted(t *testing.T) {
 	h := NewHub(false)
 	h.Handle(frame(t, 9, 0, rf.MsgHeartbeat), 0)

@@ -74,6 +74,29 @@ func (c *Conn) Forward(payload []byte) error { return c.write(payload, true) }
 // bulk uplink for scale runs, paired with Flush once per sweep.
 func (c *Conn) Send(payload []byte) error { return c.write(payload, false) }
 
+// SendEncoded hands n already-framed payloads (encoded with
+// rf.AppendEncode into one contiguous buffer) to the write buffer
+// without flushing. It is the amortised bulk uplink: the caller frames
+// outside the lock, so the critical section is one memcpy into the
+// bufio.Writer instead of n CRC passes — senders sharing a connection
+// stop serialising on each other's encode work.
+func (c *Conn) SendEncoded(frames []byte, n int) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if _, err := c.w.Write(frames); err != nil {
+		c.err = err
+		return err
+	}
+	c.sent += uint64(n)
+	return nil
+}
+
 // Flush drains the write buffer to the socket.
 func (c *Conn) Flush() error {
 	c.mu.Lock()
@@ -148,16 +171,25 @@ func (r *Remote) Err() error { return r.conn.Err() }
 
 // FrameSender adapts a connection to the scale path's frame emission
 // hook (core.FrameEmitter): each emitted slab frame is marshalled as a
-// v1 scroll message and buffered onto the connection; the worker flushes
-// once per stripe sweep. One FrameSender per worker, on the worker's own
-// connection — emission is single-goroutine, so the marshal scratch
-// needs no lock.
+// v1 scroll message and framed into the sender's own accumulation
+// buffer — entirely outside the connection mutex — then handed to the
+// connection in multi-frame runs via SendEncoded, so the lock is held
+// for a memcpy, not per-frame encode work. One FrameSender per worker,
+// on the worker's own connection — emission is single-goroutine, so the
+// scratch buffers need no lock.
 type FrameSender struct {
 	conn *Conn
 	base uint32
-	pbuf []byte
+	pbuf []byte // one message's marshal scratch
+	wbuf []byte // framed bytes accumulated since the last push
+	wn   int    // frames accumulated in wbuf
 	err  error
 }
+
+// senderFlushBytes is the accumulation threshold: push framed bytes to
+// the connection once ~32 KiB (about 1300 frames) have built up, keeping
+// the buffer L1/L2-resident while amortising the lock to ~nothing.
+const senderFlushBytes = 32 << 10
 
 // NewFrameSender returns a sender mapping slab slot s to wire device id
 // idBase + s.
@@ -165,9 +197,10 @@ func NewFrameSender(conn *Conn, idBase uint32) *FrameSender {
 	return &FrameSender{conn: conn, base: idBase}
 }
 
-// Emit marshals and buffers one frame. After the first stream error
-// emission goes dark rather than panicking the tick loop; the error
-// surfaces from Flush.
+// Emit marshals and frames one message into the accumulation buffer,
+// pushing to the connection when the threshold is reached. After the
+// first stream error emission goes dark rather than panicking the tick
+// loop; the error surfaces from Flush.
 func (fs *FrameSender) Emit(slot int, seq uint16, island int16, atMillis uint32) {
 	if fs.err != nil {
 		return
@@ -181,12 +214,32 @@ func (fs *FrameSender) Emit(slot int, seq uint16, island int16, atMillis uint32)
 		Island:   island,
 	}
 	fs.pbuf = m.AppendBinary(fs.pbuf[:0])
-	fs.err = fs.conn.Send(fs.pbuf)
+	wbuf, err := rf.AppendEncode(fs.wbuf, fs.pbuf)
+	if err != nil {
+		fs.err = err
+		return
+	}
+	fs.wbuf = wbuf
+	fs.wn++
+	if len(fs.wbuf) >= senderFlushBytes {
+		fs.push()
+	}
 }
 
-// Flush drains buffered frames to the socket and returns the first
-// stream error, if any.
+// push hands the accumulated framed bytes to the connection.
+func (fs *FrameSender) push() {
+	if fs.err != nil || fs.wn == 0 {
+		return
+	}
+	fs.err = fs.conn.SendEncoded(fs.wbuf, fs.wn)
+	fs.wbuf = fs.wbuf[:0]
+	fs.wn = 0
+}
+
+// Flush pushes any accumulated frames, drains the connection's write
+// buffer to the socket, and returns the first stream error, if any.
 func (fs *FrameSender) Flush() error {
+	fs.push()
 	if fs.err != nil {
 		return fs.err
 	}

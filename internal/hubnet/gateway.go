@@ -21,6 +21,7 @@
 package hubnet
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,7 +53,47 @@ type Config struct {
 	// device's own virtual arrival time is passed through instead, which
 	// is what keeps loopback runs deterministic.
 	Now func() time.Duration
+	// Pipeline enables the decode-route-consume ingest pipeline:
+	// connection goroutines still do batched reads and zero-alloc frame
+	// decode, but decoded messages are handed off in batches to per-shard
+	// bounded MPSC rings, each drained by one dedicated worker goroutine
+	// that owns its hub shard outright — session consume and the ingest
+	// trace hop become single-writer, and the edge counters advance once
+	// per batch instead of once per frame. Off by default: the direct
+	// path consumes synchronously on the connection goroutine, exactly as
+	// before. Loopback ingest always runs direct regardless of this flag;
+	// its determinism contract requires synchronous consume.
+	Pipeline bool
+	// RingSlots sets each shard ring's capacity in batches (rounded up to
+	// a power of two; <= 0 means 256). Capacity × BatchFrames bounds the
+	// messages a shard can have in flight.
+	RingSlots int
+	// BatchFrames caps the messages per hand-off batch (<= 0 means 64).
+	// Larger batches amortise ring and counter traffic further at the
+	// cost of per-frame latency under trickle loads; partial batches
+	// flush at the end of every read chunk, so latency is bounded by the
+	// read cadence either way.
+	BatchFrames int
+	// OnFull picks the backpressure policy when a shard ring fills:
+	// BlockOnFull (default) parks the connection goroutine until the
+	// worker catches up — no loss, TCP backpressure propagates to
+	// senders; DropOnFull sheds the batch and advances the ring drop
+	// counter — bounded ingest latency for best-effort telemetry.
+	OnFull FullPolicy
 }
+
+// FullPolicy selects what an ingest pipeline does when a shard ring is
+// full.
+type FullPolicy int
+
+const (
+	// BlockOnFull blocks the producing connection goroutine until ring
+	// space frees up (lossless backpressure).
+	BlockOnFull FullPolicy = iota
+	// DropOnFull sheds the whole batch and counts it in RingDropped
+	// (bounded latency, best-effort delivery).
+	DropOnFull
+)
 
 // Gateway is the shared ingest core: N hub shards plus the wire-edge
 // decode accounting. It is safe for concurrent use by any number of
@@ -66,14 +107,33 @@ type Gateway struct {
 	// Wire-edge accounting. badFrames mirrors the in-process hub's
 	// counter (payloads that failed Message decode); the rest describe
 	// the network edge itself.
-	badFrames   atomic.Uint64
-	connsTotal  atomic.Uint64
-	connsOpen   atomic.Int64
-	bytesRead   atomic.Uint64
-	frames      atomic.Uint64
-	shortReads  atomic.Uint64
-	resyncs     atomic.Uint64
-	shardFrames []atomic.Uint64
+	badFrames     atomic.Uint64
+	connsTotal    atomic.Uint64
+	connsOpen     atomic.Int64
+	bytesRead     atomic.Uint64
+	frames        atomic.Uint64
+	shortReads    atomic.Uint64
+	resyncs       atomic.Uint64
+	acceptRetries atomic.Uint64
+	shardFrames   []atomic.Uint64
+
+	// Pipeline state (nil/zero when Config.Pipeline is off): one ring and
+	// one worker per shard, plus shutdown plumbing.
+	pipeline    bool
+	batchFrames int
+	blockOnFull bool
+	rings       []*ring
+	workers     []shardWorker
+	done        chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+// shardWorker is the single-writer drain state for one shard: the worker
+// goroutine is the only toucher, so the fields need no synchronisation.
+type shardWorker struct {
+	at  time.Duration                   // current batch's arrival stamp
+	pre func(*core.Session, rf.Message) // trace-hop hook, built once
 }
 
 // NetStats is the gateway's network-edge accounting.
@@ -93,10 +153,23 @@ type NetStats struct {
 	// sync after corruption.
 	ShortReads uint64
 	Resyncs    uint64
+	// AcceptRetries counts transient Accept errors the server retried
+	// (e.g. EMFILE under descriptor pressure) instead of shutting down.
+	AcceptRetries uint64
+	// Ring counters (zero unless the ingest pipeline is on): batches
+	// handed off to shard rings, enqueue calls that blocked on a full
+	// ring, batches shed by the drop policy, and the occupied slots
+	// summed across rings at the instant of the stats read.
+	RingBatches uint64
+	RingStalls  uint64
+	RingDropped uint64
+	RingDepth   uint64
 }
 
 // NewGateway builds the shard array. With cfg.Registry set it registers
-// the aggregating collector.
+// the aggregating collector. With cfg.Pipeline set it also builds the
+// per-shard rings and starts one worker goroutine per shard; a pipelined
+// gateway must be Closed to stop them.
 func NewGateway(cfg Config) *Gateway {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
@@ -109,6 +182,9 @@ func NewGateway(cfg Config) *Gateway {
 	g.shardFrames = make([]atomic.Uint64, cfg.Shards)
 	if cfg.Registry != nil {
 		cfg.Registry.RegisterCollector(g.collect)
+	}
+	if cfg.Pipeline {
+		g.startPipeline(cfg)
 	}
 	return g
 }
@@ -134,7 +210,7 @@ func (g *Gateway) Consume(m rf.Message, at time.Duration) {
 	g.shardFrames[sh].Add(1)
 	s := g.shards[sh].Session(m.Device)
 	if rec := s.Tracer(); rec != nil {
-		rec.Record(tracing.HopNetIngest, m.Seq, at, m.AtMillis, uint32(sh))
+		rec.Record(tracing.HopNetIngest, m.Seq, at, m.AtMillis, tracing.PackNetIngest(sh, false))
 	}
 	s.Consume(m, at)
 }
@@ -182,15 +258,23 @@ func (g *Gateway) ShardStats() []core.HubStats {
 
 // NetStats returns the network-edge accounting.
 func (g *Gateway) NetStats() NetStats {
-	return NetStats{
-		ConnsTotal: g.connsTotal.Load(),
-		ConnsOpen:  g.connsOpen.Load(),
-		BytesRead:  g.bytesRead.Load(),
-		Frames:     g.frames.Load(),
-		BadFrames:  g.badFrames.Load(),
-		ShortReads: g.shortReads.Load(),
-		Resyncs:    g.resyncs.Load(),
+	ns := NetStats{
+		ConnsTotal:    g.connsTotal.Load(),
+		ConnsOpen:     g.connsOpen.Load(),
+		BytesRead:     g.bytesRead.Load(),
+		Frames:        g.frames.Load(),
+		BadFrames:     g.badFrames.Load(),
+		ShortReads:    g.shortReads.Load(),
+		Resyncs:       g.resyncs.Load(),
+		AcceptRetries: g.acceptRetries.Load(),
 	}
+	for _, r := range g.rings {
+		ns.RingBatches += r.batches.Load()
+		ns.RingStalls += r.stalls.Load()
+		ns.RingDropped += r.drops.Load()
+		ns.RingDepth += r.depth()
+	}
+	return ns
 }
 
 // collect is the gateway's single registered collector: every shard
@@ -217,6 +301,25 @@ func (g *Gateway) collect(snap *telemetry.Snapshot) {
 	snap.AddCounter(telemetry.MetricNetBadFrames, g.badFrames.Load())
 	snap.AddCounter(telemetry.MetricNetShortReads, g.shortReads.Load())
 	snap.AddCounter(telemetry.MetricNetResyncs, g.resyncs.Load())
+	snap.AddCounter(telemetry.MetricNetAcceptRetries, g.acceptRetries.Load())
+	if g.pipeline {
+		snap.SetGauge(telemetry.MetricNetPipeline, 1)
+		var depth, batches, stalls, drops uint64
+		for i, r := range g.rings {
+			depth += r.depth()
+			batches += r.batches.Load()
+			stalls += r.stalls.Load()
+			drops += r.drops.Load()
+			snap.SetGauge(telemetry.ShardName(telemetry.MetricNetRingDepth, i), float64(r.depth()))
+			snap.AddCounter(telemetry.ShardName(telemetry.MetricNetRingBatches, i), r.batches.Load())
+		}
+		snap.SetGauge(telemetry.MetricNetRingDepth, float64(depth))
+		snap.AddCounter(telemetry.MetricNetRingBatches, batches)
+		snap.AddCounter(telemetry.MetricNetRingStalls, stalls)
+		snap.AddCounter(telemetry.MetricNetRingDropped, drops)
+	} else {
+		snap.SetGauge(telemetry.MetricNetPipeline, 0)
+	}
 }
 
 // Ingest is one byte stream's decode state: a frame decoder plus resync
@@ -233,12 +336,42 @@ type Ingest struct {
 
 	lastResyncs uint64
 	lastCRC     uint64
+
+	// Pipeline staging (nil on a direct gateway): one pending batch per
+	// shard, enqueued when full and flushed at the end of every Feed, so
+	// a partial batch never outlives its read chunk. goodN/badN tally
+	// frame outcomes locally during a Feed and fold into the gateway
+	// counters once per chunk instead of once per frame.
+	pend  [][]rf.Message
+	goodN uint64
+	badN  uint64
 }
 
 // NewIngest returns a fresh per-stream ingest. now supplies arrival
 // timestamps per Feed call; nil stamps every frame at 0 (benchmarks).
 func (g *Gateway) NewIngest(now func() time.Duration) *Ingest {
 	in := &Ingest{gw: g, dec: rf.NewDecoder(), now: now}
+	if g.pipeline {
+		in.pend = make([][]rf.Message, len(g.shards))
+		for i := range in.pend {
+			in.pend[i] = make([]rf.Message, 0, g.batchFrames)
+		}
+		in.onPayload = func(p []byte) {
+			in.goodN++
+			var m rf.Message
+			if !m.Decode(p) {
+				in.badN++
+				return
+			}
+			sh := g.ShardFor(m.Device)
+			in.pend[sh] = append(in.pend[sh], m)
+			if len(in.pend[sh]) == cap(in.pend[sh]) {
+				g.rings[sh].enqueue(in.pend[sh], in.at, g.blockOnFull)
+				in.pend[sh] = in.pend[sh][:0]
+			}
+		}
+		return in
+	}
 	in.onPayload = func(p []byte) {
 		g.frames.Add(1)
 		var m rf.Message
@@ -262,6 +395,22 @@ func (in *Ingest) Feed(data []byte) {
 		in.at = in.now()
 	}
 	in.dec.FeedFunc(data, in.onPayload)
+	if in.pend != nil {
+		for sh := range in.pend {
+			if len(in.pend[sh]) > 0 {
+				in.gw.rings[sh].enqueue(in.pend[sh], in.at, in.gw.blockOnFull)
+				in.pend[sh] = in.pend[sh][:0]
+			}
+		}
+		if in.goodN > 0 {
+			in.gw.frames.Add(in.goodN)
+			in.goodN = 0
+		}
+		if in.badN > 0 {
+			in.gw.badFrames.Add(in.badN)
+			in.badN = 0
+		}
+	}
 	st := in.dec.Stats()
 	if d := st.Resyncs - in.lastResyncs; d > 0 {
 		in.gw.resyncs.Add(d)

@@ -35,7 +35,13 @@ type loopIngest struct {
 }
 
 // NewLoopback builds a gateway and wires the loopback ingest onto it.
+// The ingest pipeline is forced off regardless of cfg.Pipeline: loopback's
+// whole point is that a frame is consumed synchronously at the device's
+// own virtual arrival time, and a ring hand-off to a worker goroutine
+// would trade that byte-identity for nothing (there is no socket and no
+// cross-connection contention to hide).
 func NewLoopback(cfg Config) *Loopback {
+	cfg.Pipeline = false
 	return &Loopback{gw: NewGateway(cfg)}
 }
 

@@ -1,0 +1,226 @@
+package hubnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// TestConcurrentIngestOneShardAccounting is the hot-shard audit: 16
+// connections all carrying devices that route to the same shard, driven
+// concurrently over real TCP, with and without the pipeline. Every
+// counter layer — NetStats at the wire edge, ShardStats at the hub
+// partition, per-device HostStats — must add up exactly; the pipeline
+// must neither lose nor double-count a frame when 16 producers contend
+// for one ring and one worker. Run under -race this also proves the
+// hand-off's memory safety.
+func TestConcurrentIngestOneShardAccounting(t *testing.T) {
+	const (
+		shards   = 4
+		conns    = 16
+		frames   = 500
+		hotShard = 1
+	)
+	for _, pipelined := range []bool{false, true} {
+		t.Run(fmt.Sprintf("pipeline=%v", pipelined), func(t *testing.T) {
+			srv, err := Serve("127.0.0.1:0", Config{
+				Shards:   shards,
+				Pipeline: pipelined,
+				// A small ring with blocking backpressure so the 16
+				// producers actually contend and stall against the single
+				// worker rather than gliding through an oversized buffer.
+				RingSlots:   8,
+				BatchFrames: 16,
+				OnFull:      BlockOnFull,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gw := srv.Gateway()
+			if gw.Pipelined() != pipelined {
+				t.Fatalf("Pipelined() = %v", gw.Pipelined())
+			}
+
+			// Device ids ≡ hotShard (mod shards) all land on one shard.
+			devs := make([]uint32, conns)
+			for i := range devs {
+				devs[i] = uint32(hotShard + shards*(i+1))
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, conns)
+			for _, dev := range devs {
+				wg.Add(1)
+				go func(dev uint32) {
+					defer wg.Done()
+					c, err := Dial(srv.Addr().String())
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer c.Close()
+					wire := stream(t, []uint32{dev}, frames)
+					// Chunked sends so server reads end mid-frame and the
+					// decoder's carry-over path runs under contention too.
+					for off := 0; off < len(wire); off += 1000 {
+						end := off + 1000
+						if end > len(wire) {
+							end = len(wire)
+						}
+						if err := c.SendEncoded(wire[off:end], 0); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- c.Flush()
+				}(dev)
+			}
+			wg.Wait()
+			for i := 0; i < conns; i++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// The senders have flushed but the server drains async: wait
+			// for the full frame count, then Close (which drains any
+			// pipelined remainder) before auditing.
+			deadline := time.Now().Add(10 * time.Second)
+			for gw.NetStats().Frames < conns*frames && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			ns := gw.NetStats()
+			if ns.Frames != conns*frames || ns.BadFrames != 0 {
+				t.Fatalf("net: %d frames (%d bad), want %d (0)", ns.Frames, ns.BadFrames, conns*frames)
+			}
+			if ns.ConnsTotal != conns {
+				t.Fatalf("net: %d conns, want %d", ns.ConnsTotal, conns)
+			}
+			if ns.RingDropped != 0 || ns.RingDepth != 0 {
+				t.Fatalf("ring: %d dropped, depth %d after close", ns.RingDropped, ns.RingDepth)
+			}
+			if pipelined && ns.RingBatches == 0 {
+				t.Fatal("pipelined run recorded no ring batches")
+			}
+			if !pipelined && ns.RingBatches != 0 {
+				t.Fatalf("direct run recorded %d ring batches", ns.RingBatches)
+			}
+
+			for i, st := range gw.ShardStats() {
+				switch i {
+				case hotShard:
+					if st.Devices != conns || st.Decoded != conns*frames || st.MissedSeq != 0 {
+						t.Fatalf("hot shard: %+v", st)
+					}
+				default:
+					if st.Devices != 0 || st.Decoded != 0 {
+						t.Fatalf("cold shard %d: %+v", i, st)
+					}
+				}
+			}
+			for _, dev := range devs {
+				st, ok := gw.DeviceStats(dev)
+				if !ok || st.Decoded != frames || st.MissedSeq != 0 || st.Duplicates != 0 {
+					t.Fatalf("device %d: %+v ok=%v", dev, st, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineDropPolicySheds pins the drop policy end to end: a gateway
+// whose single-slot ring cannot absorb a burst must shed whole batches,
+// count them in RingDropped, and stay consistent — frames either reach
+// their session or are accounted as dropped, never half-consumed.
+func TestPipelineDropPolicySheds(t *testing.T) {
+	gw := NewGateway(Config{
+		Shards:      1,
+		Pipeline:    true,
+		RingSlots:   1,
+		BatchFrames: 8,
+		OnFull:      DropOnFull,
+	})
+	defer gw.Close()
+
+	in := gw.NewIngest(nil)
+	wire := stream(t, []uint32{3}, 4096)
+	in.Feed(wire)
+	gw.Drain()
+
+	ns := gw.NetStats()
+	consumed := gw.Stats().Decoded
+	if ns.Frames != 4096 {
+		t.Fatalf("net frames = %d, want 4096", ns.Frames)
+	}
+	// With one slot against 512 batches some must shed; every batch is
+	// exactly BatchFrames (4096 divides evenly), so consumed plus dropped
+	// must reconstruct the wire total.
+	if ns.RingDropped == 0 {
+		t.Fatal("no batches dropped through a 1-slot ring")
+	}
+	if got := consumed + ns.RingDropped*8; got != 4096 {
+		t.Fatalf("consumed %d + dropped %d batches × 8 = %d, want 4096", consumed, ns.RingDropped, got)
+	}
+	if ns.RingStalls != 0 {
+		t.Fatalf("drop policy stalled %d times", ns.RingStalls)
+	}
+}
+
+// TestGatewayCloseDrainsRings pins the shutdown contract: batches handed
+// off before Close are consumed, not abandoned — a server summary printed
+// after Close sees every frame the wire delivered.
+func TestGatewayCloseDrainsRings(t *testing.T) {
+	gw := NewGateway(Config{Shards: 2, Pipeline: true})
+	in := gw.NewIngest(nil)
+	in.Feed(stream(t, []uint32{1}, 300))
+	in.Feed(stream(t, []uint32{2}, 300))
+	gw.Close() // no Drain: Close itself must finish the work
+	if st := gw.Stats(); st.Decoded != 600 || st.Devices != 2 {
+		t.Fatalf("after close: %+v", st)
+	}
+	gw.Close() // idempotent
+}
+
+// TestPipelineIngestZeroAlloc enforces the tentpole's steady-state
+// allocation contract across the WHOLE pipelined path: decode, batch
+// staging, ring hand-off, worker consume. AllocsPerRun counts mallocs
+// process-wide, so the shard workers' consumption is inside the
+// measurement — a single per-batch or per-frame allocation anywhere in
+// the pipeline fails the pin.
+func TestPipelineIngestZeroAlloc(t *testing.T) {
+	gw := NewGateway(Config{Shards: 4, Pipeline: true})
+	defer gw.Close()
+	in := gw.NewIngest(nil)
+	wire := make([]byte, 0, 64*30)
+	var pbuf []byte
+	for dev := uint32(1); dev <= 64; dev++ {
+		m := rf.Message{Kind: rf.MsgScroll, Device: dev, Seq: 0, AtMillis: 16}
+		pbuf = m.AppendBinary(pbuf[:0])
+		var err error
+		wire, err = rf.AppendEncode(wire, pbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: sessions register, rings and timers touch their first
+	// allocations, decoder scratch grows to steady state.
+	for i := 0; i < 8; i++ {
+		in.Feed(wire)
+	}
+	gw.Drain()
+	if n := testing.AllocsPerRun(500, func() {
+		in.Feed(wire)
+		gw.Drain()
+	}); n != 0 {
+		t.Fatalf("pipelined ingest: %v allocs/op, want 0", n)
+	}
+	if st := gw.Stats(); st.BadFrames != 0 || st.Decoded == 0 {
+		t.Fatalf("stats after run: %+v", st)
+	}
+}

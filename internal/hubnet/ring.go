@@ -1,0 +1,135 @@
+package hubnet
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+// ring is a bounded multi-producer single-consumer queue of message
+// batches — the hand-off between connection decoders and a shard worker.
+// It is a Vyukov-style sequence ring: every slot carries an atomic
+// sequence number that encodes whose turn the slot is (producer when
+// seq == position, consumer when seq == position+1), so producers
+// coordinate only on the head counter CAS and the single consumer runs
+// with a plain, uncontended tail. Slots own preallocated message buffers
+// sized to the gateway's batch limit; an enqueue copies messages into the
+// slot, so producers can reuse their staging buffers immediately and the
+// steady state allocates nothing.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+
+	head atomic.Uint64 // next slot producers will claim
+	tail uint64        // next slot the consumer will read; consumer-only
+
+	// notify wakes the consumer after a publish. Capacity 1: a token in
+	// flight already guarantees the consumer will rescan, so producers
+	// never block here.
+	notify chan struct{}
+
+	batches  atomic.Uint64 // batches ever enqueued
+	consumed atomic.Uint64 // batches fully consumed and released
+	stalls   atomic.Uint64 // enqueue calls that blocked on a full ring
+	drops    atomic.Uint64 // batches shed by the drop policy
+}
+
+// ringSlot is one batch in flight: the arrival timestamp shared by the
+// whole batch (frames decoded from one read chunk arrive together) plus
+// the copied messages.
+type ringSlot struct {
+	seq  atomic.Uint64
+	at   time.Duration
+	n    int
+	msgs []rf.Message
+}
+
+// newRing builds a ring of `slots` entries (rounded up to a power of
+// two, minimum 2), each able to carry up to `batch` messages. Capacity 1
+// is unrepresentable in a sequence ring: a slot published at position p
+// carries seq p+1, which is exactly the "free" seq for position p+1 —
+// with a single slot those are the same slot, so a producer would
+// overwrite the unconsumed batch and strand the consumer.
+func newRing(slots, batch int) *ring {
+	n := 2
+	for n < slots {
+		n <<= 1
+	}
+	r := &ring{
+		mask:   uint64(n - 1),
+		slots:  make([]ringSlot, n),
+		notify: make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+		r.slots[i].msgs = make([]rf.Message, batch)
+	}
+	return r
+}
+
+// depth returns the number of batches enqueued but not yet consumed.
+func (r *ring) depth() uint64 { return r.batches.Load() - r.consumed.Load() }
+
+// enqueue copies a batch into the ring and wakes the consumer. With
+// block set a full ring is backpressure: the producer spins (yielding)
+// until the consumer frees a slot, counting one stall per blocked call.
+// Without it a full ring sheds the batch: enqueue returns false and the
+// drop counter advances — the caller already decoded the frames, so the
+// shed is visible as ring drops, not CRC errors.
+func (r *ring) enqueue(msgs []rf.Message, at time.Duration, block bool) bool {
+	stalled := false
+	for {
+		pos := r.head.Load()
+		slot := &r.slots[pos&r.mask]
+		switch seq := slot.seq.Load(); {
+		case seq == pos:
+			if !r.head.CompareAndSwap(pos, pos+1) {
+				continue // lost the claim race; retry at the new head
+			}
+			slot.at = at
+			slot.n = copy(slot.msgs, msgs)
+			slot.seq.Store(pos + 1)
+			r.batches.Add(1)
+			select {
+			case r.notify <- struct{}{}:
+			default:
+			}
+			return true
+		case seq < pos: // the slot one lap back is still unconsumed: full
+			if !block {
+				r.drops.Add(1)
+				return false
+			}
+			if !stalled {
+				stalled = true
+				r.stalls.Add(1)
+			}
+			runtime.Gosched()
+		default:
+			// Another producer claimed this slot and has not published
+			// yet; the head has moved, retry against it.
+		}
+	}
+}
+
+// tryDequeue returns the next published slot, or nil when the ring is
+// empty. Consumer-only. The caller must release the slot when done.
+func (r *ring) tryDequeue() *ringSlot {
+	slot := &r.slots[r.tail&r.mask]
+	if slot.seq.Load() != r.tail+1 {
+		return nil
+	}
+	return slot
+}
+
+// release returns a dequeued slot to the producers: the sequence jumps a
+// full lap ahead so the slot becomes claimable at head == tail+capacity.
+// Consumed advances only here, after the batch was fully processed, so
+// depth()==0 means every enqueued message has been consumed.
+func (r *ring) release(slot *ringSlot) {
+	slot.seq.Store(r.tail + r.mask + 1)
+	r.tail++
+	r.consumed.Add(1)
+}

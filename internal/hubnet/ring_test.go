@@ -1,0 +1,174 @@
+package hubnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/rf"
+)
+
+func msgs(dev uint32, seqs ...uint16) []rf.Message {
+	out := make([]rf.Message, len(seqs))
+	for i, s := range seqs {
+		out[i] = rf.Message{Kind: rf.MsgScroll, Device: dev, Seq: s}
+	}
+	return out
+}
+
+// drainOne pops one batch or fails.
+func drainOne(t *testing.T, r *ring) []rf.Message {
+	t.Helper()
+	slot := r.tryDequeue()
+	if slot == nil {
+		t.Fatal("ring empty")
+	}
+	out := append([]rf.Message(nil), slot.msgs[:slot.n]...)
+	r.release(slot)
+	return out
+}
+
+// TestRingFIFO pins single-producer order: batches come out in the order
+// they went in, message-complete, across several laps of the ring so the
+// wraparound sequencing is exercised.
+func TestRingFIFO(t *testing.T) {
+	r := newRing(4, 8) // tiny ring: 3 laps in 12 batches
+	for seq := uint16(0); seq < 12; seq++ {
+		if !r.enqueue(msgs(7, seq, seq+100), 0, true) {
+			t.Fatalf("enqueue %d failed", seq)
+		}
+		got := drainOne(t, r)
+		if len(got) != 2 || got[0].Seq != seq || got[1].Seq != seq+100 {
+			t.Fatalf("batch %d: %+v", seq, got)
+		}
+	}
+	if d := r.depth(); d != 0 {
+		t.Fatalf("depth %d after drain", d)
+	}
+}
+
+// TestRingDropPolicy pins the full-ring behaviour without backpressure:
+// enqueue returns false, the batch is shed, and the drop counter
+// advances — while the batches already in the ring survive intact.
+func TestRingDropPolicy(t *testing.T) {
+	r := newRing(2, 4)
+	if !r.enqueue(msgs(1, 0), 0, false) || !r.enqueue(msgs(1, 1), 0, false) {
+		t.Fatal("fill failed")
+	}
+	if r.enqueue(msgs(1, 2), 0, false) {
+		t.Fatal("enqueue into a full ring succeeded")
+	}
+	if r.drops.Load() != 1 {
+		t.Fatalf("drops = %d, want 1", r.drops.Load())
+	}
+	if got := drainOne(t, r); got[0].Seq != 0 {
+		t.Fatalf("first batch after drop: %+v", got)
+	}
+	if got := drainOne(t, r); got[0].Seq != 1 {
+		t.Fatalf("second batch after drop: %+v", got)
+	}
+	if !r.enqueue(msgs(1, 3), 0, false) {
+		t.Fatal("enqueue after drain failed")
+	}
+}
+
+// TestRingBlockPolicy pins backpressure: a producer against a full ring
+// parks (counting one stall) and completes once the consumer frees a
+// slot; nothing is lost.
+func TestRingBlockPolicy(t *testing.T) {
+	r := newRing(2, 4)
+	r.enqueue(msgs(1, 0), 0, true)
+	r.enqueue(msgs(1, 1), 0, true)
+
+	unblocked := make(chan struct{})
+	go func() {
+		r.enqueue(msgs(1, 2), 0, true) // blocks until a slot frees
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("enqueue did not block on a full ring")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := drainOne(t, r); got[0].Seq != 0 {
+		t.Fatalf("drained %+v", got)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer never unblocked")
+	}
+	if r.stalls.Load() == 0 {
+		t.Fatal("blocked enqueue did not count a stall")
+	}
+	if r.drops.Load() != 0 {
+		t.Fatalf("block policy dropped %d batches", r.drops.Load())
+	}
+	if got := drainOne(t, r); got[0].Seq != 1 {
+		t.Fatalf("drained %+v", got)
+	}
+	if got := drainOne(t, r); got[0].Seq != 2 {
+		t.Fatalf("drained %+v", got)
+	}
+}
+
+// TestRingConcurrentProducers hammers one ring from many producers under
+// the race detector: every message enqueued is consumed exactly once,
+// and each producer's own messages arrive in its send order (the MPSC
+// contract the per-device FIFO rides on).
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const batches = 200
+	r := newRing(8, 4) // small ring so producers constantly block
+
+	got := make(map[uint32][]uint16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		total := 0
+		for total < producers*batches {
+			slot := r.tryDequeue()
+			if slot == nil {
+				select {
+				case <-r.notify:
+				case <-time.After(2 * time.Second):
+					panic("consumer starved")
+				}
+				continue
+			}
+			for _, m := range slot.msgs[:slot.n] {
+				got[m.Device] = append(got[m.Device], m.Seq)
+			}
+			r.release(slot)
+			total++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(dev uint32) {
+			defer wg.Done()
+			for b := uint16(0); b < batches; b++ {
+				r.enqueue(msgs(dev, 2*b, 2*b+1), 0, true)
+			}
+		}(uint32(p))
+	}
+	wg.Wait()
+	<-done
+
+	if r.batches.Load() != producers*batches || r.consumed.Load() != producers*batches {
+		t.Fatalf("batches %d consumed %d", r.batches.Load(), r.consumed.Load())
+	}
+	for dev := uint32(0); dev < producers; dev++ {
+		seqs := got[dev]
+		if len(seqs) != 2*batches {
+			t.Fatalf("producer %d: %d messages", dev, len(seqs))
+		}
+		for i, s := range seqs {
+			if s != uint16(i) {
+				t.Fatalf("producer %d message %d out of order: seq %d", dev, i, s)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hubnet
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"sync"
 	"time"
@@ -31,6 +32,24 @@ type Server struct {
 // idle connections cost megabytes, not gigabytes.
 const readBuf = 64 << 10
 
+// Accept-retry backoff bounds: transient errors (EMFILE, ECONNABORTED)
+// back off from 5ms doubling to 1s, resetting after any successful
+// accept. A listener under descriptor pressure rides out the spike
+// instead of silently killing ingest for every future connection.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
+// Read-path pools, shared by all connections across all servers in the
+// process: a disconnect/reconnect churn of thousands of devices reuses
+// the 64 KiB bufio readers and 32 KiB chunk buffers instead of
+// re-allocating ~100 KB per connection.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, readBuf) }}
+	chunkPool  = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+)
+
 // Serve listens on addr (e.g. "127.0.0.1:0") and serves a fresh gateway
 // built from cfg until Close.
 func Serve(addr string, cfg Config) (*Server, error) {
@@ -38,6 +57,13 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ServeListener(ln, cfg), nil
+}
+
+// ServeListener serves a fresh gateway on an already-bound listener —
+// the injection point for tests that wrap a listener in fault models
+// (transient Accept errors) the kernel won't produce on demand.
+func ServeListener(ln net.Listener, cfg Config) *Server {
 	s := &Server{
 		gw:    NewGateway(cfg),
 		ln:    ln,
@@ -50,7 +76,7 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound listen address (resolves ":0" ports).
@@ -61,14 +87,25 @@ func (s *Server) Gateway() *Gateway { return s.gw }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := acceptBackoffMin
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
-			// Accept fails permanently once the listener closes; any
-			// transient error here would spin, so treat all errors as
-			// shutdown — the only caller of Serve's lifecycle is Close.
-			return
+			// Closed listener means shutdown. Anything else is treated as
+			// transient — an fd-exhausted or connection-aborted accept must
+			// not kill the listener for every future device — and retried
+			// with capped exponential backoff.
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.gw.acceptRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -84,9 +121,16 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // serveConn pumps one connection: batched reads, incremental decode,
-// shard routing. The stream needs no length-prefix protocol of its own —
-// the frame format is self-delimiting and self-healing.
+// shard routing (direct or via the shard rings per the gateway config).
+// The stream needs no length-prefix protocol of its own — the frame
+// format is self-delimiting and self-healing.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -97,8 +141,12 @@ func (s *Server) serveConn(c net.Conn) {
 		c.Close()
 	}()
 	in := s.gw.NewIngest(s.now)
-	br := bufio.NewReaderSize(c, readBuf)
-	buf := make([]byte, 32<<10)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(c)
+	defer readerPool.Put(br)
+	bufp := chunkPool.Get().(*[]byte)
+	buf := *bufp
+	defer chunkPool.Put(bufp)
 	for {
 		n, err := br.Read(buf)
 		if n > 0 {
@@ -110,8 +158,10 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
-// Close stops accepting, closes every open connection, and waits for the
-// per-connection goroutines to drain. Safe to call twice.
+// Close stops accepting, closes every open connection, waits for the
+// per-connection goroutines to drain, and then stops the gateway's
+// ingest pipeline (the shard workers drain their rings before exiting,
+// so stats read after Close are complete). Safe to call twice.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -129,5 +179,6 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	s.gw.Close()
 	return err
 }

@@ -101,6 +101,19 @@ const (
 	MetricNetShortReads = "net_short_reads_total"
 	MetricNetResyncs    = "net_decode_resyncs_total"
 	MetricNetShards     = "net_hub_shards"
+
+	// Ingest pipeline ring counters (internal/hubnet): the per-shard MPSC
+	// hand-off rings between connection decoders and the single-writer shard
+	// workers. Depth is occupied slots summed over rings at scrape time;
+	// stalls count block-on-full episodes, dropped counts batches shed under
+	// the drop policy. The pipeline gauge is 1 when the ring hand-off is
+	// active, 0 on the direct synchronous consume path.
+	MetricNetPipeline      = "net_ingest_pipeline"
+	MetricNetRingDepth     = "net_ring_depth"
+	MetricNetRingBatches   = "net_ring_batches_total"
+	MetricNetRingStalls    = "net_ring_stalls_total"
+	MetricNetRingDropped   = "net_ring_dropped_total"
+	MetricNetAcceptRetries = "net_accept_retries_total"
 )
 
 // LatencyBucketsMs are the default end-to-end latency bucket bounds in

@@ -177,6 +177,28 @@ func PackDemux(o Outcome, kind uint8) uint32 { return uint32(o)<<8 | uint32(kind
 // UnpackDemux splits a HopHubDemux Arg2 into outcome and message kind.
 func UnpackDemux(arg2 uint32) (Outcome, uint8) { return Outcome(arg2 >> 8), uint8(arg2) }
 
+// netIngestPipelined flags a HopNetIngest Arg2 whose frame crossed the
+// gateway's per-shard single-writer pipeline (ring hand-off + shard worker)
+// rather than the direct synchronous consume path.
+const netIngestPipelined = 1 << 31
+
+// PackNetIngest packs a HopNetIngest Arg2: the hub shard the frame routed
+// to, plus whether it travelled the pipelined (ring hand-off) or the direct
+// ingest path. UnpackNetIngest reverses it.
+func PackNetIngest(shard int, pipelined bool) uint32 {
+	arg := uint32(shard)
+	if pipelined {
+		arg |= netIngestPipelined
+	}
+	return arg
+}
+
+// UnpackNetIngest splits a HopNetIngest Arg2 into shard index and the
+// pipelined flag.
+func UnpackNetIngest(arg2 uint32) (shard int, pipelined bool) {
+	return int(arg2 &^ netIngestPipelined), arg2&netIngestPipelined != 0
+}
+
 // Event is one recorded hop. It is a plain value of three word-aligned
 // fields so the hot-path ring write is three simple stores; the meaning of
 // Arg and Arg2 depends on the hop (see the Hop constants).
