@@ -23,6 +23,7 @@ import (
 	"github.com/hcilab/distscroll/internal/firmware"
 	"github.com/hcilab/distscroll/internal/fleet"
 	"github.com/hcilab/distscroll/internal/gp2d120"
+	"github.com/hcilab/distscroll/internal/history"
 	"github.com/hcilab/distscroll/internal/hubnet"
 	"github.com/hcilab/distscroll/internal/mapping"
 	"github.com/hcilab/distscroll/internal/menu"
@@ -649,4 +650,76 @@ func BenchmarkFleetScaleInstrumented(b *testing.B) {
 	}
 	b.ReportMetric(factor, "rt_factor")
 	b.ReportMetric(float64(scrapes.Load()), "scrapes")
+}
+
+// BenchmarkFleetScaleHistory is BenchmarkFleetScaleInstrumented with the
+// telemetry history sampler attached on top: the store snapshots the
+// registry every 250 ms into its preallocated rings while a second scraper
+// pulls /api/history at roughly 1 Hz. The sample path allocates nothing at
+// steady state, so the design budget over the instrumented run is ≤5%; the
+// CI bench gate compares the two medians.
+func BenchmarkFleetScaleHistory(b *testing.B) {
+	reg := telemetry.New()
+	hist, err := history.Start(history.Config{
+		Registry: reg,
+		Windows:  240,
+		Interval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hist.Stop()
+	srv, err := ops.Serve("127.0.0.1:0", ops.Config{Registry: reg, History: hist})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	var scrapes atomic.Uint64
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				for _, path := range []string{"/metrics", "/api/history?k=60"} {
+					resp, err := http.Get(srv.URL() + path)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+						scrapes.Add(1)
+					}
+				}
+			}
+		}
+	}()
+	var factor float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.RunScale(fleet.ScaleConfig{
+			Devices:  10_000,
+			Seed:     1,
+			Duration: time.Second,
+			LossProb: 0.01,
+			Metrics:  reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = res.RealTimeFactor
+	}
+	b.StopTimer()
+	close(stop)
+	hist.Sample() // at least one captured window even on sub-250ms runs
+	if hist.Captured() == 0 {
+		b.Fatal("history sampler captured nothing")
+	}
+	if c := reg.Snapshot().Counters[telemetry.MetricFwCycles]; c == 0 {
+		b.Fatal("instrumented run recorded no cycles")
+	}
+	b.ReportMetric(factor, "rt_factor")
+	b.ReportMetric(float64(scrapes.Load()), "scrapes")
+	b.ReportMetric(float64(hist.Captured()), "windows")
 }

@@ -16,6 +16,8 @@
 //	distscroll-bench -bench-json BENCH_4.json        # perf baseline, old vs new hub
 //	distscroll-bench -devices 100000 -ops-listen 127.0.0.1:9100  # live /metrics
 //	distscroll-bench -devices 100000 -slo-stall 10s  # watchdog on the scale run
+//	distscroll-bench -devices 100000 -ops-listen 127.0.0.1:9100 -history-windows 300  # /api/history + /dash
+//	distscroll-bench -devices 100000 -history-out hist.json      # history replay file
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"github.com/hcilab/distscroll/internal/core"
 	"github.com/hcilab/distscroll/internal/experiments"
 	"github.com/hcilab/distscroll/internal/fleet"
+	"github.com/hcilab/distscroll/internal/history"
 	"github.com/hcilab/distscroll/internal/hubnet"
 	"github.com/hcilab/distscroll/internal/ops"
 	"github.com/hcilab/distscroll/internal/telemetry"
@@ -78,6 +81,9 @@ func run(args []string, stdout io.Writer) error {
 		sloMinFPS = fs.Float64("slo-min-fps", 0, "SLO watchdog: breach when decoded frames per second drop below this floor (0 = off)")
 		sloStall  = fs.Duration("slo-stall", 0, "SLO watchdog: breach when the run's progress clock stops advancing for this long (0 = off)")
 		sloEvery  = fs.Duration("slo-interval", time.Second, "SLO watchdog evaluation interval")
+		histWin   = fs.Int("history-windows", 0, "retain a rolling telemetry history of this many sampling windows (0 = default 120); served at /api/history and the /dash dashboard with -ops-listen, attached to SLO breaches as pre/post forensics")
+		histEvery = fs.Duration("history-interval", time.Second, "telemetry history sampling interval")
+		histOut   = fs.String("history-out", "", "write the retained telemetry history as JSON to this file when the run ends (implies history)")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 		rtTrace   = fs.String("runtime-trace", "", "write a Go runtime execution trace of the run to this file (go tool trace)")
@@ -134,7 +140,14 @@ func run(args []string, stdout io.Writer) error {
 
 	scaleMode := devicesSet || len(sweep) > 0 || *scaleJSON != ""
 	sloSet := *sloP99 > 0 || *sloMinFPS > 0 || *sloStall > 0
-	opsSet := *opsListen != "" || sloSet
+	histSet := set["history-windows"] || set["history-interval"] || *histOut != ""
+	if set["history-windows"] && *histWin < 1 {
+		return fmt.Errorf("-history-windows must be at least 1, got %d", *histWin)
+	}
+	if *histEvery <= 0 {
+		return fmt.Errorf("-history-interval must be positive, got %v", *histEvery)
+	}
+	opsSet := *opsListen != "" || sloSet || histSet
 	metricsSet := *metrics || *metOut != ""
 	if scaleMode && *fleetN > 0 {
 		return fmt.Errorf("-fleet cannot be combined with the scale flags (-devices/-scale/-scale-json); pick one path")
@@ -143,10 +156,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-reliable/-burst/-burst-len/-ack-loss shape the session fleet's link; the scale path models loss via -loss only")
 	}
 	if opsSet && !scaleMode && *fleetN <= 0 && *serveAddr == "" {
-		return fmt.Errorf("-ops-listen and -slo-* flags require a live run (-fleet, -devices, -scale or -serve)")
+		return fmt.Errorf("-ops-listen, -slo-* and -history-* flags require a live run (-fleet, -devices, -scale or -serve)")
 	}
 	if *scaleJSON != "" && (metricsSet || opsSet) {
-		return fmt.Errorf("-scale-json is the batch baseline writer; -metrics, -metrics-out, -ops-listen and -slo-* need -devices or -scale")
+		return fmt.Errorf("-scale-json is the batch baseline writer; -metrics, -metrics-out, -ops-listen, -slo-* and -history-* need -devices or -scale")
 	}
 	if (*traceOut != "" || *flightRec || *traceSLO > 0) && *fleetN <= 0 {
 		return fmt.Errorf("tracing flags (-trace-out, -flight-recorder, -trace-slo) require -fleet")
@@ -233,6 +246,19 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-loss shapes the simulated link; combine it with -fleet, -devices or -scale")
 	}
 
+	// One ops-plane parameter block serves every live-run path.
+	opsFlags := opsOpts{
+		listen:       *opsListen,
+		p99:          *sloP99,
+		minFPS:       *sloMinFPS,
+		stall:        *sloStall,
+		interval:     *sloEvery,
+		history:      histSet,
+		histWindows:  *histWin,
+		histInterval: *histEvery,
+		histOut:      *histOut,
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -286,13 +312,7 @@ func run(args []string, stdout io.Writer) error {
 			ringSlots: *ringSlots,
 			ringBatch: *ringBatch,
 			onFull:    onFull,
-			ops: opsOpts{
-				listen:   *opsListen,
-				p99:      *sloP99,
-				minFPS:   *sloMinFPS,
-				stall:    *sloStall,
-				interval: *sloEvery,
-			},
+			ops:       opsFlags,
 		}, stdout)
 	}
 
@@ -353,13 +373,7 @@ func run(args []string, stdout io.Writer) error {
 			metrics:    *metrics,
 			metricsOut: *metOut,
 			connect:    *connect,
-			ops: opsOpts{
-				listen:   *opsListen,
-				p99:      *sloP99,
-				minFPS:   *sloMinFPS,
-				stall:    *sloStall,
-				interval: *sloEvery,
-			},
+			ops:        opsFlags,
 		}, stdout)
 	}
 
@@ -380,13 +394,7 @@ func run(args []string, stdout io.Writer) error {
 			flightRec:  *flightRec,
 			traceSLO:   *traceSLO,
 			connect:    *connect,
-			ops: opsOpts{
-				listen:   *opsListen,
-				p99:      *sloP99,
-				minFPS:   *sloMinFPS,
-				stall:    *sloStall,
-				interval: *sloEvery,
-			},
+			ops:        opsFlags,
 		}, stdout)
 	}
 
@@ -452,31 +460,59 @@ type fleetOpts struct {
 	ops              opsOpts
 }
 
-// opsOpts carries the live-ops-plane flags (-ops-listen, -slo-*).
+// opsOpts carries the live-ops-plane flags (-ops-listen, -slo-*,
+// -history-*).
 type opsOpts struct {
-	listen   string
-	p99      float64
-	minFPS   float64
-	stall    time.Duration
-	interval time.Duration
+	listen       string
+	p99          float64
+	minFPS       float64
+	stall        time.Duration
+	interval     time.Duration
+	history      bool
+	histWindows  int
+	histInterval time.Duration
+	histOut      string
 }
 
 // enabled reports whether any ops-plane feature was requested.
 func (o opsOpts) enabled() bool {
-	return o.listen != "" || o.p99 > 0 || o.minFPS > 0 || o.stall > 0
+	return o.listen != "" || o.p99 > 0 || o.minFPS > 0 || o.stall > 0 || o.history
 }
 
-// opsPlane bundles the running server and watchdog of one invocation.
+// opsPlane bundles the running server, watchdog and history sampler of one
+// invocation.
 type opsPlane struct {
-	srv *ops.Server
-	wd  *ops.Watchdog
+	srv     *ops.Server
+	wd      *ops.Watchdog
+	hist    *history.Store
+	histOut string
 }
 
-// startOpsPlane starts the watchdog and (if requested) the HTTP server.
-// stallClock names the series whose advancement proves the run is alive:
-// sim_virtual_seconds on the scale path, hub_frames_decoded_total for the
-// session fleet.
+// startOpsPlane starts the history sampler, the watchdog and (if
+// requested) the HTTP server. stallClock names the series whose
+// advancement proves the run is alive: sim_virtual_seconds on the scale
+// path, hub_frames_decoded_total for the session fleet.
 func startOpsPlane(o opsOpts, reg *telemetry.Registry, tracer *tracing.Tracer, stallClock string, stdout io.Writer) (*opsPlane, error) {
+	var hist *history.Store
+	if o.history {
+		var err error
+		hist, err = history.Start(history.Config{
+			Registry: reg,
+			Windows:  o.histWindows,
+			Interval: o.histInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "history: sampling telemetry every %v, retaining %d windows\n",
+			hist.Interval(), hist.Windows())
+	}
+	if hist != nil && tracer == nil && (o.p99 > 0 || o.minFPS > 0 || o.stall > 0) {
+		// Breach forensics dump through a flight recorder; a run without
+		// its own tracer gets a small bounded one so the pre/post table
+		// still lands on stderr.
+		tracer = tracing.New(tracing.Config{Bounded: true, Capacity: 64, DumpTo: os.Stderr})
+	}
 	wd := ops.StartWatchdog(ops.WatchdogConfig{
 		Registry:        reg,
 		Interval:        o.interval,
@@ -485,19 +521,25 @@ func startOpsPlane(o opsOpts, reg *telemetry.Registry, tracer *tracing.Tracer, s
 		StallAfter:      o.stall,
 		MinRate:         minRateRules(o.minFPS),
 		Tracer:          tracer,
+		History:         hist,
 		OnBreach: func(b ops.Breach) {
 			fmt.Fprintf(os.Stderr, "slo watchdog: %s\n", b)
 		},
 	})
-	p := &opsPlane{wd: wd}
+	p := &opsPlane{wd: wd, hist: hist, histOut: o.histOut}
 	if o.listen != "" {
-		srv, err := ops.Serve(o.listen, ops.Config{Registry: reg, Watchdog: wd})
+		srv, err := ops.Serve(o.listen, ops.Config{Registry: reg, Watchdog: wd, History: hist})
 		if err != nil {
 			wd.Stop()
+			hist.Stop()
 			return nil, err
 		}
 		p.srv = srv
-		fmt.Fprintf(stdout, "ops plane listening on %s (metrics, vars, healthz, debug/pprof)\n", srv.URL())
+		endpoints := "metrics, vars, healthz, debug/pprof"
+		if hist != nil {
+			endpoints += ", api/history, dash"
+		}
+		fmt.Fprintf(stdout, "ops plane listening on %s (%s)\n", srv.URL(), endpoints)
 	}
 	return p, nil
 }
@@ -510,16 +552,46 @@ func minRateRules(minFPS float64) map[string]float64 {
 }
 
 // close stops the watchdog before the server so /healthz never serves a
-// half-stopped state, and reports the verdict.
+// half-stopped state, flushes the history store, and reports the verdict.
 func (p *opsPlane) close(report io.Writer) {
 	if p == nil {
 		return
 	}
 	p.wd.Stop()
+	if p.hist != nil {
+		// One final sample so the end-of-run counters make the history,
+		// then stop (which also flushes pending breach forensics).
+		p.hist.Sample()
+	}
+	p.hist.Stop()
 	p.srv.Close()
 	if breaches := p.wd.Breaches(); len(breaches) > 0 {
 		fmt.Fprintf(report, "slo watchdog: %d breach(es); first: %s\n", len(breaches), breaches[0])
 	}
+	if p.hist != nil && p.histOut != "" {
+		path := p.histOut
+		p.histOut = "" // close runs twice (explicit + deferred); write once
+		if err := writeHistoryJSON(path, p.hist); err != nil {
+			fmt.Fprintf(os.Stderr, "distscroll-bench: history-out: %v\n", err)
+		} else {
+			fmt.Fprintf(report, "wrote telemetry history (%d windows captured) to %s\n",
+				p.hist.Captured(), path)
+		}
+	}
+}
+
+// writeHistoryJSON dumps the full retained history as the /api/history
+// JSON document.
+func writeHistoryJSON(path string, st *history.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteJSON(f, history.Query{}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runFleet simulates n devices concurrently against one hub and prints the

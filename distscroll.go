@@ -68,9 +68,11 @@ type Option func(*config) error
 type config struct {
 	core core.Config
 	root *Item
-	// opsAddr and slo configure the fleet-only live ops plane (ops.go).
+	// opsAddr, slo and history configure the fleet-only live ops plane
+	// (ops.go).
 	opsAddr string
 	slo     *SLO
+	history *historyOptions
 	// hubShards routes fleet frames through the networked ingest gateway
 	// in loopback mode (fleet.go); 0 keeps the plain in-process hub.
 	hubShards int
@@ -326,8 +328,8 @@ func New(opts ...Option) (*Device, error) {
 	if cfg.root == nil {
 		return nil, errors.New("distscroll: a menu is required (WithMenu or WithEntries)")
 	}
-	if cfg.opsAddr != "" || cfg.slo != nil {
-		return nil, errors.New("distscroll: the ops plane watches a fleet run; use NewFleet with WithOpsServer/WithSLOWatchdog")
+	if cfg.opsAddr != "" || cfg.slo != nil || cfg.history != nil {
+		return nil, errors.New("distscroll: the ops plane watches a fleet run; use NewFleet with WithOpsServer/WithSLOWatchdog/WithHistory")
 	}
 	if cfg.hubShards > 0 {
 		return nil, errors.New("distscroll: the loopback hub serves a fleet; use NewFleet with WithLoopbackHub")

@@ -1,0 +1,46 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// TestObserveZeroAlloc pins the sample path's steady-state contract:
+// once every series exists, appending a window allocates nothing. The
+// registry snapshot itself is the export path and is measured out.
+func TestObserveZeroAlloc(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter(telemetry.MetricHubDecoded).Add(100)
+	reg.Counter(telemetry.MetricFwCycles).Add(5000)
+	reg.Gauge(telemetry.MetricSimDevices).Set(100000)
+	reg.Gauge(telemetry.MetricNetRingDepth).Set(3)
+	h := reg.Histogram(telemetry.MetricHubE2ELatency, []float64{1, 2, 5, 10, 50, 100})
+	for i := 0; i < 64; i++ {
+		h.Observe(float64(i % 7))
+	}
+
+	s, err := New(Config{Registry: reg, Windows: 32, Interval: time.Second, Now: tickClock(time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: first sight creates each series, second window warms the
+	// histogram delta scratch.
+	snap := reg.Snapshot()
+	s.Observe(snap)
+	s.Observe(snap)
+
+	if allocs := testing.AllocsPerRun(100, func() { s.Observe(snap) }); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per window; the sample path must be allocation-free", allocs)
+	}
+
+	// Still zero with live counter movement and a wrapped ring.
+	if allocs := testing.AllocsPerRun(100, func() {
+		reg.Counter(telemetry.MetricHubDecoded).Add(17)
+		h.Observe(3)
+		s.Observe(snap)
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per window with live movement", allocs)
+	}
+}

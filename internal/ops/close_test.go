@@ -1,0 +1,82 @@
+package ops
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"github.com/hcilab/distscroll/internal/telemetry"
+)
+
+// TestServerCloseIdempotent pins the close-hardening satellite: repeated
+// and concurrent closes are one close, all callers seeing the same
+// result.
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := srv.Close()
+	for i := 0; i < 3; i++ {
+		if got := srv.Close(); got != first {
+			t.Fatalf("close #%d returned %v, first returned %v", i+2, got, first)
+		}
+	}
+
+	srv2, err := Serve("127.0.0.1:0", Config{Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv2.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServerCloseDuringScrapes races live scrapes against Close under
+// the race detector: in-flight handlers must finish or fail cleanly, and
+// the server must shut down without a double-close or handler panic.
+func TestServerCloseDuringScrapes(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter(telemetry.MetricHubEvents).Add(1)
+	srv, err := Serve("127.0.0.1:0", Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := srv.URL()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				resp, err := http.Get(url + "/metrics")
+				if err != nil {
+					return // listener gone: expected once Close lands
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		srv.Close()
+	}()
+	close(start)
+	wg.Wait()
+	if err := srv.Close(); err != srv.Close() {
+		t.Fatal("close result not stable after the race")
+	}
+}

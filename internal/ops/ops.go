@@ -10,7 +10,9 @@
 //	/metrics       Prometheus text exposition of a registry snapshot
 //	/vars          the same snapshot as indented JSON
 //	/healthz       200 while the SLO watchdog is clean, 503 with the
-//	               breach list once it fires (or always 200 without one)
+//	               breach list as JSON once it fires (always 200 without one)
+//	/api/history   retained telemetry history as JSON (?k=, ?series=, ?prefix=)
+//	/dash          self-contained live HTML+SVG dashboard over /api/history
 //	/debug/pprof/  the standard Go profiling endpoints
 //
 // Every scrape takes one registry snapshot: counters are atomics and the
@@ -20,13 +22,19 @@
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/hcilab/distscroll/internal/history"
 	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
@@ -36,13 +44,21 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Watchdog, when set, drives /healthz: 503 once it has breached.
 	Watchdog *Watchdog
+	// History, when set, serves /api/history and feeds /dash.
+	History *history.Store
 }
 
 // Server is a running ops HTTP server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
-	wd  atomic.Pointer[Watchdog]
+	ln   net.Listener
+	srv  *http.Server
+	wd   atomic.Pointer[Watchdog]
+	hist atomic.Pointer[history.Store]
+
+	// Close is idempotent: concurrent and repeated closes collapse to
+	// one srv.Close, every caller seeing its error.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve starts the ops plane on addr (host:port; port 0 picks a free one)
@@ -57,11 +73,15 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	if cfg.Watchdog != nil {
 		s.wd.Store(cfg.Watchdog)
 	}
+	if cfg.History != nil {
+		s.hist.Store(cfg.History)
+	}
 	s.srv = &http.Server{
-		// /healthz reads the watchdog through the server so SetWatchdog
-		// can attach one after the listener is already up (a fleet binds
-		// its port at construction, its watchdog at run start).
-		Handler:           handler(cfg.Registry, s.wd.Load),
+		// /healthz and /api/history read their sources through the server
+		// so SetWatchdog/SetHistory can attach them after the listener is
+		// already up (a fleet binds its port at construction, its watchdog
+		// at run start).
+		Handler:           handler(cfg.Registry, s.wd.Load, s.hist.Load),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
@@ -75,6 +95,15 @@ func (s *Server) SetWatchdog(w *Watchdog) {
 		return
 	}
 	s.wd.Store(w)
+}
+
+// SetHistory points /api/history and /dash at st (nil detaches). Safe
+// while serving and safe on nil.
+func (s *Server) SetHistory(st *history.Store) {
+	if s == nil {
+		return
+	}
+	s.hist.Store(st)
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -93,23 +122,34 @@ func (s *Server) URL() string {
 	return "http://" + s.Addr()
 }
 
-// Close stops the listener and the HTTP loop. Safe on nil.
+// Close stops the listener and the HTTP loop. Safe on nil, idempotent,
+// and safe against concurrent callers and in-flight scrapes: every call
+// returns the first close's result.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
 }
 
 // Handler builds the ops mux without binding a listener — the unit-test
 // and embedding entry point.
 func Handler(cfg Config) http.Handler {
-	return handler(cfg.Registry, func() *Watchdog { return cfg.Watchdog })
+	return handler(cfg.Registry,
+		func() *Watchdog { return cfg.Watchdog },
+		func() *history.Store { return cfg.History })
 }
 
-// handler is the mux over a registry and a watchdog accessor (read per
-// request, so a served fleet can attach its watchdog late).
-func handler(reg *telemetry.Registry, watchdog func() *Watchdog) http.Handler {
+// healthzBody is the /healthz 503 JSON schema.
+type healthzBody struct {
+	Status   string   `json:"status"`
+	Breaches []Breach `json:"breaches"`
+}
+
+// handler is the mux over a registry plus watchdog and history accessors
+// (read per request, so a served fleet can attach them late).
+func handler(reg *telemetry.Registry, watchdog func() *Watchdog, hist func() *history.Store) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -121,6 +161,8 @@ func handler(reg *telemetry.Registry, watchdog func() *Watchdog) http.Handler {
 			"/metrics       Prometheus exposition\n"+
 			"/vars          JSON snapshot\n"+
 			"/healthz       SLO watchdog state\n"+
+			"/api/history   retained telemetry history (JSON)\n"+
+			"/dash          live dashboard\n"+
 			"/debug/pprof/  Go profiling\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -136,17 +178,51 @@ func handler(reg *telemetry.Registry, watchdog func() *Watchdog) http.Handler {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		wd := watchdog()
 		if wd.Healthy() {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprint(w, "ok\n")
 			return
 		}
+		// Breached: structured JSON so tooling gets the rule, metric,
+		// value, limit, and window without parsing prose.
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprint(w, "slo breach\n")
-		for _, b := range wd.Breaches() {
-			fmt.Fprintf(w, "%s\n", b)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(healthzBody{Status: "slo breach", Breaches: wd.Breaches()}) //nolint:errcheck
+	})
+	mux.HandleFunc("/api/history", func(w http.ResponseWriter, r *http.Request) {
+		st := hist()
+		if st == nil {
+			http.Error(w, "history disabled (enable WithHistory / -history-windows)", http.StatusNotFound)
+			return
 		}
+		var q history.Query
+		if v := r.URL.Query().Get("k"); v != "" {
+			k, err := strconv.Atoi(v)
+			if err != nil || k < 0 {
+				http.Error(w, "k must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			q.LastK = k
+		}
+		if v := r.URL.Query().Get("series"); v != "" {
+			q.Series = strings.Split(v, ",")
+		}
+		if v := r.URL.Query().Get("prefix"); v != "" {
+			q.Prefixes = strings.Split(v, ",")
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		st.WriteJSON(w, q) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/dash", func(w http.ResponseWriter, _ *http.Request) {
+		if hist() == nil {
+			http.Error(w, "history disabled (enable WithHistory / -history-windows)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, dashHTML) //nolint:errcheck
 	})
 	// net/http/pprof self-registers on DefaultServeMux at import; wire its
 	// handlers onto this private mux instead so the ops port is the only

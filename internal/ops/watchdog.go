@@ -5,19 +5,31 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hcilab/distscroll/internal/history"
 	"github.com/hcilab/distscroll/internal/telemetry"
 	"github.com/hcilab/distscroll/internal/tracing"
 )
 
-// Breach is one SLO violation observed by the watchdog.
+// Breach is one SLO violation observed by the watchdog. The JSON shape
+// is the /healthz 503 body schema.
 type Breach struct {
 	// Rule names the rule that fired: "min-rate", "latency-p99", "stall".
-	Rule string
+	Rule string `json:"rule"`
 	// Metric is the series the rule evaluated.
-	Metric string
+	Metric string `json:"metric"`
 	// Value is the observed quantity, Limit the configured threshold
 	// (units depend on the rule: per-second rate, milliseconds, seconds).
-	Value, Limit float64
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+	// WindowSeconds is the evaluation window the rule fired over.
+	WindowSeconds float64 `json:"window"`
+	// AtMillis is the breach detection time (unix milliseconds).
+	AtMillis int64 `json:"atMillis"`
+	// History is the breach's pre/post forensics capture, attached
+	// asynchronously once the history store (WatchdogConfig.History) has
+	// sampled the post-breach tail. Excluded from the /healthz body —
+	// fetch it from /api/history or the flight-recorder dump.
+	History *history.Forensics `json:"-"`
 }
 
 // String renders the breach for /healthz and log lines.
@@ -69,6 +81,16 @@ type WatchdogConfig struct {
 	// single-writer contract holds, and the bounded dump triggers exactly
 	// as it does for in-pipeline anomalies.
 	Tracer *tracing.Tracer
+
+	// History, when set, latches a marker on the telemetry history
+	// timeline per breach and schedules a forensics capture: the store
+	// keeps sampling a post-breach tail, then the pre/post capture is
+	// attached to the Breach record and — with Tracer — dumped through
+	// the flight recorder as a history table.
+	History *history.Store
+	// PostBreachWindows is the post-breach tail length in history
+	// windows (<= 0 takes history.DefaultPostWindows).
+	PostBreachWindows int
 }
 
 // Watchdog evaluates SLO rules over windowed snapshot deltas on a
@@ -78,8 +100,13 @@ type WatchdogConfig struct {
 type Watchdog struct {
 	cfg      WatchdogConfig
 	recorder *tracing.Recorder
-	now      func() time.Time
-	start    time.Time
+	// forensics is a second, dedicated recorder for the asynchronous
+	// history-table dumps: those fire on the history store's sampler
+	// goroutine (or its Stop caller), never on the watchdog goroutine,
+	// so sharing `recorder` would break the single-writer contract.
+	forensics *tracing.Recorder
+	now       func() time.Time
+	start     time.Time
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -148,6 +175,9 @@ func newWatchdog(cfg WatchdogConfig) *Watchdog {
 	w.start = w.now()
 	if cfg.Tracer != nil {
 		w.recorder = cfg.Tracer.NewRecorder("slo-watchdog", 0)
+		if cfg.History != nil {
+			w.forensics = cfg.Tracer.NewRecorder("slo-forensics", 0)
+		}
 	}
 	w.prev = cfg.Registry.Snapshot()
 	w.last = w.start
@@ -219,10 +249,11 @@ func (w *Watchdog) checkStall(cur *telemetry.Snapshot, window time.Duration) (Br
 	stuck := w.stallFor
 	w.stallFor = 0 // re-arm so a persistent stall fires once per StallAfter
 	return Breach{
-		Rule:   "stall",
-		Metric: w.cfg.StallGauge,
-		Value:  stuck.Seconds(),
-		Limit:  w.cfg.StallAfter.Seconds(),
+		Rule:          "stall",
+		Metric:        w.cfg.StallGauge,
+		Value:         stuck.Seconds(),
+		Limit:         w.cfg.StallAfter.Seconds(),
+		WindowSeconds: stuck.Seconds(),
 	}, true
 }
 
@@ -248,7 +279,7 @@ func Evaluate(cfg WatchdogConfig, prev, cur *telemetry.Snapshot, dt time.Duratio
 		delta := float64(cur.Counters[name] - prev.Counters[name])
 		rate := delta / dt.Seconds()
 		if rate < floor {
-			out = append(out, Breach{Rule: "min-rate", Metric: name, Value: rate, Limit: floor})
+			out = append(out, Breach{Rule: "min-rate", Metric: name, Value: rate, Limit: floor, WindowSeconds: dt.Seconds()})
 		}
 	}
 	if cfg.LatencyMaxP99Ms > 0 {
@@ -261,7 +292,7 @@ func Evaluate(cfg WatchdogConfig, prev, cur *telemetry.Snapshot, dt time.Duratio
 			ph, _ := prev.Histogram(name)
 			if d, ok := deltaHist(ph, ch); ok && d.Count > 0 {
 				if p99 := d.Quantile(0.99); p99 > cfg.LatencyMaxP99Ms {
-					out = append(out, Breach{Rule: "latency-p99", Metric: name, Value: p99, Limit: cfg.LatencyMaxP99Ms})
+					out = append(out, Breach{Rule: "latency-p99", Metric: name, Value: p99, Limit: cfg.LatencyMaxP99Ms, WindowSeconds: dt.Seconds()})
 				}
 			}
 		}
@@ -295,14 +326,26 @@ func deltaHist(prev, cur telemetry.HistogramSnapshot) (telemetry.HistogramSnapsh
 	return d, true
 }
 
-// report latches unhealthy, records the breach, notifies OnBreach, and
+// report latches unhealthy, records the breach, marks the history
+// timeline (scheduling the forensics capture), notifies OnBreach, and
 // fires the flight recorder.
 func (w *Watchdog) report(b Breach) {
+	b.AtMillis = w.now().UnixMilli()
 	w.mu.Lock()
+	idx := -1
 	if len(w.breaches) < maxBreaches {
+		idx = len(w.breaches)
 		w.breaches = append(w.breaches, b)
 	}
 	w.mu.Unlock()
+	if w.cfg.History != nil {
+		mark := history.BreachMark{
+			Rule: b.Rule, Metric: b.Metric, Value: b.Value, Limit: b.Limit, AtMillis: b.AtMillis,
+		}
+		w.cfg.History.MarkBreach(mark, w.cfg.PostBreachWindows, func(f *history.Forensics) {
+			w.attachForensics(idx, f)
+		})
+	}
 	if w.recorder != nil {
 		at := w.now().Sub(w.start)
 		w.recorder.Anomaly(tracing.HopSessionSLO, 0, at,
@@ -310,6 +353,29 @@ func (w *Watchdog) report(b Breach) {
 	}
 	if w.cfg.OnBreach != nil {
 		w.cfg.OnBreach(b)
+	}
+}
+
+// attachForensics lands a completed history capture on its breach record
+// and dumps the pre/post table through the flight recorder. Runs on the
+// history store's goroutine via the MarkBreach callback.
+func (w *Watchdog) attachForensics(idx int, f *history.Forensics) {
+	if f == nil {
+		return
+	}
+	if idx >= 0 {
+		w.mu.Lock()
+		if idx < len(w.breaches) {
+			w.breaches[idx].History = f
+		}
+		w.mu.Unlock()
+	}
+	if w.forensics != nil {
+		at := w.now().Sub(w.start)
+		reason := fmt.Sprintf("%s: %s pre/post-breach history (window %d)",
+			f.Mark.Rule, f.Mark.Metric, f.Mark.Window)
+		w.forensics.AnomalyNote(tracing.HopSessionSLO, 0, at,
+			clampU32(f.Mark.Value), clampU32(f.Mark.Limit), reason, f.WriteTable)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hcilab/distscroll/internal/history"
 	"github.com/hcilab/distscroll/internal/telemetry"
 )
 
@@ -160,7 +161,7 @@ func TestHealthzImmuneToWallClockSteps(t *testing.T) {
 		StallAfter: 3 * time.Second,
 		Now:        clk.now,
 	})
-	h := handler(reg, func() *Watchdog { return w })
+	h := handler(reg, func() *Watchdog { return w }, func() *history.Store { return nil })
 	health := func() int {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))

@@ -471,13 +471,25 @@ func (r *Recorder) Anomaly(hop Hop, seq uint16, at time.Duration, arg, arg2 uint
 		return
 	}
 	r.Record(hop, seq, at, arg, arg2)
-	r.t.dump(r, at, reason)
+	r.t.dump(r, at, reason, nil)
+}
+
+// AnomalyNote is Anomaly with an attachment: after the trailing events,
+// note is invoked (under the dump serialisation lock) to append extra
+// post-mortem context — e.g. the telemetry history table around an SLO
+// breach. A nil note behaves exactly like Anomaly.
+func (r *Recorder) AnomalyNote(hop Hop, seq uint16, at time.Duration, arg, arg2 uint32, reason string, note func(io.Writer)) {
+	if r == nil {
+		return
+	}
+	r.Record(hop, seq, at, arg, arg2)
+	r.t.dump(r, at, reason, note)
 }
 
 // dump writes one post-mortem of the triggering recorder, bounded by
 // MaxDumps. Serialised by the tracer mutex so interleaved devices cannot
 // shred each other's output.
-func (t *Tracer) dump(r *Recorder, at time.Duration, reason string) {
+func (t *Tracer) dump(r *Recorder, at time.Duration, reason string, note func(io.Writer)) {
 	if t.cfg.DumpTo == nil {
 		return
 	}
@@ -497,6 +509,9 @@ func (t *Tracer) dump(r *Recorder, at time.Duration, reason string) {
 	fmt.Fprintf(w, "  last %d events:\n", len(events))
 	for _, e := range events {
 		writeEventLine(w, r.dev, e)
+	}
+	if note != nil {
+		note(w)
 	}
 }
 

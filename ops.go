@@ -2,8 +2,10 @@ package distscroll
 
 import (
 	"errors"
+	"io"
 	"time"
 
+	"github.com/hcilab/distscroll/internal/history"
 	"github.com/hcilab/distscroll/internal/ops"
 	"github.com/hcilab/distscroll/internal/telemetry"
 )
@@ -64,22 +66,64 @@ func WithSLOWatchdog(slo SLO) Option {
 	}
 }
 
-// opsState is the fleet's live ops plane: the HTTP server runs from
-// NewFleet until CloseOps; the watchdog runs during RunAll and keeps its
-// latched verdict afterwards.
+// historyOptions carries WithHistory's parameters until NewFleet builds
+// the store.
+type historyOptions struct {
+	windows  int
+	interval time.Duration
+}
+
+// WithHistory retains a rolling window of telemetry history: a sampler
+// captures the registry every interval and keeps the last `windows`
+// samples per series in bounded ring buffers (counters as windowed
+// rates, gauges as raw samples, histograms as per-window delta digests).
+// With WithOpsServer the history is queryable live at /api/history and
+// rendered by the /dash dashboard; with WithSLOWatchdog every breach is
+// marked on the timeline and gains a pre/post forensics capture. Zero
+// values take the defaults (120 windows, 1 s). Telemetry is implied, as
+// with WithOpsServer. Fleet-only; New rejects it.
+func WithHistory(windows int, interval time.Duration) Option {
+	return func(c *config) error {
+		if windows < 0 {
+			return errors.New("distscroll: negative history window count")
+		}
+		if interval < 0 {
+			return errors.New("distscroll: negative history interval")
+		}
+		c.history = &historyOptions{windows: windows, interval: interval}
+		return nil
+	}
+}
+
+// opsState is the fleet's live ops plane: the HTTP server and the
+// history sampler run from NewFleet until CloseOps; the watchdog runs
+// during RunAll and keeps its latched verdict afterwards.
 type opsState struct {
 	srv      *ops.Server
 	slo      *SLO
 	watchdog *ops.Watchdog
+	hist     *history.Store
 }
 
 // startOps builds the fleet's ops plane from a parsed config. Called by
 // NewFleet after the registry exists.
 func startOps(cfg *config, reg *telemetry.Registry) (*opsState, error) {
 	st := &opsState{slo: cfg.slo}
-	if cfg.opsAddr != "" {
-		srv, err := ops.Serve(cfg.opsAddr, ops.Config{Registry: reg})
+	if cfg.history != nil {
+		hist, err := history.Start(history.Config{
+			Registry: reg,
+			Windows:  cfg.history.windows,
+			Interval: cfg.history.interval,
+		})
 		if err != nil {
+			return nil, err
+		}
+		st.hist = hist
+	}
+	if cfg.opsAddr != "" {
+		srv, err := ops.Serve(cfg.opsAddr, ops.Config{Registry: reg, History: st.hist})
+		if err != nil {
+			st.hist.Stop()
 			return nil, err
 		}
 		st.srv = srv
@@ -107,6 +151,7 @@ func (f *Fleet) beginRun() {
 	if f.tracing != nil {
 		cfg.Tracer = f.tracing.tracer
 	}
+	cfg.History = f.ops.hist
 	f.ops.watchdog = ops.StartWatchdog(cfg)
 	// Point the running server's /healthz at this run's watchdog.
 	f.ops.srv.SetWatchdog(f.ops.watchdog)
@@ -128,14 +173,25 @@ func (f *Fleet) OpsURL() string {
 	return f.ops.srv.URL()
 }
 
-// CloseOps stops the ops HTTP server and the watchdog. Safe to call
-// without WithOpsServer and safe to call twice.
+// CloseOps stops the ops HTTP server, the watchdog, and the history
+// sampler. Safe to call without WithOpsServer and safe to call twice.
 func (f *Fleet) CloseOps() error {
 	if f.ops == nil {
 		return nil
 	}
 	f.ops.watchdog.Stop()
+	f.ops.hist.Stop()
 	return f.ops.srv.Close()
+}
+
+// WriteHistory writes the retained telemetry history (the last lastK
+// windows; <= 0 means everything retained) as indented JSON — the same
+// document /api/history serves. Errors without WithHistory.
+func (f *Fleet) WriteHistory(w io.Writer, lastK int) error {
+	if f.ops == nil || f.ops.hist == nil {
+		return errors.New("distscroll: fleet has no history store (enable WithHistory)")
+	}
+	return f.ops.hist.WriteJSON(w, history.Query{LastK: lastK})
 }
 
 // Healthy reports whether the SLO watchdog has recorded no breaches. A
